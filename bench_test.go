@@ -1,0 +1,362 @@
+// The benchmark suite regenerates every evaluation artefact of the
+// paper under testing.B, one benchmark family per experiment row of
+// DESIGN.md. Custom metrics carry the paper's quantities (agents,
+// moves, steps) alongside wall-clock ns/op:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkCleanAgents -benchtime=1x
+package hypersearch
+
+import (
+	"fmt"
+	"testing"
+
+	"hypersearch/internal/core"
+	"hypersearch/internal/experiments"
+	"hypersearch/internal/graph"
+	"hypersearch/internal/heapqueue"
+	"hypersearch/internal/hypercube"
+	"hypersearch/internal/isoperimetry"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/netsim"
+	"hypersearch/internal/strategy/greedy"
+	"hypersearch/internal/strategy/levelsweep"
+	"hypersearch/internal/strategy/optimal"
+	"hypersearch/internal/strategy/treesearch"
+	"hypersearch/internal/topologies"
+)
+
+// benchDims is the sweep used by the per-theorem benchmarks.
+var benchDims = []int{4, 6, 8, 10, 12}
+
+// runSpec executes one strategy run and fails the benchmark on any
+// invariant violation — a benchmark that lies about correctness is
+// worse than a slow one.
+func runSpec(b *testing.B, spec core.Spec) metrics.Result {
+	b.Helper()
+	res, _, err := core.Run(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Ok() {
+		b.Fatalf("invariants violated: %s", res)
+	}
+	return res
+}
+
+// benchStrategy runs a strategy across benchDims, reporting the
+// paper's cost measures as custom metrics.
+func benchStrategy(b *testing.B, name string) {
+	for _, d := range benchDims {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			var last metrics.Result
+			for i := 0; i < b.N; i++ {
+				last = runSpec(b, core.Spec{Strategy: name, Dim: d})
+			}
+			b.ReportMetric(float64(last.TeamSize), "agents")
+			b.ReportMetric(float64(last.TotalMoves), "moves")
+			b.ReportMetric(float64(last.Makespan), "steps")
+		})
+	}
+}
+
+// BenchmarkCleanAgents regenerates experiment T2 (Theorem 2): the team
+// size of Algorithm CLEAN across dimensions.
+func BenchmarkCleanAgents(b *testing.B) { benchStrategy(b, core.Clean) }
+
+// BenchmarkCleanMoves regenerates experiment T3 (Theorem 3): total
+// traffic of Algorithm CLEAN, split by role.
+func BenchmarkCleanMoves(b *testing.B) {
+	for _, d := range benchDims {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			var last metrics.Result
+			for i := 0; i < b.N; i++ {
+				last = runSpec(b, core.Spec{Strategy: core.Clean, Dim: d})
+			}
+			b.ReportMetric(float64(last.AgentMoves), "agent-moves")
+			b.ReportMetric(float64(last.SyncMoves), "sync-moves")
+		})
+	}
+}
+
+// BenchmarkCleanTime regenerates experiment T4 (Theorem 4): the
+// unit-latency makespan of Algorithm CLEAN.
+func BenchmarkCleanTime(b *testing.B) {
+	for _, d := range benchDims {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			var last metrics.Result
+			for i := 0; i < b.N; i++ {
+				last = runSpec(b, core.Spec{Strategy: core.Clean, Dim: d})
+			}
+			b.ReportMetric(float64(last.Makespan), "steps")
+		})
+	}
+}
+
+// BenchmarkVisibilityAgents regenerates experiment T5 (Theorem 5):
+// n/2 agents for CLEAN WITH VISIBILITY.
+func BenchmarkVisibilityAgents(b *testing.B) { benchStrategy(b, core.Visibility) }
+
+// BenchmarkVisibilityTime regenerates experiment T7 (Theorem 7): the
+// log n makespan of the visibility strategy.
+func BenchmarkVisibilityTime(b *testing.B) {
+	for _, d := range benchDims {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			var last metrics.Result
+			for i := 0; i < b.N; i++ {
+				last = runSpec(b, core.Spec{Strategy: core.Visibility, Dim: d})
+			}
+			if last.Makespan != int64(d) {
+				b.Fatalf("makespan %d, want %d", last.Makespan, d)
+			}
+			b.ReportMetric(float64(last.Makespan), "steps")
+		})
+	}
+}
+
+// BenchmarkVisibilityMoves regenerates experiment T8 (Theorem 8).
+func BenchmarkVisibilityMoves(b *testing.B) {
+	for _, d := range benchDims {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			var last metrics.Result
+			for i := 0; i < b.N; i++ {
+				last = runSpec(b, core.Spec{Strategy: core.Visibility, Dim: d})
+			}
+			b.ReportMetric(float64(last.TotalMoves), "moves")
+		})
+	}
+}
+
+// BenchmarkCloning regenerates experiment V1 (Section 5): n-1 moves.
+func BenchmarkCloning(b *testing.B) {
+	for _, d := range benchDims {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			var last metrics.Result
+			for i := 0; i < b.N; i++ {
+				last = runSpec(b, core.Spec{Strategy: core.Cloning, Dim: d})
+			}
+			b.ReportMetric(float64(last.TotalMoves), "moves")
+			b.ReportMetric(float64(last.TeamSize), "agents")
+		})
+	}
+}
+
+// BenchmarkSynchronous regenerates experiment V2 (Section 5).
+func BenchmarkSynchronous(b *testing.B) { benchStrategy(b, core.Synchronous) }
+
+// BenchmarkAllStrategies regenerates experiment X1: the trade-off
+// table at one representative size.
+func BenchmarkAllStrategies(b *testing.B) {
+	const d = 8
+	for _, name := range []string{core.Clean, core.Visibility, core.Cloning, core.Synchronous} {
+		b.Run(name, func(b *testing.B) {
+			var last metrics.Result
+			for i := 0; i < b.N; i++ {
+				last = runSpec(b, core.Spec{Strategy: name, Dim: d})
+			}
+			b.ReportMetric(float64(last.TeamSize), "agents")
+			b.ReportMetric(float64(last.TotalMoves), "moves")
+			b.ReportMetric(float64(last.Makespan), "steps")
+		})
+	}
+}
+
+// BenchmarkOptimalSearch regenerates experiment X2: exhaustive minimal
+// teams on small hypercubes.
+func BenchmarkOptimalSearch(b *testing.B) {
+	for d := 2; d <= 4; d++ {
+		b.Run(fmt.Sprintf("H_%d", d), func(b *testing.B) {
+			h := hypercube.New(d)
+			var team float64
+			for i := 0; i < b.N; i++ {
+				a := optimal.MinimalTeam(h, 0, 10, optimal.Limits{})
+				if !a.Feasible {
+					b.Fatal("no feasible team found")
+				}
+				team = float64(a.Team)
+			}
+			b.ReportMetric(team, "agents")
+		})
+	}
+}
+
+// BenchmarkAdversarialRobustness regenerates experiment X3: both
+// strategies under randomized asynchrony (DES adversary).
+func BenchmarkAdversarialRobustness(b *testing.B) {
+	for _, name := range []string{core.Clean, core.Visibility} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runSpec(b, core.Spec{
+					Strategy: name, Dim: 6,
+					AdversarialLatency: 13, Seed: int64(i),
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkGoroutineEngine regenerates the concurrent half of X3: the
+// real-goroutine runtime under scheduler preemption.
+func BenchmarkGoroutineEngine(b *testing.B) {
+	for _, name := range []string{core.Clean, core.Visibility} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runSpec(b, core.Spec{
+					Strategy: name, Dim: 6,
+					Engine: core.EngineGoroutines, Seed: int64(i),
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkNaiveBaseline regenerates experiment X4's cost side: what
+// the oblivious sweep spends while failing.
+func BenchmarkNaiveBaseline(b *testing.B) {
+	for _, d := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("dfs/d=%d", d), func(b *testing.B) {
+			var last metrics.Result
+			for i := 0; i < b.N; i++ {
+				res, _, err := core.Run(core.Spec{Strategy: core.NaiveDFS, Dim: d})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Recontaminations), "recontaminations")
+		})
+	}
+}
+
+// BenchmarkTreeSearch regenerates experiment X5: the tree-optimal
+// comparator on broadcast trees.
+func BenchmarkTreeSearch(b *testing.B) {
+	for _, d := range []int{4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("T(%d)", d), func(b *testing.B) {
+			tr := heapqueue.New(d).Graph()
+			var team float64
+			for i := 0; i < b.N; i++ {
+				r, _, _ := treesearch.Execute(tr)
+				if !r.Captured {
+					b.Fatal("tree search failed")
+				}
+				team = float64(r.TeamSize)
+			}
+			b.ReportMetric(team, "agents")
+		})
+	}
+}
+
+// BenchmarkIsoperimetricBound regenerates experiment X7: the Harper
+// lower bound (closed form, arbitrary d) and the exact exhaustive
+// bound (small d).
+func BenchmarkIsoperimetricBound(b *testing.B) {
+	b.Run("harper/d=20", func(b *testing.B) {
+		var bound int64
+		for i := 0; i < b.N; i++ {
+			bound = isoperimetry.HypercubeLowerBound(20)
+		}
+		b.ReportMetric(float64(bound), "agents")
+	})
+	b.Run("exact/H_4", func(b *testing.B) {
+		h := hypercube.New(4)
+		var bound int
+		for i := 0; i < b.N; i++ {
+			bound = isoperimetry.ExactMonotoneLowerBound(h)
+		}
+		b.ReportMetric(float64(bound), "agents")
+	})
+}
+
+// BenchmarkGenericStrategies regenerates experiment X8: the
+// structure-generic strategies on the hypercube.
+func BenchmarkGenericStrategies(b *testing.B) {
+	for _, d := range []int{4, 6, 8} {
+		h := hypercube.New(d)
+		b.Run(fmt.Sprintf("level-sweep/d=%d", d), func(b *testing.B) {
+			var team float64
+			for i := 0; i < b.N; i++ {
+				r, _, _ := levelsweep.Run(h, 0)
+				if !r.Captured || !r.MonotoneOK {
+					b.Fatal("level sweep failed")
+				}
+				team = float64(r.TeamSize)
+			}
+			b.ReportMetric(team, "agents")
+		})
+		b.Run(fmt.Sprintf("greedy/d=%d", d), func(b *testing.B) {
+			var team float64
+			for i := 0; i < b.N; i++ {
+				r, _, _ := greedy.Run(h, 0)
+				if !r.Captured || !r.MonotoneOK {
+					b.Fatal("greedy failed")
+				}
+				team = float64(r.TeamSize)
+			}
+			b.ReportMetric(team, "agents")
+		})
+	}
+}
+
+// BenchmarkGenericTopologies measures the generic strategies on the
+// wider topology catalog.
+func BenchmarkGenericTopologies(b *testing.B) {
+	cases := map[string]graph.Graph{
+		"mesh-16x16": topologies.Mesh(16, 16),
+		"torus-8x8":  topologies.Torus(8, 8),
+		"ring-256":   topologies.Ring(256),
+	}
+	for name, g := range cases {
+		b.Run(name, func(b *testing.B) {
+			var team float64
+			for i := 0; i < b.N; i++ {
+				r, _, _ := levelsweep.Run(g, 0)
+				if !r.Captured {
+					b.Fatal("sweep failed")
+				}
+				team = float64(r.TeamSize)
+			}
+			b.ReportMetric(team, "agents")
+		})
+	}
+}
+
+// BenchmarkNetworkEngine regenerates experiment X9: the message-
+// passing realizations (goroutine hosts; 1-bit beacons for visibility,
+// source-routed couriers for CLEAN).
+func BenchmarkNetworkEngine(b *testing.B) {
+	for _, d := range []int{4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("visibility/d=%d", d), func(b *testing.B) {
+			var beacons float64
+			for i := 0; i < b.N; i++ {
+				s := netsim.Run(d, netsim.Config{Seed: int64(i)})
+				if !s.Ok() {
+					b.Fatalf("invariants violated: %s", s.Result)
+				}
+				beacons = float64(s.BeaconMessages)
+			}
+			b.ReportMetric(beacons, "beacons")
+		})
+		b.Run(fmt.Sprintf("clean/d=%d", d), func(b *testing.B) {
+			var hops float64
+			for i := 0; i < b.N; i++ {
+				s := netsim.RunClean(d, netsim.Config{Seed: int64(i)})
+				if !s.Ok() {
+					b.Fatalf("invariants violated: %s", s.Result)
+				}
+				hops = float64(s.TotalMoves)
+			}
+			b.ReportMetric(hops, "hops")
+		})
+	}
+}
+
+// BenchmarkExperimentReports measures the full harness end to end (a
+// smaller sweep than the CLI default, to keep bench runs bounded).
+func BenchmarkExperimentReports(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(experiments.All(6, 3)); got != 18 {
+			b.Fatalf("%d reports", got)
+		}
+	}
+}

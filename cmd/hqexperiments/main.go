@@ -1,0 +1,92 @@
+// Command hqexperiments regenerates the paper's evaluation: every
+// theorem-level cost bound and Section-5 observation as a
+// measured-versus-claimed markdown report, plus the four figures.
+//
+// Usage:
+//
+//	hqexperiments                 # every experiment, default sweep
+//	hqexperiments -exp T2 -maxd 14
+//	hqexperiments -exp X3 -seeds 50
+//	hqexperiments -figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypersearch/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (T2,T3,T4,T5,T7,T8,V1,V2,X1..X9) or 'all'")
+		maxD    = flag.Int("maxd", 10, "largest hypercube dimension in sweeps")
+		seeds   = flag.Int("seeds", 10, "adversarial seeds for robustness experiments")
+		figures = flag.Bool("figures", false, "render the four figures instead of tables")
+	)
+	flag.Parse()
+
+	if *figures {
+		for _, f := range experiments.Figures() {
+			fmt.Println(f)
+		}
+		return
+	}
+
+	var reports []experiments.Report
+	switch *exp {
+	case "all":
+		reports = experiments.All(*maxD, *seeds)
+	case "T2":
+		reports = []experiments.Report{experiments.T2(*maxD)}
+	case "T3":
+		reports = []experiments.Report{experiments.T3(*maxD)}
+	case "T4":
+		reports = []experiments.Report{experiments.T4(*maxD)}
+	case "T5":
+		reports = []experiments.Report{experiments.T5(*maxD)}
+	case "T7":
+		reports = []experiments.Report{experiments.T7(*maxD)}
+	case "T8":
+		reports = []experiments.Report{experiments.T8(*maxD)}
+	case "V1":
+		reports = []experiments.Report{experiments.V1(*maxD)}
+	case "V2":
+		reports = []experiments.Report{experiments.V2(*maxD)}
+	case "X1":
+		reports = []experiments.Report{experiments.X1(*maxD)}
+	case "X2":
+		reports = []experiments.Report{experiments.X2()}
+	case "X3":
+		reports = []experiments.Report{experiments.X3(*seeds)}
+	case "X4":
+		reports = []experiments.Report{experiments.X4(6)}
+	case "X5":
+		reports = []experiments.Report{experiments.X5(7)}
+	case "X6":
+		reports = []experiments.Report{experiments.XIntruder(6, *seeds)}
+	case "X7":
+		reports = []experiments.Report{experiments.X7(*maxD)}
+	case "X8":
+		m := *maxD
+		if m > 8 {
+			m = 8
+		}
+		reports = []experiments.Report{experiments.X8(m)}
+	case "X9":
+		m := *maxD
+		if m > 10 {
+			m = 10
+		}
+		reports = []experiments.Report{experiments.X9(m, *seeds)}
+	case "X10":
+		reports = []experiments.Report{experiments.X10()}
+	default:
+		fmt.Fprintf(os.Stderr, "hqexperiments: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	for _, r := range reports {
+		fmt.Println(r.Render())
+	}
+}

@@ -1,0 +1,87 @@
+// Command hqoptimal explores the exact economics of contiguous
+// monotone search on small graphs: the exhaustive minimal team, the
+// isoperimetric lower bound, and what the generic strategies
+// (level-sweep, greedy) spend on the same instance.
+//
+// Usage:
+//
+//	hqoptimal -g hypercube:4
+//	hqoptimal -g mesh:3x4 -home 5
+//	hqoptimal -g random:14:5:7 -maxteam 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypersearch/internal/isoperimetry"
+	"hypersearch/internal/strategy/greedy"
+	"hypersearch/internal/strategy/levelsweep"
+	"hypersearch/internal/strategy/optimal"
+	"hypersearch/internal/topologies"
+)
+
+func main() {
+	var (
+		spec    = flag.String("g", "hypercube:3", "topology spec (hypercube:D, path:N, ring:N, mesh:RxC, torus:RxC, complete:N, star:N, random:N:EXTRA:SEED)")
+		home    = flag.Int("home", 0, "homebase vertex")
+		maxTeam = flag.Int("maxteam", 10, "largest team size to try exhaustively")
+		cap     = flag.Int("states", 8<<20, "exhaustive-search state cap")
+		pareto  = flag.Bool("pareto", false, "print the full moves-versus-team frontier")
+	)
+	flag.Parse()
+
+	g, err := topologies.Parse(*spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqoptimal:", err)
+		os.Exit(2)
+	}
+	if *home < 0 || *home >= g.Order() {
+		fmt.Fprintf(os.Stderr, "hqoptimal: home %d out of range [0,%d)\n", *home, g.Order())
+		os.Exit(2)
+	}
+	fmt.Printf("%s: %d vertices, homebase %d\n\n", *spec, g.Order(), *home)
+
+	if g.Order() <= 24 {
+		fmt.Printf("isoperimetric lower bound: %d\n", isoperimetry.ExactMonotoneLowerBound(g))
+	} else {
+		fmt.Println("isoperimetric lower bound: graph too large for the exact bound")
+	}
+
+	if g.Order() <= 26 {
+		a := optimal.MinimalTeam(g, *home, *maxTeam, optimal.Limits{MaxStates: *cap})
+		switch {
+		case a.Feasible:
+			fmt.Printf("exhaustive optimum:        %d agents (%d moves, %d states explored)\n",
+				a.Team, a.Moves, a.States)
+		case a.Aborted:
+			fmt.Printf("exhaustive optimum:        aborted at %d states (raise -states)\n", a.States)
+		default:
+			fmt.Printf("exhaustive optimum:        > %d agents (none feasible up to -maxteam)\n", *maxTeam)
+		}
+	} else {
+		fmt.Println("exhaustive optimum:        graph too large for exhaustive search")
+	}
+
+	ls, _, _ := levelsweep.Run(g, *home)
+	fmt.Printf("level-sweep strategy:      %d agents, %d moves, captured=%v\n",
+		ls.TeamSize, ls.TotalMoves, ls.Captured)
+	gr, _, _ := greedy.Run(g, *home)
+	fmt.Printf("greedy strategy:           %d agents, %d moves, captured=%v\n",
+		gr.TeamSize, gr.TotalMoves, gr.Captured)
+
+	if *pareto && g.Order() <= 26 {
+		fmt.Println("\nmoves-versus-team frontier:")
+		for _, a := range optimal.Pareto(g, *home, *maxTeam, optimal.Limits{MaxStates: *cap}) {
+			switch {
+			case a.Aborted:
+				fmt.Printf("  team %2d: aborted at %d states\n", a.Team, a.States)
+			case a.Feasible:
+				fmt.Printf("  team %2d: %d moves\n", a.Team, a.Moves)
+			default:
+				fmt.Printf("  team %2d: infeasible\n", a.Team)
+			}
+		}
+	}
+}

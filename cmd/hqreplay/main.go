@@ -1,0 +1,97 @@
+// Command hqreplay verifies a recorded search trace (as written by
+// `hqsearch -trace`) by replaying it against a fresh board, reporting
+// the final invariants, and optionally printing the state evolution.
+//
+// Usage:
+//
+//	hqsearch -strategy clean -d 5 -trace run.json
+//	hqreplay -g hypercube:5 run.json
+//	hqreplay -g hypercube:5 -steps run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypersearch/internal/board"
+	"hypersearch/internal/topologies"
+	"hypersearch/internal/trace"
+)
+
+func main() {
+	var (
+		spec  = flag.String("g", "hypercube:6", "topology the trace was recorded on")
+		home  = flag.Int("home", 0, "homebase vertex")
+		steps = flag.Bool("steps", false, "print contamination counts as the replay progresses")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hqreplay [-g SPEC] [-steps] TRACE.json")
+		os.Exit(2)
+	}
+
+	g, err := topologies.Parse(*spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqreplay:", err)
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqreplay:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	log, err := trace.ReadJSON(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqreplay:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("replaying %d events on %s...\n", log.Len(), *spec)
+
+	if *steps {
+		replayVerbose(g, *home, log)
+		return
+	}
+	b, err := log.Replay(g, *home)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqreplay:", err)
+		os.Exit(1)
+	}
+	report(b)
+}
+
+func replayVerbose(g interface {
+	Order() int
+	Neighbours(int) []int
+}, home int, log *trace.Log) {
+	b := board.New(g, home)
+	ids := map[int]int{}
+	last := -1
+	for _, e := range log.Events() {
+		switch e.Kind {
+		case trace.Place:
+			ids[e.Agent] = b.Place(e.Time)
+		case trace.Clone:
+			ids[e.Agent] = b.Clone(e.To, e.Time)
+		case trace.Move:
+			b.Move(ids[e.Agent], e.To, e.Time)
+		case trace.Terminate:
+			b.Terminate(ids[e.Agent], e.Time)
+		}
+		if c := b.ContaminatedCount(); c != last {
+			fmt.Printf("t=%-6d contaminated=%d\n", e.Time, c)
+			last = c
+		}
+	}
+	report(b)
+}
+
+func report(b *board.Board) {
+	fmt.Printf("captured=%v monotone=%v contiguous=%v moves=%d agents=%d recontaminations=%d\n",
+		b.AllClean(), b.MonotoneViolations() == 0, b.Contiguous(),
+		b.Moves(), b.Agents(), b.Recontaminations())
+	if !b.AllClean() || b.MonotoneViolations() != 0 {
+		os.Exit(1)
+	}
+}

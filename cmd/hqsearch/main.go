@@ -1,0 +1,76 @@
+// Command hqsearch runs one intruder-capture search on a hypercube and
+// prints its cost and correctness summary.
+//
+// Usage:
+//
+//	hqsearch -strategy visibility -d 8
+//	hqsearch -strategy clean -d 6 -async 9 -seed 3 -states
+//	hqsearch -strategy visibility -d 6 -engine goroutines -async 50
+//	hqsearch -strategy clean -d 5 -trace run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hypersearch/internal/core"
+	"hypersearch/internal/viz"
+)
+
+func main() {
+	var (
+		strat  = flag.String("strategy", core.Visibility, "strategy: "+strings.Join(core.Strategies(), ", "))
+		dim    = flag.Int("d", 6, "hypercube dimension (n = 2^d)")
+		engine = flag.String("engine", core.EngineDES, "engine: des, goroutines, or network")
+		seed   = flag.Int64("seed", 0, "adversarial scheduler seed")
+		async  = flag.Int64("async", 0, "max per-move latency (0 = unit latency / ideal time)")
+		convoy = flag.Int("convoy", 1, "team size for the naive-convoy baseline")
+		check  = flag.Bool("check", false, "verify contiguity after every move (slow)")
+		states = flag.Bool("states", false, "print the final per-level state map")
+		order  = flag.Bool("order", false, "print the per-node cleaning order")
+		trace  = flag.String("trace", "", "write the run trace as JSON to this file")
+	)
+	flag.Parse()
+
+	spec := core.Spec{
+		Strategy:           *strat,
+		Dim:                *dim,
+		Engine:             *engine,
+		Seed:               *seed,
+		AdversarialLatency: *async,
+		ConvoyTeam:         *convoy,
+		CheckEveryMove:     *check,
+		Record:             *trace != "" || *order,
+	}
+	res, env, err := core.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqsearch:", err)
+		os.Exit(2)
+	}
+	fmt.Println(res)
+	if !res.Ok() && !strings.HasPrefix(*strat, "naive") {
+		fmt.Fprintln(os.Stderr, "hqsearch: run violated the search invariants")
+		defer os.Exit(1)
+	}
+	if env != nil && *states {
+		fmt.Print(viz.States(env.H, env.B))
+	}
+	if env != nil && *order {
+		fmt.Print(viz.CleanOrder(env.H, env.B, false))
+	}
+	if env != nil && *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hqsearch:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := env.Log().WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hqsearch:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", *trace, env.Log().Len())
+	}
+}

@@ -1,0 +1,63 @@
+// Async agents: the asynchronous model made literal. Every agent is a
+// goroutine; a randomized scheduler injects latency before every move;
+// whiteboards (mutex-guarded per-node storage) coordinate the team,
+// including the CAS election of the synchronizer. Repeats both
+// strategies over several seeds to show schedule-independence of the
+// guarantees.
+//
+//	go run ./examples/asyncagents
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypersearch/internal/core"
+)
+
+func main() {
+	const d = 6
+	fmt.Printf("H_%d, goroutine engine, adversarial sleeps up to 50us per move\n\n", d)
+	for _, name := range []string{core.Clean, core.Visibility} {
+		fmt.Printf("%s:\n", name)
+		for seed := int64(1); seed <= 5; seed++ {
+			res, _, err := core.Run(core.Spec{
+				Strategy:           name,
+				Dim:                d,
+				Engine:             core.EngineGoroutines,
+				Seed:               seed,
+				AdversarialLatency: 50,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			status := "OK"
+			if !res.Ok() {
+				status = "VIOLATION"
+				defer log.Fatal("invariants violated under asynchrony")
+			}
+			fmt.Printf("  seed %d: %3d agents, %4d moves, recontaminations=%d  [%s]\n",
+				seed, res.TeamSize, res.TotalMoves, res.Recontaminations, status)
+		}
+	}
+	fmt.Printf("\nAnd with no shared memory at all (network engine, H_%d):\n", d)
+	for _, name := range []string{core.Clean, core.Visibility} {
+		res, _, err := core.Run(core.Spec{
+			Strategy:           name,
+			Dim:                d,
+			Engine:             core.EngineNetwork,
+			Seed:               1,
+			AdversarialLatency: 50,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Ok() {
+			log.Fatal("invariants violated on the network engine")
+		}
+		fmt.Printf("  %-11s %3d agents migrated as messages, %4d moves, captured=%v\n",
+			name+":", res.TeamSize, res.TotalMoves, res.Captured)
+	}
+	fmt.Println("\nEvery schedule captures the intruder with zero recontamination:")
+	fmt.Println("the strategies' waiting conditions are monotone, so asynchrony is harmless.")
+}

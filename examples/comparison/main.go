@@ -1,0 +1,34 @@
+// Comparison: the paper's trade-off table, live. Sweeps every strategy
+// (and the oblivious baseline) across hypercube sizes and prints who
+// wins on agents, time, and traffic.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypersearch/internal/core"
+	"hypersearch/internal/metrics"
+)
+
+func main() {
+	table := metrics.NewTable("d", "n", "strategy", "agents", "moves", "steps", "captured")
+	for d := 3; d <= 9; d++ {
+		for _, name := range []string{core.Clean, core.Visibility, core.Cloning, core.NaiveDFS} {
+			res, _, err := core.Run(core.Spec{Strategy: name, Dim: d})
+			if err != nil {
+				log.Fatal(err)
+			}
+			table.AddRow(d, res.Nodes, name, res.TeamSize, res.TotalMoves, res.Makespan, res.Captured)
+		}
+	}
+	fmt.Print(table.Markdown())
+	fmt.Println()
+	fmt.Println("Reading the table:")
+	fmt.Println("  - clean      captures with the fewest agents but pays O(n log n) steps;")
+	fmt.Println("  - visibility captures in exactly log n steps with n/2 agents;")
+	fmt.Println("  - cloning    cuts traffic to n-1 moves at the same speed;")
+	fmt.Println("  - naive-dfs  visits every host yet never captures: coverage is not capture.")
+}

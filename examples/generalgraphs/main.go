@@ -1,0 +1,84 @@
+// General graphs: the contiguous-search toolkit beyond the hypercube.
+// Runs the topology-generic strategies (level sweep, frontier greedy)
+// over the catalog — mesh, torus, ring, complete graph, random — and,
+// where the instance is small enough, shows the exact optimum and the
+// isoperimetric lower bound next to them.
+//
+//	go run ./examples/generalgraphs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypersearch/internal/graph"
+	"hypersearch/internal/isoperimetry"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/strategy/greedy"
+	"hypersearch/internal/strategy/levelsweep"
+	"hypersearch/internal/strategy/meshsweep"
+	"hypersearch/internal/strategy/optimal"
+	"hypersearch/internal/strategy/torussweep"
+	"hypersearch/internal/topologies"
+	"hypersearch/internal/viz"
+)
+
+func main() {
+	specs := []string{
+		"mesh:4x4", "torus:4x4", "ring:12", "complete:8",
+		"star:9", "random:14:5:7", "hypercube:4", "ccc:3", "butterfly:2",
+	}
+	table := metrics.NewTable("topology", "n", "lower bound", "optimal", "greedy", "level-sweep", "greedy moves")
+	for _, spec := range specs {
+		g, err := topologies.Parse(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb, opt := "-", "-"
+		if g.Order() <= 16 {
+			lb = fmt.Sprint(isoperimetry.ExactMonotoneLowerBound(g))
+			if a := optimal.MinimalTeam(g, 0, 12, optimal.Limits{}); a.Feasible {
+				opt = fmt.Sprint(a.Team)
+			}
+		}
+		gr, _, _ := greedy.Run(g, 0)
+		ls, _, _ := levelsweep.Run(g, 0)
+		if !gr.Ok() || !ls.Ok() {
+			log.Fatalf("%s: a strategy violated the invariants", spec)
+		}
+		table.AddRow(spec, g.Order(), lb, opt, gr.TeamSize, ls.TeamSize, gr.TotalMoves)
+	}
+	fmt.Println("Contiguous monotone search across topologies (agents needed):")
+	fmt.Print(table.Markdown())
+	fmt.Println()
+	fmt.Println("The greedy frontier heuristic matches the exhaustive optimum on every")
+	fmt.Println("small instance above; the level sweep pays for its generality with the")
+	fmt.Println("width of two consecutive BFS levels.")
+	dedicatedSweeps()
+	sanityComplete()
+}
+
+// dedicatedSweeps shows the structure-aware mesh and torus strategies
+// with a grid snapshot of the finished board.
+func dedicatedSweeps() {
+	mr, mb, _ := meshsweep.Run(4, 7)
+	tr, _, _ := torussweep.Run(4, 7)
+	fmt.Println("\nDedicated sweeps (4x7):")
+	fmt.Printf("  mesh-sweep:  %d agents (= min side), %d moves, captured=%v\n",
+		mr.TeamSize, mr.TotalMoves, mr.Captured)
+	fmt.Printf("  torus-sweep: %d agents (= 2*min side), %d moves, captured=%v\n",
+		tr.TeamSize, tr.TotalMoves, tr.Captured)
+	fmt.Println("\nFinal mesh board (G = terminated rank on the last column):")
+	fmt.Print(viz.Grid(mb, 4, 7))
+}
+
+// sanityComplete spells out the K_n intuition: everything is adjacent
+// to everything, so the frontier is the whole clean set and n-1 agents
+// are necessary and sufficient.
+func sanityComplete() {
+	g := topologies.Complete(8)
+	lb := isoperimetry.ExactMonotoneLowerBound(graph.Graph(g))
+	gr, _, _ := greedy.Run(g, 0)
+	fmt.Printf("\nK_8: lower bound %d, greedy uses %d — on complete graphs there is no\n", lb, gr.TeamSize)
+	fmt.Println("geometry to exploit and nearly every host must be guarded at once.")
+}

@@ -1,0 +1,39 @@
+// Quickstart: run the paper's two strategies on a 6-dimensional
+// hypercube and print what they cost.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypersearch/internal/core"
+)
+
+func main() {
+	// Algorithm 1: a synchronizer agent coordinates a small team.
+	clean, _, err := core.Run(core.Spec{Strategy: core.Clean, Dim: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Algorithm 2: agents see their neighbours' states and act locally.
+	vis, _, err := core.Run(core.Spec{Strategy: core.Visibility, Dim: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Capturing an intruder in H_6 (64 nodes):")
+	fmt.Printf("  coordinated CLEAN:      %2d agents, %4d moves, %4d steps\n",
+		clean.TeamSize, clean.TotalMoves, clean.Makespan)
+	fmt.Printf("  CLEAN WITH VISIBILITY:  %2d agents, %4d moves, %4d steps\n",
+		vis.TeamSize, vis.TotalMoves, vis.Makespan)
+	fmt.Println()
+	fmt.Println("The paper's trade-off: the coordinated strategy needs fewer agents;")
+	fmt.Println("the visibility strategy finishes in log n steps instead of O(n log n).")
+
+	if !clean.Ok() || !vis.Ok() {
+		log.Fatal("a run violated the search invariants")
+	}
+	fmt.Println("Both runs: intruder captured, no recontamination, clean region stayed connected.")
+}

@@ -1,0 +1,3 @@
+module hypersearch
+
+go 1.22

@@ -1,0 +1,33 @@
+package bits
+
+import "testing"
+
+func BenchmarkMsb(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += Msb(Node(i) & 0xFFFFF)
+	}
+	_ = sink
+}
+
+func BenchmarkNeighbours(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Neighbours(Node(i)&0xFFFF, 16)
+	}
+}
+
+func BenchmarkHammingPath(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		p := HammingPath(Node(i)&0xFFFF, Node(i*7)&0xFFFF, 16)
+		sink += len(p)
+	}
+	_ = sink
+}
+
+func BenchmarkNodesAtLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NodesAtLevel(16, 8)
+	}
+}

@@ -1,0 +1,364 @@
+// Package board implements the node-search state machine of the
+// contiguous, monotone model: node states (contaminated / guarded /
+// clean), agent positions, atomic moves along edges, and the
+// worst-case intruder as an instantaneous contamination closure.
+//
+// Semantics (Section 2 of the paper, operationalized):
+//
+//   - A node is guarded while at least one agent stands on it.
+//   - Visiting a node removes it from the contaminated set.
+//   - The intruder is arbitrarily fast and omniscient, so after every
+//     action contamination spreads instantaneously through every
+//     unguarded node: an unguarded decontaminated node adjacent to a
+//     contaminated node is recontaminated, transitively. After this
+//     fixpoint, every unguarded decontaminated node has all neighbours
+//     decontaminated — exactly the paper's recursive definition of
+//     "clean".
+//   - A *monotonicity violation* is a recontamination of a node that
+//     had been stably clean (unguarded and decontaminated after a
+//     fixpoint). Transit of an agent through contaminated territory
+//     does not create clean nodes and therefore cannot violate
+//     monotonicity.
+//
+// Moves are atomic: an agent occupies the source until the move
+// completes and the destination from that instant on, matching the
+// standard graph-search action model (there is no intermediate state
+// with the agent on neither endpoint).
+package board
+
+import (
+	"fmt"
+
+	"hypersearch/internal/graph"
+)
+
+// State is the paper's node state.
+type State uint8
+
+// The three node states of Section 2.
+const (
+	Contaminated State = iota
+	Guarded
+	Clean
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Contaminated:
+		return "contaminated"
+	case Guarded:
+		return "guarded"
+	case Clean:
+		return "clean"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Board is the search state over a graph. Construct with New. Board is
+// not safe for concurrent use; the goroutine runtime serializes access.
+type Board struct {
+	g         graph.Graph
+	home      int
+	pos       []int // agent id -> node; -1 once terminated
+	count     []int // node -> number of agents standing on it
+	decon     []bool
+	everClean []bool
+
+	away     int // agents on nodes other than home
+	peakAway int
+
+	moves            int64
+	recontaminations int64 // nodes recontaminated, total (with multiplicity)
+	violations       int64 // recontaminations of stably-clean nodes
+
+	cleanSeq    int     // next clean-order index
+	cleanOrder  []int   // node -> order in which it settled (-1 if not yet)
+	cleanTime   []int64 // node -> time at which it settled (-1 if not yet)
+	currentTime int64
+}
+
+// New creates a board over g with all nodes contaminated except the
+// homebase, which starts decontaminated (agents are placed there).
+func New(g graph.Graph, home int) *Board {
+	n := g.Order()
+	if home < 0 || home >= n {
+		panic(fmt.Sprintf("board: homebase %d out of range [0,%d)", home, n))
+	}
+	b := &Board{
+		g:          g,
+		home:       home,
+		count:      make([]int, n),
+		decon:      make([]bool, n),
+		everClean:  make([]bool, n),
+		cleanOrder: make([]int, n),
+		cleanTime:  make([]int64, n),
+	}
+	for i := range b.cleanOrder {
+		b.cleanOrder[i] = -1
+		b.cleanTime[i] = -1
+	}
+	b.decon[home] = true
+	return b
+}
+
+// Graph returns the underlying topology.
+func (b *Board) Graph() graph.Graph { return b.g }
+
+// Home returns the homebase node.
+func (b *Board) Home() int { return b.home }
+
+// Agents returns the number of agents created so far (placed or cloned),
+// including terminated ones.
+func (b *Board) Agents() int { return len(b.pos) }
+
+// Place creates a new agent on the homebase and returns its id. The
+// contiguous model forbids placing agents anywhere else.
+func (b *Board) Place(at int64) int {
+	b.advance(at)
+	id := len(b.pos)
+	b.pos = append(b.pos, b.home)
+	b.count[b.home]++
+	return id
+}
+
+// Clone creates a new agent on node v, which must currently hold at
+// least one agent (a clone is a copy of an agent standing there).
+// Returns the new agent's id.
+func (b *Board) Clone(v int, at int64) int {
+	b.advance(at)
+	if b.count[v] == 0 {
+		panic(fmt.Sprintf("board: cannot clone on unguarded node %d", v))
+	}
+	id := len(b.pos)
+	b.pos = append(b.pos, v)
+	b.count[v]++
+	if v != b.home {
+		b.away++
+		if b.away > b.peakAway {
+			b.peakAway = b.away
+		}
+	}
+	return id
+}
+
+// Move atomically moves agent id along the edge from its current node
+// to the neighbouring node `to` at time `at`, then lets contamination
+// spread. It panics on a non-edge, an unknown agent, or a terminated
+// agent.
+func (b *Board) Move(id, to int, at int64) {
+	b.advance(at)
+	from := b.agentPos(id)
+	if !b.adjacent(from, to) {
+		panic(fmt.Sprintf("board: agent %d move %d->%d is not an edge", id, from, to))
+	}
+	b.pos[id] = to
+	b.count[from]--
+	b.count[to]++
+	b.moves++
+	if from != b.home {
+		b.away--
+	}
+	if to != b.home {
+		b.away++
+		if b.away > b.peakAway {
+			b.peakAway = b.away
+		}
+	}
+	// Arrival decontaminates the destination.
+	b.decon[to] = true
+	// Departure may expose the source.
+	if b.count[from] == 0 {
+		b.expose(from)
+	}
+}
+
+// Terminate marks agent id as permanently passive. The agent remains
+// on its node as a guard (agents cannot be removed from the network in
+// the contiguous model); terminating settles the node for clean-order
+// accounting if the whole board is otherwise quiescent there.
+func (b *Board) Terminate(id int, at int64) {
+	b.advance(at)
+	v := b.agentPos(id)
+	b.pos[id] = -1 - v // encode terminated-at-v as negative
+	b.settle(v)
+}
+
+// agentPos returns the node agent id currently stands on, panicking on
+// bad ids or terminated agents.
+func (b *Board) agentPos(id int) int {
+	if id < 0 || id >= len(b.pos) {
+		panic(fmt.Sprintf("board: unknown agent %d", id))
+	}
+	p := b.pos[id]
+	if p < 0 {
+		panic(fmt.Sprintf("board: agent %d already terminated", id))
+	}
+	return p
+}
+
+func (b *Board) adjacent(u, v int) bool {
+	for _, w := range b.g.Neighbours(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// advance moves the board clock forward; time may repeat but must not
+// run backwards (events are applied in order).
+func (b *Board) advance(at int64) {
+	if at < b.currentTime {
+		panic(fmt.Sprintf("board: time moved backwards (%d -> %d)", b.currentTime, at))
+	}
+	b.currentTime = at
+}
+
+// expose handles node u becoming unguarded: if any neighbour is
+// contaminated, contamination floods u and everything reachable from u
+// through unguarded decontaminated nodes; otherwise u settles as clean.
+func (b *Board) expose(u int) {
+	if !b.decon[u] {
+		return
+	}
+	spread := false
+	for _, w := range b.g.Neighbours(u) {
+		if !b.decon[w] {
+			spread = true
+			break
+		}
+	}
+	if !spread {
+		b.settle(u)
+		return
+	}
+	// Flood: u and transitively every unguarded decontaminated node.
+	queue := []int{u}
+	b.recontaminate(u)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range b.g.Neighbours(v) {
+			if b.decon[w] && b.count[w] == 0 {
+				b.recontaminate(w)
+				queue = append(queue, w)
+			}
+		}
+	}
+}
+
+func (b *Board) recontaminate(v int) {
+	b.decon[v] = false
+	b.recontaminations++
+	if b.everClean[v] {
+		b.violations++
+	}
+	// A recontaminated node loses its settled status.
+	b.everClean[v] = false
+	b.cleanOrder[v] = -1
+	b.cleanTime[v] = -1
+}
+
+// settle records that v is stably clean (or finally guarded by a
+// terminated agent) for clean-order accounting.
+func (b *Board) settle(v int) {
+	if b.cleanOrder[v] >= 0 {
+		return
+	}
+	b.everClean[v] = b.count[v] == 0
+	b.cleanOrder[v] = b.cleanSeq
+	b.cleanSeq++
+	b.cleanTime[v] = b.currentTime
+}
+
+// StateOf returns the paper-state of node v.
+func (b *Board) StateOf(v int) State {
+	switch {
+	case b.count[v] > 0:
+		return Guarded
+	case b.decon[v]:
+		return Clean
+	default:
+		return Contaminated
+	}
+}
+
+// AgentsOn returns the number of agents currently standing on v.
+func (b *Board) AgentsOn(v int) int { return b.count[v] }
+
+// Position returns the node agent id stands on and whether it is still
+// active (false once terminated).
+func (b *Board) Position(id int) (int, bool) {
+	if id < 0 || id >= len(b.pos) {
+		panic(fmt.Sprintf("board: unknown agent %d", id))
+	}
+	if b.pos[id] < 0 {
+		return -1 - b.pos[id], false
+	}
+	return b.pos[id], true
+}
+
+// ContaminatedCount returns the number of contaminated nodes.
+func (b *Board) ContaminatedCount() int {
+	n := 0
+	for _, ok := range b.decon {
+		if !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// AllClean reports whether every node is decontaminated — the capture
+// condition: no contaminated node remains for the intruder.
+func (b *Board) AllClean() bool {
+	for _, ok := range b.decon {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Moves returns the total number of agent moves so far.
+func (b *Board) Moves() int64 { return b.moves }
+
+// Recontaminations returns the total number of node recontaminations.
+func (b *Board) Recontaminations() int64 { return b.recontaminations }
+
+// MonotoneViolations returns the number of recontaminations of stably
+// clean nodes; a correct contiguous monotone strategy keeps this zero.
+func (b *Board) MonotoneViolations() int64 { return b.violations }
+
+// PeakAway returns the maximum number of agents simultaneously away
+// from the homebase: the working-team requirement of the run.
+func (b *Board) PeakAway() int { return b.peakAway }
+
+// Now returns the current board clock.
+func (b *Board) Now() int64 { return b.currentTime }
+
+// CleanOrder returns, for node v, the order index in which it settled
+// (first stayed stably clean, or had an agent terminate on it), or -1.
+func (b *Board) CleanOrder(v int) int { return b.cleanOrder[v] }
+
+// CleanTime returns the board time at which node v settled, or -1.
+func (b *Board) CleanTime(v int) int64 { return b.cleanTime[v] }
+
+// Contiguous reports whether the decontaminated set (clean plus
+// guarded nodes) induces a connected subgraph — the defining constraint
+// of contiguous search. Cost: O(n + m).
+func (b *Board) Contiguous() bool {
+	return graph.SubsetConnected(b.g, b.decon)
+}
+
+// Snapshot returns a copy of the per-node states, for renderers and
+// tests.
+func (b *Board) Snapshot() []State {
+	out := make([]State, b.g.Order())
+	for v := range out {
+		out[v] = b.StateOf(v)
+	}
+	return out
+}

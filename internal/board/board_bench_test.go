@@ -1,0 +1,39 @@
+package board
+
+import (
+	"testing"
+
+	"hypersearch/internal/hypercube"
+)
+
+// BenchmarkMoveHotPath measures the incremental contamination
+// bookkeeping: a two-agent leapfrog along a long path (every move
+// triggers an exposure check, none floods).
+func BenchmarkMoveHotPath(b *testing.B) {
+	h := hypercube.New(10)
+	bd := New(h, 0)
+	a := bd.Place(0)
+	cur := 0
+	var t int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := h.Neighbours(cur)[i%10]
+		t++
+		bd.Move(a, next, t)
+		cur = next
+	}
+}
+
+// BenchmarkContiguityCheck measures the full O(n+m) connectivity scan
+// used by the every-move checking mode.
+func BenchmarkContiguityCheck(b *testing.B) {
+	h := hypercube.New(12)
+	bd := New(h, 0)
+	bd.Place(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !bd.Contiguous() {
+			b.Fatal("board should be contiguous")
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package combin_test
+
+import (
+	"fmt"
+
+	"hypersearch/internal/combin"
+)
+
+// The exact closed forms behind the paper's theorems.
+func Example() {
+	d := 6
+	fmt.Println("CLEAN team (Thm 2):      ", combin.CleanTeamSize(d))
+	fmt.Println("CLEAN agent moves (Thm 3):", combin.CleanAgentMoves(d))
+	fmt.Println("visibility team (Thm 5): ", combin.VisibilityAgents(d))
+	fmt.Println("visibility moves (Thm 8):", combin.VisibilityMoves(d))
+	fmt.Println("cloning moves (S5):      ", combin.CloningMoves(d))
+	// Output:
+	// CLEAN team (Thm 2):       26
+	// CLEAN agent moves (Thm 3): 224
+	// visibility team (Thm 5):  32
+	// visibility moves (Thm 8): 112
+	// cloning moves (S5):       63
+}

@@ -1,0 +1,149 @@
+// Package core is the public face of the library: a single-call API
+// over the paper's strategies (and the baselines), the two execution
+// engines (deterministic discrete-event simulation and real goroutine
+// concurrency), and the cost/correctness summary they produce.
+//
+// Typical use:
+//
+//	res, env, err := core.Run(core.Spec{Strategy: core.Visibility, Dim: 8})
+//	fmt.Println(res)                 // agents, moves, time, invariants
+//	fmt.Print(viz.CleanOrder(env.H, env.B, true))
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/netsim"
+	"hypersearch/internal/runtime"
+	"hypersearch/internal/strategy"
+	"hypersearch/internal/strategy/cloning"
+	"hypersearch/internal/strategy/coordinated"
+	"hypersearch/internal/strategy/naive"
+	"hypersearch/internal/strategy/synchronous"
+	"hypersearch/internal/strategy/visibility"
+)
+
+// Strategy names accepted by Spec.Strategy.
+const (
+	Clean       = coordinated.Name // Algorithm 1: synchronizer-coordinated
+	Visibility  = visibility.Name  // Algorithm 2: local rule with neighbour visibility
+	Cloning     = cloning.Name     // Section 5 cloning variant
+	Synchronous = synchronous.Name // Section 5 synchronous variant
+	NaiveDFS    = naive.DFSName    // oblivious single-agent sweep (baseline)
+	NaiveConvoy = naive.ConvoyName // oblivious convoy sweep (baseline)
+)
+
+// Engine names accepted by Spec.Engine.
+const (
+	EngineDES        = "des"        // deterministic discrete-event simulation (default)
+	EngineGoroutines = "goroutines" // one goroutine per agent, real preemption
+	EngineNetwork    = "network"    // message-passing hosts, 1-bit visibility beacons
+)
+
+// Spec describes one search run.
+type Spec struct {
+	Strategy string // which strategy; see the name constants
+	Dim      int    // hypercube dimension d (n = 2^d)
+	Engine   string // EngineDES (default) or EngineGoroutines
+
+	// Asynchrony: 0 runs the DES with unit latency (ideal time). A
+	// positive value runs the asynchronous adversary — per-move
+	// latencies uniform in [1, AdversarialLatency] on the DES, or
+	// random sleeps up to that many microseconds on goroutines.
+	AdversarialLatency int64
+	Seed               int64
+
+	ConvoyTeam     int  // team size for NaiveConvoy (default 1)
+	CheckEveryMove bool // verify contiguity after every move (O(n) each)
+	Record         bool // keep a structured trace (DES engine only)
+}
+
+// Strategies lists the registered strategy names.
+func Strategies() []string {
+	return []string{Clean, Visibility, Cloning, Synchronous, NaiveDFS, NaiveConvoy}
+}
+
+// Run executes the spec and returns the result summary. For DES runs
+// the returned Env exposes the topology, final board, and trace; for
+// goroutine runs Env is nil (the engine is real-time and keeps no
+// virtual clock).
+func Run(spec Spec) (metrics.Result, *strategy.Env, error) {
+	if spec.Dim < 0 {
+		return metrics.Result{}, nil, fmt.Errorf("core: negative dimension %d", spec.Dim)
+	}
+	switch spec.Engine {
+	case "", EngineDES:
+		return runDES(spec)
+	case EngineGoroutines:
+		return runGoroutines(spec)
+	case EngineNetwork:
+		cfg := netsim.Config{
+			Seed:       spec.Seed,
+			MaxLatency: time.Duration(spec.AdversarialLatency) * time.Microsecond,
+		}
+		switch spec.Strategy {
+		case Visibility:
+			return netsim.Run(spec.Dim, cfg).Result, nil, nil
+		case Clean:
+			return netsim.RunClean(spec.Dim, cfg).Result, nil, nil
+		case Cloning:
+			return netsim.RunCloning(spec.Dim, cfg).Result, nil, nil
+		default:
+			return metrics.Result{}, nil, fmt.Errorf("core: strategy %q has no network engine", spec.Strategy)
+		}
+	default:
+		return metrics.Result{}, nil, fmt.Errorf("core: unknown engine %q", spec.Engine)
+	}
+}
+
+func runDES(spec Spec) (metrics.Result, *strategy.Env, error) {
+	opts := strategy.Options{Record: spec.Record}
+	if spec.CheckEveryMove {
+		opts.Contiguity = strategy.CheckEveryMove
+	}
+	if spec.AdversarialLatency > 0 {
+		opts.Latency = strategy.NewAdversarial(spec.Seed, spec.AdversarialLatency)
+	}
+	var (
+		res metrics.Result
+		env *strategy.Env
+	)
+	switch spec.Strategy {
+	case Clean:
+		res, env = coordinated.Run(spec.Dim, opts)
+	case Visibility:
+		res, env = visibility.Run(spec.Dim, opts)
+	case Cloning:
+		res, env = cloning.Run(spec.Dim, opts)
+	case Synchronous:
+		res, env = synchronous.Run(spec.Dim, opts)
+	case NaiveDFS:
+		res, env = naive.RunDFS(spec.Dim, opts)
+	case NaiveConvoy:
+		team := spec.ConvoyTeam
+		if team < 1 {
+			team = 1
+		}
+		res, env = naive.RunConvoy(spec.Dim, team, opts)
+	default:
+		return metrics.Result{}, nil, fmt.Errorf("core: unknown strategy %q", spec.Strategy)
+	}
+	return res, env, nil
+}
+
+func runGoroutines(spec Spec) (metrics.Result, *strategy.Env, error) {
+	cfg := runtime.Config{
+		Seed:       spec.Seed,
+		MaxLatency: time.Duration(spec.AdversarialLatency) * time.Microsecond,
+	}
+	switch spec.Strategy {
+	case Clean:
+		return runtime.RunClean(spec.Dim, cfg), nil, nil
+	case Visibility:
+		return runtime.RunVisibility(spec.Dim, cfg), nil, nil
+	default:
+		return metrics.Result{}, nil, fmt.Errorf("core: strategy %q has no goroutine engine", spec.Strategy)
+	}
+}

@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+
+	"hypersearch/internal/core"
+)
+
+// The one-call API: run a strategy, read the costs.
+func ExampleRun() {
+	res, _, err := core.Run(core.Spec{Strategy: core.Visibility, Dim: 6})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("agents=%d moves=%d steps=%d captured=%v\n",
+		res.TeamSize, res.TotalMoves, res.Makespan, res.Captured)
+	// Output:
+	// agents=32 moves=112 steps=6 captured=true
+}
+
+// The asynchronous adversary: randomized per-move latencies change the
+// schedule but not the outcome.
+func ExampleRun_adversarial() {
+	res, _, err := core.Run(core.Spec{
+		Strategy:           core.Clean,
+		Dim:                5,
+		AdversarialLatency: 9,
+		Seed:               7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("agents=%d captured=%v monotone=%v\n",
+		res.TeamSize, res.Captured, res.MonotoneOK)
+	// Output:
+	// agents=15 captured=true monotone=true
+}
+
+// Strategy discovery for tools.
+func ExampleStrategies() {
+	for _, name := range core.Strategies() {
+		fmt.Println(name)
+	}
+	// Output:
+	// clean
+	// visibility
+	// cloning
+	// synchronous
+	// naive-dfs
+	// naive-convoy
+}

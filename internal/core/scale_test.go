@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"hypersearch/internal/combin"
+)
+
+// TestScaleVisibility drives the visibility strategy to kilonode
+// hypercubes on the discrete-event engine, checking the exact closed
+// forms hold at scale. Skipped under -short.
+func TestScaleVisibility(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	for _, d := range []int{12, 14} {
+		res, _, err := Run(Spec{Strategy: Visibility, Dim: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok() {
+			t.Fatalf("d=%d: %s", d, res.String())
+		}
+		if int64(res.TeamSize) != combin.VisibilityAgents(d) ||
+			res.TotalMoves != combin.VisibilityMoves(d) ||
+			res.Makespan != int64(d) {
+			t.Errorf("d=%d: %s", d, res.String())
+		}
+	}
+}
+
+// TestScaleClean drives the coordinated strategy to n = 4096.
+func TestScaleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	const d = 12
+	res, _, err := Run(Spec{Strategy: Clean, Dim: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("%s", res.String())
+	}
+	if int64(res.TeamSize) != combin.CleanTeamSize(d) {
+		t.Errorf("team %d", res.TeamSize)
+	}
+	if res.AgentMoves != combin.CleanAgentMoves(d)-int64(d) {
+		t.Errorf("agent moves %d", res.AgentMoves)
+	}
+	if res.Recontaminations != 0 {
+		t.Errorf("recontaminations %d", res.Recontaminations)
+	}
+}
+
+// TestScaleGoroutines runs a thousand-goroutine concurrent execution.
+func TestScaleGoroutines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	res, _, err := Run(Spec{Strategy: Visibility, Dim: 11, Engine: EngineGoroutines, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() || res.TotalMoves != combin.VisibilityMoves(11) {
+		t.Errorf("%s", res.String())
+	}
+}
+
+// TestScaleNetwork runs the message-passing engine with 1024 host
+// goroutines plus mailbox pumps.
+func TestScaleNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	res, _, err := Run(Spec{Strategy: Visibility, Dim: 10, Engine: EngineNetwork, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() || res.TotalMoves != combin.VisibilityMoves(10) {
+		t.Errorf("%s", res.String())
+	}
+	resc, _, err := Run(Spec{Strategy: Clean, Dim: 8, Engine: EngineNetwork, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resc.Ok() {
+		t.Errorf("%s", resc.String())
+	}
+}

@@ -1,0 +1,180 @@
+// Package des is a deterministic discrete-event simulation kernel for
+// asynchronous agent systems. Virtual time is an int64; events at equal
+// times fire in scheduling order, so runs are fully reproducible.
+//
+// Two programming styles are supported:
+//
+//   - Plain events: Schedule/After run a callback at a virtual time.
+//   - Processes: Spawn runs a function on its own goroutine that can
+//     block on Delay (virtual sleep) and on Signal.Await (condition
+//     wait). The kernel runs exactly one goroutine at a time and hands
+//     control back and forth synchronously, so process programs are as
+//     deterministic as callback programs while reading like straight
+//     sequential agent code — the natural style for the paper's
+//     synchronizer.
+//
+// The kernel is not safe for concurrent external use; all interaction
+// must happen from process goroutines or event callbacks.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Simulator is a discrete-event simulator. Construct with New.
+type Simulator struct {
+	now    int64
+	seq    int64
+	queue  eventHeap
+	parked int // processes blocked on signals (not time)
+}
+
+type event struct {
+	at  int64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// New returns an empty simulator at time 0.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() int64 { return s.now }
+
+// Schedule runs fn at virtual time at, which must not be in the past.
+func (s *Simulator) Schedule(at int64, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling into the past (%d < %d)", at, s.now))
+	}
+	heap.Push(&s.queue, event{at: at, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After runs fn delay time units from now; delay must be non-negative.
+func (s *Simulator) After(delay int64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %d", delay))
+	}
+	s.Schedule(s.now+delay, fn)
+}
+
+// Run processes events until the queue is empty, then returns the final
+// time. It panics if processes remain blocked on signals with no
+// pending event to wake them: a deadlocked simulation.
+func (s *Simulator) Run() int64 {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(event)
+		s.now = e.at
+		e.fn()
+	}
+	if s.parked > 0 {
+		panic(fmt.Sprintf("des: deadlock — %d process(es) blocked on signals with no pending events", s.parked))
+	}
+	return s.now
+}
+
+// Process is the handle a spawned process uses to interact with
+// virtual time. Its methods may only be called from that process's
+// goroutine.
+type Process struct {
+	sim    *Simulator
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+}
+
+// Spawn starts fn as a simulation process at the current time. The
+// process begins running when the kernel reaches its start event.
+func (s *Simulator) Spawn(name string, fn func(p *Process)) {
+	p := &Process{sim: s, name: name, resume: make(chan struct{}), yield: make(chan struct{})}
+	go func() {
+		<-p.resume
+		fn(p)
+		p.yield <- struct{}{}
+	}()
+	s.Schedule(s.now, func() { p.step() })
+}
+
+// step hands control to the process goroutine and waits for it to
+// block or finish.
+func (p *Process) step() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// block returns control to the kernel and waits to be resumed.
+func (p *Process) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name (for diagnostics).
+func (p *Process) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Process) Now() int64 { return p.sim.Now() }
+
+// Delay suspends the process for d time units (d >= 0).
+func (p *Process) Delay(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: process %s: negative delay %d", p.name, d))
+	}
+	p.sim.Schedule(p.sim.now+d, func() { p.step() })
+	p.block()
+}
+
+// Signal is a broadcast condition: processes Await it, and Fire wakes
+// every current waiter at the current virtual time. The zero value is
+// ready to use.
+type Signal struct {
+	waiters []*Process
+}
+
+// Await blocks the process until the signal next fires. Callers loop:
+//
+//	for !cond() { p.Await(sig) }
+func (p *Process) Await(sig *Signal) {
+	sig.waiters = append(sig.waiters, p)
+	p.sim.parked++
+	p.block()
+}
+
+// Fire wakes all waiters at the current time, in arrival order. It may
+// be called from event callbacks or processes.
+func (s *Simulator) Fire(sig *Signal) {
+	waiters := sig.waiters
+	sig.waiters = nil
+	for _, p := range waiters {
+		s.parked--
+		w := p
+		s.Schedule(s.now, func() { w.step() })
+	}
+}
+
+// AwaitCond blocks until cond() is true, re-checking every time sig
+// fires. It returns immediately if cond() already holds.
+func (p *Process) AwaitCond(sig *Signal, cond func() bool) {
+	for !cond() {
+		p.Await(sig)
+	}
+}

@@ -1,0 +1,247 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(5, func() { order = append(order, 5) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(3, func() { order = append(order, 3) })
+	end := s.Run()
+	if end != 5 {
+		t.Errorf("end time = %d", end)
+	}
+	want := []int{1, 3, 5}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(7, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	s := New()
+	var sawn int64
+	s.Schedule(10, func() {
+		s.After(5, func() { sawn = s.Now() })
+	})
+	s.Run()
+	if sawn != 15 {
+		t.Errorf("nested After fired at %d", sawn)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := New()
+	s.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		s.Schedule(5, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestProcessDelay(t *testing.T) {
+	s := New()
+	var marks []int64
+	s.Spawn("walker", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Delay(4)
+			marks = append(marks, p.Now())
+		}
+	})
+	end := s.Run()
+	if end != 12 || len(marks) != 3 || marks[0] != 4 || marks[2] != 12 {
+		t.Errorf("marks = %v end = %d", marks, end)
+	}
+}
+
+func TestTwoProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var log []string
+		s.Spawn("a", func(p *Process) {
+			for i := 0; i < 3; i++ {
+				p.Delay(2)
+				log = append(log, "a")
+			}
+		})
+		s.Spawn("b", func(p *Process) {
+			for i := 0; i < 2; i++ {
+				p.Delay(3)
+				log = append(log, "b")
+			}
+		})
+		s.Run()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 20; trial++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatal("nondeterministic length")
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, again)
+			}
+		}
+	}
+	// a fires at 2,4,6; b at 3,6; at t=6 a was scheduled... both at 6:
+	// a's third delay scheduled at t=4, b's second at t=3, so b first.
+	want := []string{"a", "b", "a", "b", "a"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("log = %v, want %v", first, want)
+		}
+	}
+}
+
+func TestSignalAwaitFire(t *testing.T) {
+	s := New()
+	var sig Signal
+	var got int64 = -1
+	s.Spawn("waiter", func(p *Process) {
+		p.Await(&sig)
+		got = p.Now()
+	})
+	s.Schedule(9, func() { s.Fire(&sig) })
+	s.Run()
+	if got != 9 {
+		t.Errorf("waiter woke at %d", got)
+	}
+}
+
+func TestAwaitCond(t *testing.T) {
+	s := New()
+	var sig Signal
+	counter := 0
+	var done int64 = -1
+	s.Spawn("consumer", func(p *Process) {
+		p.AwaitCond(&sig, func() bool { return counter >= 3 })
+		done = p.Now()
+	})
+	s.Spawn("producer", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Delay(5)
+			counter++
+			p.sim.Fire(&sig)
+		}
+	})
+	s.Run()
+	if done != 15 {
+		t.Errorf("consumer finished at %d", done)
+	}
+}
+
+func TestAwaitCondImmediate(t *testing.T) {
+	s := New()
+	var sig Signal
+	ran := false
+	s.Spawn("p", func(p *Process) {
+		p.AwaitCond(&sig, func() bool { return true })
+		ran = true
+	})
+	s.Run()
+	if !ran {
+		t.Error("immediate condition did not pass through")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := New()
+	var sig Signal
+	s.Spawn("stuck", func(p *Process) {
+		p.Await(&sig) // nobody fires
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("deadlock not detected")
+		}
+	}()
+	s.Run()
+}
+
+func TestManyProcessesBarrier(t *testing.T) {
+	// N workers wait on a barrier signal; a releaser fires it once all
+	// have arrived (counted), modelling the whiteboard-complement wait
+	// of the visibility strategy.
+	const n = 100
+	s := New()
+	var barrier, arrived Signal
+	count := 0
+	finished := 0
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn("w", func(p *Process) {
+			p.Delay(int64(i % 7)) // staggered arrivals
+			count++
+			s.Fire(&arrived)
+			p.AwaitCond(&barrier, func() bool { return count == n })
+			finished++
+		})
+	}
+	s.Spawn("releaser", func(p *Process) {
+		p.AwaitCond(&arrived, func() bool { return count == n })
+		s.Fire(&barrier)
+	})
+	s.Run()
+	if finished != n {
+		t.Errorf("finished = %d, want %d", finished, n)
+	}
+}
+
+func TestProcessName(t *testing.T) {
+	s := New()
+	s.Spawn("alice", func(p *Process) {
+		if p.Name() != "alice" {
+			t.Errorf("name = %q", p.Name())
+		}
+	})
+	s.Run()
+}
+
+func TestNegativeProcessDelayPanics(t *testing.T) {
+	s := New()
+	s.Spawn("bad", func(p *Process) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative Delay did not panic")
+			}
+			// Swallow so the goroutine exits cleanly.
+		}()
+		p.Delay(-2)
+	})
+	s.Run()
+}

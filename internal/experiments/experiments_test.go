@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportRender(t *testing.T) {
+	r := T5(4)
+	out := r.Render()
+	for _, want := range []string{"## T5", "Paper claim", "Verdict", "| d "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTheoremReportsReproduce(t *testing.T) {
+	const maxD = 7
+	for _, rep := range []Report{T5(maxD), T7(maxD), T8(maxD), V1(maxD), V2(maxD)} {
+		if rep.Verdict != "REPRODUCED" {
+			t.Errorf("%s verdict = %q", rep.ID, rep.Verdict)
+		}
+		if rep.Table.Rows() == 0 {
+			t.Errorf("%s has no rows", rep.ID)
+		}
+	}
+}
+
+func TestT2Verdict(t *testing.T) {
+	rep := T2(7)
+	if !strings.Contains(rep.Verdict, "REPRODUCED") {
+		t.Errorf("T2 verdict = %q", rep.Verdict)
+	}
+	if rep.Table.Rows() != 6 {
+		t.Errorf("T2 rows = %d", rep.Table.Rows())
+	}
+}
+
+func TestT3T4HaveBoundedRatios(t *testing.T) {
+	for _, rep := range []Report{T3(7), T4(7)} {
+		if rep.Table.Rows() == 0 {
+			t.Errorf("%s empty", rep.ID)
+		}
+	}
+}
+
+func TestX2FindsKnownOptima(t *testing.T) {
+	rep := X2()
+	md := rep.Table.Markdown()
+	// H_4 -> 7 agents optimal vs 8 provisioned (exhaustively verified).
+	if !strings.Contains(md, "7") || !strings.Contains(md, "8") {
+		t.Errorf("unexpected X2 table:\n%s", md)
+	}
+	if rep.Table.Rows() != 4 {
+		t.Errorf("X2 rows = %d", rep.Table.Rows())
+	}
+}
+
+func TestX3AllSeedsSafe(t *testing.T) {
+	rep := X3(4)
+	if !strings.Contains(rep.Verdict, "REPRODUCED") {
+		t.Errorf("X3 verdict = %q", rep.Verdict)
+	}
+	md := rep.Table.Markdown()
+	if strings.Contains(md, "false") {
+		t.Errorf("X3 has failures:\n%s", md)
+	}
+}
+
+func TestX4ShowsBaselineFailure(t *testing.T) {
+	rep := X4(5)
+	md := rep.Table.Markdown()
+	if !strings.Contains(md, "false") {
+		t.Errorf("X4 should show failed captures:\n%s", md)
+	}
+	if !strings.Contains(md, "visibility") {
+		t.Errorf("X4 missing the working strategy:\n%s", md)
+	}
+}
+
+func TestX5ShowsChordBreakage(t *testing.T) {
+	rep := X5(5)
+	md := rep.Table.Markdown()
+	if !strings.Contains(md, "false") {
+		t.Errorf("X5 replay should break on the hypercube:\n%s", md)
+	}
+}
+
+func TestXIntruderCaptures(t *testing.T) {
+	rep := XIntruder(5, 3)
+	if rep.Verdict != "REPRODUCED" {
+		t.Errorf("intruder verdict = %q", rep.Verdict)
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 4 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	wants := []string{"Broadcast tree T(6)", "Cleaning order", "Classes C_i", "Cleaning schedule"}
+	for i, w := range wants {
+		if !strings.Contains(figs[i], w) {
+			t.Errorf("figure %d missing %q", i+1, w)
+		}
+	}
+}
+
+func TestX7LowerBound(t *testing.T) {
+	rep := X7(8)
+	if !strings.Contains(rep.Verdict, "FINDING") {
+		t.Errorf("X7 verdict = %q", rep.Verdict)
+	}
+	if rep.Table.Rows() != 7 {
+		t.Errorf("X7 rows = %d", rep.Table.Rows())
+	}
+}
+
+func TestX8GenericStrategies(t *testing.T) {
+	rep := X8(5)
+	if rep.Table.Rows() != 4 {
+		t.Errorf("X8 rows = %d", rep.Table.Rows())
+	}
+}
+
+func TestX9Netsim(t *testing.T) {
+	rep := X9(5, 3)
+	if rep.Verdict != "REPRODUCED" {
+		t.Errorf("X9 verdict = %q", rep.Verdict)
+	}
+	if strings.Contains(rep.Table.Markdown(), "false") {
+		t.Errorf("X9 has failures:\n%s", rep.Table.Markdown())
+	}
+}
+
+func TestX10Pareto(t *testing.T) {
+	rep := X10()
+	md := rep.Table.Markdown()
+	// H_3's frontier starts at team 4; H_4's at team 7.
+	if !strings.Contains(md, "H_3") || !strings.Contains(md, "H_4") {
+		t.Errorf("X10 table:\n%s", md)
+	}
+	if rep.Table.Rows() != 5+9 {
+		t.Errorf("X10 rows = %d", rep.Table.Rows())
+	}
+}
+
+func TestAllProducesEveryReport(t *testing.T) {
+	reps := All(5, 2)
+	if len(reps) != 18 {
+		t.Errorf("All produced %d reports", len(reps))
+	}
+	seen := map[string]bool{}
+	for _, r := range reps {
+		if seen[r.ID] {
+			t.Errorf("duplicate report %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Verdict == "MISMATCH" {
+			t.Errorf("%s mismatched", r.ID)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func path(n int) *Adjacency {
+	g := NewAdjacency(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycle(n int) *Adjacency {
+	g := path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+func TestAdjacencyBasics(t *testing.T) {
+	g := NewAdjacency(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.Order() != 4 || g.Size() != 2 {
+		t.Fatalf("order/size = %d/%d", g.Order(), g.Size())
+	}
+	if !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Error("HasEdge wrong")
+	}
+	if ns := g.Neighbours(1); len(ns) != 2 {
+		t.Errorf("neighbours of 1 = %v", ns)
+	}
+}
+
+func TestAdjacencyRejectsBadEdges(t *testing.T) {
+	g := NewAdjacency(3)
+	g.AddEdge(0, 1)
+	for _, bad := range []func(){
+		func() { g.AddEdge(0, 0) },
+		func() { g.AddEdge(0, 1) },
+		func() { g.AddEdge(0, 3) },
+		func() { g.AddEdge(-1, 0) },
+		func() { g.Neighbours(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad edge operation did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestNewAdjacencyNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative order did not panic")
+		}
+	}()
+	NewAdjacency(-1)
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := path(5)
+	dist := BFS(g, 0)
+	for i, d := range dist {
+		if d != i {
+			t.Errorf("dist[%d] = %d", i, d)
+		}
+	}
+	// Disconnected vertex.
+	g2 := NewAdjacency(3)
+	g2.AddEdge(0, 1)
+	dist2 := BFS(g2, 0)
+	if dist2[2] != -1 {
+		t.Errorf("unreachable vertex has dist %d", dist2[2])
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := cycle(6)
+	p := ShortestPath(g, 0, 3)
+	if len(p) != 4 {
+		t.Errorf("path = %v", p)
+	}
+	if p[0] != 0 || p[len(p)-1] != 3 {
+		t.Errorf("endpoints wrong: %v", p)
+	}
+	if q := ShortestPath(g, 2, 2); len(q) != 1 || q[0] != 2 {
+		t.Errorf("trivial path = %v", q)
+	}
+	g2 := NewAdjacency(2)
+	if ShortestPath(g2, 0, 1) != nil {
+		t.Error("unreachable path not nil")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !Connected(NewAdjacency(0)) || !Connected(NewAdjacency(1)) {
+		t.Error("trivial graphs should be connected")
+	}
+	if !Connected(cycle(5)) {
+		t.Error("cycle should be connected")
+	}
+	g := NewAdjacency(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if Connected(g) {
+		t.Error("two components reported connected")
+	}
+}
+
+func TestSubsetConnected(t *testing.T) {
+	g := path(6)
+	in := []bool{true, true, true, false, false, false}
+	if !SubsetConnected(g, in) {
+		t.Error("prefix of a path should be connected")
+	}
+	in = []bool{true, false, true, false, false, false}
+	if SubsetConnected(g, in) {
+		t.Error("gap should disconnect")
+	}
+	if !SubsetConnected(g, make([]bool, 6)) {
+		t.Error("empty subset should count as connected")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := path(7)
+	blocked := make([]bool, 7)
+	blocked[3] = true
+	seen := Reachable(g, []int{0}, blocked)
+	for v := 0; v <= 2; v++ {
+		if !seen[v] {
+			t.Errorf("vertex %d should be reachable", v)
+		}
+	}
+	for v := 3; v <= 6; v++ {
+		if seen[v] {
+			t.Errorf("vertex %d should be cut off", v)
+		}
+	}
+	// Blocked seed contributes nothing.
+	seen = Reachable(g, []int{3}, blocked)
+	for v := range seen {
+		if seen[v] {
+			t.Errorf("blocked seed leaked to %d", v)
+		}
+	}
+}
+
+func TestIsTree(t *testing.T) {
+	if !IsTree(path(5)) {
+		t.Error("path is a tree")
+	}
+	if IsTree(cycle(5)) {
+		t.Error("cycle is not a tree")
+	}
+	g := NewAdjacency(4)
+	g.AddEdge(0, 1)
+	if IsTree(g) {
+		t.Error("forest is not a (single) tree")
+	}
+}
+
+func TestDFSOrder(t *testing.T) {
+	g := NewAdjacency(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(1, 4)
+	got := DFSOrder(g, 0)
+	want := []int{0, 1, 3, 4, 2}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSizeWithoutSized(t *testing.T) {
+	// A Graph that does not implement Sized falls back to a scan.
+	g := anonymous{path(4)}
+	if Size(g) != 3 {
+		t.Errorf("Size = %d", Size(g))
+	}
+}
+
+// anonymous hides the Sized implementation of the wrapped graph.
+type anonymous struct{ g *Adjacency }
+
+func (a anonymous) Order() int             { return a.g.Order() }
+func (a anonymous) Neighbours(v int) []int { return a.g.Neighbours(v) }
+
+func TestRandomGraphInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		g := NewAdjacency(n)
+		// Random spanning tree plus chords: always connected.
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(perm[i], perm[rng.Intn(i)])
+		}
+		if !Connected(g) {
+			t.Fatal("spanning construction not connected")
+		}
+		dist := BFS(g, 0)
+		for v, dv := range dist {
+			if dv < 0 {
+				t.Fatalf("vertex %d unreachable in connected graph", v)
+			}
+			p := ShortestPath(g, 0, v)
+			if len(p)-1 != dv {
+				t.Fatalf("ShortestPath length %d != BFS dist %d", len(p)-1, dv)
+			}
+		}
+	}
+}
+
+func TestTreeConstruction(t *testing.T) {
+	//      0
+	//     / \
+	//    1   2
+	//   / \
+	//  3   4
+	parent := []int{0, 0, 0, 1, 1}
+	tr := MustTree(0, parent)
+	if tr.Order() != 5 || tr.Size() != 4 {
+		t.Fatal("order/size wrong")
+	}
+	if tr.Root() != 0 || tr.Parent(0) != -1 || tr.Parent(3) != 1 {
+		t.Error("root/parent wrong")
+	}
+	if !tr.IsLeaf(4) || tr.IsLeaf(1) {
+		t.Error("leaf classification wrong")
+	}
+	if tr.Depth(3) != 2 || tr.Depth(0) != 0 {
+		t.Error("depth wrong")
+	}
+	if tr.SubtreeSize(1) != 3 || tr.SubtreeSize(0) != 5 {
+		t.Error("subtree size wrong")
+	}
+	if tr.Height() != 2 {
+		t.Errorf("height = %d", tr.Height())
+	}
+	leaves := tr.Leaves()
+	if len(leaves) != 3 {
+		t.Errorf("leaves = %v", leaves)
+	}
+	if ns := tr.Neighbours(1); len(ns) != 3 || ns[0] != 0 {
+		t.Errorf("neighbours of 1 = %v", ns)
+	}
+	if !IsTree(tr) {
+		t.Error("Tree does not satisfy IsTree")
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	if _, err := NewTree(5, []int{0}); err == nil {
+		t.Error("root out of range accepted")
+	}
+	if _, err := NewTree(0, []int{1, 0}); err == nil {
+		t.Error("parent[root] != root accepted")
+	}
+	// parent[1] = 1 with root 0 leaves vertices 1..3 unreachable.
+	if _, err := NewTree(0, []int{0, 1, 1, 2}); err == nil {
+		t.Error("unreachable vertices accepted")
+	}
+	// 1 and 2 form a 2-cycle detached from the root.
+	if _, err := NewTree(0, []int{0, 2, 1}); err == nil {
+		t.Error("cycle accepted")
+	}
+	if _, err := NewTree(0, []int{0, 5}); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTree did not panic")
+		}
+	}()
+	MustTree(0, []int{1, 0})
+}

@@ -1,0 +1,153 @@
+package graph
+
+import "fmt"
+
+// Tree is a rooted tree over dense integer vertices, represented by a
+// parent array. It implements Graph (as the underlying undirected
+// tree) and adds rooted-tree queries used by the tree-search baseline
+// and by the broadcast-tree package.
+type Tree struct {
+	root     int
+	parent   []int // parent[root] == root
+	children [][]int
+}
+
+// NewTree builds a rooted tree from a parent array; parent[root] must
+// equal root and every other vertex's parent chain must reach the root.
+func NewTree(root int, parent []int) (*Tree, error) {
+	n := len(parent)
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("graph: root %d out of range [0,%d)", root, n)
+	}
+	if parent[root] != root {
+		return nil, fmt.Errorf("graph: parent[root] = %d, want %d", parent[root], root)
+	}
+	t := &Tree{root: root, parent: append([]int(nil), parent...), children: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		p := parent[v]
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("graph: parent[%d] = %d out of range", v, p)
+		}
+		if v != root {
+			t.children[p] = append(t.children[p], v)
+		}
+	}
+	// Verify every vertex reaches the root (no cycles, no forests).
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[root] = 0
+	queue := []int{root}
+	seen := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, c := range t.children[v] {
+			depth[c] = depth[v] + 1
+			seen++
+			queue = append(queue, c)
+		}
+	}
+	if seen != n {
+		return nil, fmt.Errorf("graph: parent array is not a single tree (%d of %d reachable)", seen, n)
+	}
+	return t, nil
+}
+
+// MustTree is NewTree that panics on error, for statically correct
+// construction sites.
+func MustTree(root int, parent []int) *Tree {
+	t, err := NewTree(root, parent)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Order implements Graph.
+func (t *Tree) Order() int { return len(t.parent) }
+
+// Size implements Sized: a tree has n-1 edges.
+func (t *Tree) Size() int { return len(t.parent) - 1 }
+
+// Neighbours implements Graph: the parent (if any) followed by the
+// children.
+func (t *Tree) Neighbours(v int) []int {
+	ns := make([]int, 0, len(t.children[v])+1)
+	if v != t.root {
+		ns = append(ns, t.parent[v])
+	}
+	return append(ns, t.children[v]...)
+}
+
+// Root returns the root vertex.
+func (t *Tree) Root() int { return t.root }
+
+// Parent returns the parent of v, or -1 for the root.
+func (t *Tree) Parent(v int) int {
+	if v == t.root {
+		return -1
+	}
+	return t.parent[v]
+}
+
+// Children returns the children of v in insertion order; callers must
+// not modify the slice.
+func (t *Tree) Children(v int) []int { return t.children[v] }
+
+// IsLeaf reports whether v has no children.
+func (t *Tree) IsLeaf(v int) bool { return len(t.children[v]) == 0 }
+
+// Depth returns the number of edges from the root to v.
+func (t *Tree) Depth(v int) int {
+	d := 0
+	for v != t.root {
+		v = t.parent[v]
+		d++
+	}
+	return d
+}
+
+// SubtreeSize returns the number of vertices in the subtree rooted at v
+// (including v).
+func (t *Tree) SubtreeSize(v int) int {
+	total := 1
+	for _, c := range t.children[v] {
+		total += t.SubtreeSize(c)
+	}
+	return total
+}
+
+// Leaves returns all leaves in preorder.
+func (t *Tree) Leaves() []int {
+	var out []int
+	var rec func(v int)
+	rec = func(v int) {
+		if t.IsLeaf(v) {
+			out = append(out, v)
+			return
+		}
+		for _, c := range t.children[v] {
+			rec(c)
+		}
+	}
+	rec(t.root)
+	return out
+}
+
+// Height returns the maximum depth over all vertices.
+func (t *Tree) Height() int {
+	best := 0
+	var rec func(v, d int)
+	rec = func(v, d int) {
+		if d > best {
+			best = d
+		}
+		for _, c := range t.children[v] {
+			rec(c, d+1)
+		}
+	}
+	rec(t.root, 0)
+	return best
+}

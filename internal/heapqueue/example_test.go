@@ -1,0 +1,33 @@
+package heapqueue_test
+
+import (
+	"fmt"
+
+	"hypersearch/internal/heapqueue"
+)
+
+// The broadcast tree is the paper's heap queue T(d): the root has d
+// children of types T(d-1)..T(0), recursively.
+func Example() {
+	bt := heapqueue.New(4)
+	fmt.Println("root type:", bt.Type(0))
+	for _, c := range bt.Children(0) {
+		fmt.Printf("child %04b: type T(%d), subtree size %d\n", c, bt.Type(c), bt.SubtreeSize(c))
+	}
+	fmt.Println("leaves:", len(bt.Leaves()))
+	// Output:
+	// root type: 4
+	// child 0001: type T(3), subtree size 8
+	// child 0010: type T(2), subtree size 4
+	// child 0100: type T(1), subtree size 2
+	// child 1000: type T(0), subtree size 1
+	// leaves: 8
+}
+
+// DispatchPlan is the visibility strategy's local split: a type-T(k)
+// node holds 2^(k-1) agents and forwards them to its children.
+func ExampleDispatchPlan() {
+	fmt.Println(heapqueue.AgentsRequired(4), heapqueue.DispatchPlan(4))
+	// Output:
+	// 8 [4 2 1 1]
+}

@@ -1,0 +1,134 @@
+// Package heapqueue implements the broadcast spanning tree of the
+// hypercube — a heap queue T(d) in the paper's terminology
+// (Definition 1) — together with the structural properties
+// (Properties 1-8) the two cleaning strategies rely on.
+//
+// The broadcast tree of H_d is rooted at node 00...0; node x is joined
+// to every node of the next level that differs from x in a position
+// higher than m(x) (the most significant bit of x). Equivalently: the
+// parent of x != 0 is x with its most significant bit cleared.
+package heapqueue
+
+import (
+	"fmt"
+
+	"hypersearch/internal/bits"
+	"hypersearch/internal/combin"
+	"hypersearch/internal/graph"
+)
+
+// Tree is the broadcast tree of H_d. It wraps a graph.Tree over the
+// hypercube's dense vertex indices and adds the paper's type and class
+// queries.
+type Tree struct {
+	d    int
+	tree *graph.Tree
+}
+
+// New builds the broadcast tree T(d) of H_d.
+func New(d int) *Tree {
+	bits.CheckDim(d)
+	if d > 24 {
+		panic(fmt.Sprintf("heapqueue: dimension %d too large to materialize", d))
+	}
+	n := 1 << d
+	parent := make([]int, n)
+	for v := 1; v < n; v++ {
+		parent[v] = int(bits.Parent(bits.Node(v)))
+	}
+	return &Tree{d: d, tree: graph.MustTree(0, parent)}
+}
+
+// Dim returns the hypercube dimension d; the root has type T(d).
+func (t *Tree) Dim() int { return t.d }
+
+// Graph returns the underlying rooted tree (over dense hypercube
+// vertex indices).
+func (t *Tree) Graph() *graph.Tree { return t.tree }
+
+// Order returns 2^d.
+func (t *Tree) Order() int { return t.tree.Order() }
+
+// Root returns the root vertex (always 0).
+func (t *Tree) Root() int { return 0 }
+
+// Parent returns the tree parent of v, or -1 for the root.
+func (t *Tree) Parent(v int) int { return t.tree.Parent(v) }
+
+// Children returns the tree children of v ordered by increasing edge
+// label (equivalently, by decreasing subtree type).
+func (t *Tree) Children(v int) []int { return t.tree.Children(v) }
+
+// Type returns k such that the subtree rooted at v is a heap queue of
+// type T(k): d - m(v).
+func (t *Tree) Type(v int) int { return bits.TreeType(bits.Node(v), t.d) }
+
+// IsLeaf reports whether v is a T(0) node.
+func (t *Tree) IsLeaf(v int) bool { return t.tree.IsLeaf(v) }
+
+// Depth returns the level of v (equal to its tree depth: the broadcast
+// tree is a BFS tree of the hypercube).
+func (t *Tree) Depth(v int) int { return bits.Level(bits.Node(v)) }
+
+// Leaves returns all T(0) nodes in preorder.
+func (t *Tree) Leaves() []int { return t.tree.Leaves() }
+
+// SubtreeSize returns the number of vertices under v (inclusive); for a
+// node of type T(k) this is 2^k.
+func (t *Tree) SubtreeSize(v int) int { return t.tree.SubtreeSize(v) }
+
+// AgentsRequired returns the agent complement a node of type T(k)
+// holds under Algorithm CLEAN WITH VISIBILITY: 2^(k-1) for k >= 1 and
+// 1 for a leaf (Theorem 5).
+func AgentsRequired(k int) int64 {
+	if k <= 0 {
+		return 1
+	}
+	return combin.Pow2(k - 1)
+}
+
+// DispatchPlan returns, for a node of type T(k), the number of agents
+// to send to each child ordered as Children() orders them (types
+// T(k-1), ..., T(1), T(0)): 2^(i-1) agents to the T(i) child and one
+// agent to the T(0) child. The plan sums to AgentsRequired(k) for
+// k >= 1 and is empty for leaves.
+func DispatchPlan(k int) []int64 {
+	if k <= 0 {
+		return nil
+	}
+	plan := make([]int64, k)
+	for idx := 0; idx < k; idx++ {
+		childType := k - 1 - idx
+		plan[idx] = AgentsRequired(childType)
+		if childType == 0 {
+			plan[idx] = 1
+		}
+	}
+	return plan
+}
+
+// PathFromRoot returns the tree path from the root to v, inclusive.
+func (t *Tree) PathFromRoot(v int) []int {
+	depth := t.Depth(v)
+	path := make([]int, depth+1)
+	for i := depth; i >= 0; i-- {
+		path[i] = v
+		if v != 0 {
+			v = t.Parent(v)
+		}
+	}
+	return path
+}
+
+// CountType returns the number of type-T(k) nodes at level l
+// (Property 1), computed from the tree itself; tests compare it with
+// the closed form in internal/combin.
+func (t *Tree) CountType(l, k int) int {
+	count := 0
+	for _, v := range bits.NodesAtLevel(t.d, l) {
+		if t.Type(int(v)) == k {
+			count++
+		}
+	}
+	return count
+}

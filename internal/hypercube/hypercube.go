@@ -1,0 +1,150 @@
+// Package hypercube implements the d-dimensional hypercube topology
+// H_d used by the paper: n = 2^d nodes, d*2^(d-1) edges, port labels
+// λ_x(x,y) equal to the position of the differing bit, the level
+// decomposition, and the class decomposition C_i of Section 4.
+//
+// Nodes are identified both by their bitstring (bits.Node) and by the
+// dense integer index used by internal/graph; for the hypercube these
+// coincide numerically, so the conversion is a cast.
+package hypercube
+
+import (
+	"fmt"
+
+	"hypersearch/internal/bits"
+	"hypersearch/internal/graph"
+)
+
+// Hypercube is the topology H_d. It implements graph.Graph. The zero
+// value is not usable; construct with New.
+type Hypercube struct {
+	d int
+	n int
+	// neighbours caches, per node, the d neighbours ordered by label.
+	// For the dimensions this repository simulates the cache is cheap
+	// (n*d ints) and makes the Graph interface allocation-free.
+	neighbours [][]int
+}
+
+// New returns the hypercube H_d. It panics for d outside [0, bits.MaxDim].
+func New(d int) *Hypercube {
+	bits.CheckDim(d)
+	if d > 24 {
+		// 2^24 * 24 ints is already ~3 GiB; refuse silly cache sizes.
+		panic(fmt.Sprintf("hypercube: dimension %d too large to materialize", d))
+	}
+	n := 1 << d
+	h := &Hypercube{d: d, n: n, neighbours: make([][]int, n)}
+	flat := make([]int, n*d)
+	for v := 0; v < n; v++ {
+		row := flat[v*d : (v+1)*d : (v+1)*d]
+		for i := 1; i <= d; i++ {
+			row[i-1] = int(bits.Flip(bits.Node(v), i))
+		}
+		h.neighbours[v] = row
+	}
+	return h
+}
+
+// Dim returns the dimension d.
+func (h *Hypercube) Dim() int { return h.d }
+
+// Order implements graph.Graph: 2^d nodes.
+func (h *Hypercube) Order() int { return h.n }
+
+// Size implements graph.Sized: d * 2^(d-1) edges.
+func (h *Hypercube) Size() int {
+	if h.d == 0 {
+		return 0
+	}
+	return h.d * (h.n / 2)
+}
+
+// Neighbours implements graph.Graph: the d neighbours of v ordered by
+// edge label 1..d. Callers must not modify the returned slice.
+func (h *Hypercube) Neighbours(v int) []int { return h.neighbours[v] }
+
+// Node converts a dense vertex index to its bitstring identifier.
+func (h *Hypercube) Node(v int) bits.Node { return bits.Node(v) }
+
+// Index converts a bitstring identifier to its dense vertex index.
+func (h *Hypercube) Index(x bits.Node) int { return int(x) }
+
+// Label returns the port label λ_v(v, w) of the edge between
+// neighbouring vertices v and w.
+func (h *Hypercube) Label(v, w int) int {
+	return bits.Label(bits.Node(v), bits.Node(w))
+}
+
+// Level returns the level of vertex v (number of one-bits).
+func (h *Hypercube) Level(v int) int { return bits.Level(bits.Node(v)) }
+
+// Class returns the class index i such that v is in C_i.
+func (h *Hypercube) Class(v int) int { return bits.Class(bits.Node(v)) }
+
+// SmallerNeighbours returns the neighbours of v with label <= m(v), as
+// dense indices ordered by label (Definition 2).
+func (h *Hypercube) SmallerNeighbours(v int) []int {
+	ns := bits.SmallerNeighbours(bits.Node(v), h.d)
+	out := make([]int, len(ns))
+	for i, x := range ns {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// BiggerNeighbours returns the neighbours of v with label > m(v): the
+// broadcast-tree children of v, as dense indices ordered by label.
+func (h *Hypercube) BiggerNeighbours(v int) []int {
+	ns := bits.BiggerNeighbours(bits.Node(v), h.d)
+	out := make([]int, len(ns))
+	for i, x := range ns {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// NodesAtLevel returns the dense indices of the level-l vertices in
+// increasing (lexicographic) order.
+func (h *Hypercube) NodesAtLevel(l int) []int {
+	ns := bits.NodesAtLevel(h.d, l)
+	out := make([]int, len(ns))
+	for i, x := range ns {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// NodesInClass returns the dense indices of class C_i in increasing
+// order.
+func (h *Hypercube) NodesInClass(i int) []int {
+	ns := bits.NodesInClass(h.d, i)
+	out := make([]int, len(ns))
+	for j, x := range ns {
+		out[j] = int(x)
+	}
+	return out
+}
+
+// ShortestPath returns a shortest hypercube path between vertices v and
+// w (inclusive), correcting low-position bits first and clearing before
+// setting, as the synchronizer's router does.
+func (h *Hypercube) ShortestPath(v, w int) []int {
+	p := bits.HammingPath(bits.Node(v), bits.Node(w), h.d)
+	out := make([]int, len(p))
+	for i, x := range p {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// Distance returns the hypercube (Hamming) distance between v and w.
+func (h *Hypercube) Distance(v, w int) int {
+	return bits.HammingDistance(bits.Node(v), bits.Node(w))
+}
+
+// String renders vertex v as a d-bit binary string.
+func (h *Hypercube) String(v int) string { return bits.String(bits.Node(v), h.d) }
+
+var _ graph.Graph = (*Hypercube)(nil)
+var _ graph.Sized = (*Hypercube)(nil)

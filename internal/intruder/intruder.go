@@ -1,0 +1,91 @@
+// Package intruder models the hostile agent being captured. The
+// worst-case adversary is already built into the board's contamination
+// closure (an arbitrarily fast, omniscient intruder can be anywhere in
+// the contaminated set); this package adds a concrete randomized
+// intruder token that moves inside that set, used by demos and by
+// property tests validating the closure model: the token is always
+// inside the closure, and it is caught exactly when the closure runs
+// dry.
+package intruder
+
+import (
+	"math/rand"
+
+	"hypersearch/internal/board"
+	"hypersearch/internal/graph"
+)
+
+// Intruder is a concrete intruder token on a board. It is adversarial
+// within its information: after every agent action it relocates, if
+// necessary, anywhere in the contaminated region (it moves arbitrarily
+// fast, so any contaminated node reachable through unguarded territory
+// is available — which is the whole contaminated set, by the closure's
+// construction).
+type Intruder struct {
+	g      graph.Graph
+	b      *board.Board
+	rng    *rand.Rand
+	at     int
+	caught bool
+	moves  int64
+}
+
+// New places an intruder on a uniformly random contaminated node. If
+// the board is already fully clean the intruder starts caught.
+func New(g graph.Graph, b *board.Board, seed int64) *Intruder {
+	in := &Intruder{g: g, b: b, rng: rand.New(rand.NewSource(seed)), at: -1}
+	in.relocate()
+	return in
+}
+
+// At returns the intruder's node, or -1 once caught.
+func (in *Intruder) At() int {
+	if in.caught {
+		return -1
+	}
+	return in.at
+}
+
+// Caught reports whether the intruder has been captured.
+func (in *Intruder) Caught() bool { return in.caught }
+
+// Moves returns how many times the intruder relocated.
+func (in *Intruder) Moves() int64 { return in.moves }
+
+// React updates the intruder after an agent action: if its node is no
+// longer contaminated (an agent arrived or the region was sealed), it
+// flees to a random contaminated node; if none exists, it is captured.
+func (in *Intruder) React() {
+	if in.caught {
+		return
+	}
+	if in.at >= 0 && in.b.StateOf(in.at) == board.Contaminated {
+		return // still safe where it is
+	}
+	in.relocate()
+}
+
+func (in *Intruder) relocate() {
+	options := make([]int, 0)
+	for v := 0; v < in.g.Order(); v++ {
+		if in.b.StateOf(v) == board.Contaminated {
+			options = append(options, v)
+		}
+	}
+	if len(options) == 0 {
+		in.caught = true
+		in.at = -1
+		return
+	}
+	next := options[in.rng.Intn(len(options))]
+	if next != in.at {
+		in.moves++
+	}
+	in.at = next
+}
+
+// InsideClosure reports whether the intruder is consistent with the
+// worst-case model: caught, or standing on a contaminated node.
+func (in *Intruder) InsideClosure() bool {
+	return in.caught || in.b.StateOf(in.at) == board.Contaminated
+}

@@ -1,0 +1,133 @@
+package intruder
+
+import (
+	"testing"
+
+	"hypersearch/internal/board"
+	"hypersearch/internal/graph"
+	"hypersearch/internal/hypercube"
+)
+
+func pathGraph(n int) graph.Graph {
+	g := graph.NewAdjacency(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestIntruderStartsContaminated(t *testing.T) {
+	g := pathGraph(5)
+	b := board.New(g, 0)
+	in := New(g, b, 1)
+	if in.Caught() {
+		t.Fatal("intruder caught before the search began")
+	}
+	if at := in.At(); at <= 0 || at >= 5 {
+		t.Fatalf("intruder at %d", at)
+	}
+	if !in.InsideClosure() {
+		t.Error("intruder outside the contaminated closure")
+	}
+}
+
+func TestIntruderFleesAndIsCaught(t *testing.T) {
+	g := pathGraph(4)
+	b := board.New(g, 0)
+	a := b.Place(0)
+	in := New(g, b, 42)
+	for v := 1; v < 4; v++ {
+		b.Move(a, v, int64(v))
+		in.React()
+		if !in.InsideClosure() {
+			t.Fatalf("intruder escaped the closure at step %d", v)
+		}
+	}
+	if !in.Caught() || in.At() != -1 {
+		t.Fatal("intruder should be caught after the sweep")
+	}
+	// Reacting after capture is a no-op.
+	in.React()
+	if !in.Caught() {
+		t.Fatal("capture must be permanent")
+	}
+}
+
+func TestIntruderCaughtImmediatelyOnCleanBoard(t *testing.T) {
+	g := pathGraph(1)
+	b := board.New(g, 0)
+	in := New(g, b, 3)
+	if !in.Caught() {
+		t.Fatal("no contaminated node exists; intruder must start caught")
+	}
+}
+
+func TestIntruderExploitsRecontamination(t *testing.T) {
+	// On a cycle a single agent leaks territory; the intruder must
+	// always find a contaminated node to stand on.
+	g := graph.NewAdjacency(5)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+	}
+	b := board.New(g, 0)
+	a := b.Place(0)
+	in := New(g, b, 7)
+	cur := 0
+	for step := 1; step <= 20; step++ {
+		cur = (cur + 1) % 5
+		b.Move(a, cur, int64(step))
+		in.React()
+		if in.Caught() {
+			t.Fatal("a single agent cannot catch the intruder on a cycle")
+		}
+		if !in.InsideClosure() {
+			t.Fatal("intruder left the closure")
+		}
+	}
+	if b.Recontaminations() == 0 {
+		t.Error("expected recontaminations on the cycle chase")
+	}
+}
+
+func TestIntruderDeterministicPerSeed(t *testing.T) {
+	g := hypercube.New(4)
+	run := func(seed int64) []int {
+		b := board.New(g, 0)
+		a := b.Place(0)
+		in := New(g, b, seed)
+		var positions []int
+		cur := 0
+		for step := 1; step <= 30; step++ {
+			ns := g.Neighbours(cur)
+			cur = ns[step%len(ns)]
+			b.Move(a, cur, int64(step))
+			in.React()
+			positions = append(positions, in.At())
+		}
+		return positions
+	}
+	p1, p2 := run(11), run(11)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("intruder not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestIntruderMovesCounted(t *testing.T) {
+	g := pathGraph(3)
+	b := board.New(g, 0)
+	a := b.Place(0)
+	in := New(g, b, 5)
+	start := in.Moves()
+	b.Move(a, 1, 1)
+	in.React()
+	b.Move(a, 2, 2)
+	in.React()
+	if !in.Caught() {
+		t.Fatal("should be caught")
+	}
+	if in.Moves() < start {
+		t.Error("move counter went backwards")
+	}
+}

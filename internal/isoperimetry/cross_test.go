@@ -1,0 +1,42 @@
+package isoperimetry
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hypersearch/internal/strategy/greedy"
+	"hypersearch/internal/strategy/levelsweep"
+	"hypersearch/internal/strategy/optimal"
+	"hypersearch/internal/topologies"
+)
+
+// Cross-module property: on random connected graphs, the chain
+//
+//	isoperimetric bound <= exhaustive optimum <= greedy <= level-sweep*
+//
+// holds (*level-sweep is not always above greedy, but both must be
+// feasible and above the bound).
+func TestBoundChainOnRandomGraphs(t *testing.T) {
+	f := func(rawN, rawExtra uint8, seed int64) bool {
+		n := 3 + int(rawN)%10 // keep the exhaustive search cheap
+		extra := int(rawExtra) % 6
+		g := topologies.RandomConnected(n, extra, seed)
+		lb := ExactMonotoneLowerBound(g)
+		opt := optimal.MinimalTeam(g, 0, 12, optimal.Limits{})
+		if !opt.Feasible {
+			return false
+		}
+		if lb > opt.Team {
+			return false
+		}
+		gr, _, _ := greedy.Run(g, 0)
+		if !gr.Ok() || gr.TeamSize < opt.Team {
+			return false
+		}
+		ls, _, _ := levelsweep.Run(g, 0)
+		return ls.Ok() && ls.TeamSize >= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package metrics holds the result records produced by strategy runs
+// and small table/series helpers the experiment harness uses to render
+// paper-versus-measured comparisons as aligned markdown tables.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is the cost summary of one complete search run.
+type Result struct {
+	Strategy string // strategy name
+	Dim      int    // hypercube dimension d
+	Nodes    int    // n = 2^d
+
+	TeamSize   int   // agents provisioned (placed or cloned)
+	PeakAway   int   // max agents simultaneously away from the homebase
+	AgentMoves int64 // moves by cleaning agents
+	SyncMoves  int64 // moves by the synchronizer (0 for local strategies)
+	TotalMoves int64 // all moves
+	Makespan   int64 // ideal completion time (unit edge latency)
+
+	Recontaminations int64 // contamination closure re-growth events
+	MonotoneOK       bool  // no stably-clean node was ever recontaminated
+	ContiguousOK     bool  // decontaminated set stayed connected (when checked)
+	Captured         bool  // contaminated set empty at the end
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s d=%d n=%d agents=%d peak=%d moves=%d (agents %d + sync %d) time=%d captured=%v monotone=%v contiguous=%v",
+		r.Strategy, r.Dim, r.Nodes, r.TeamSize, r.PeakAway, r.TotalMoves,
+		r.AgentMoves, r.SyncMoves, r.Makespan, r.Captured, r.MonotoneOK, r.ContiguousOK)
+}
+
+// Ok reports whether the run satisfied every correctness requirement
+// of the contiguous monotone model.
+func (r Result) Ok() bool {
+	return r.Captured && r.MonotoneOK && r.ContiguousOK
+}
+
+// Table accumulates rows for an aligned markdown table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are Sprint-ed.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Markdown renders the table as GitHub-flavoured markdown with aligned
+// columns.
+func (t *Table) Markdown() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	b.WriteString("|")
+	for i := range t.header {
+		b.WriteString(strings.Repeat("-", widths[i]+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() Result {
+	return Result{
+		Strategy: "visibility", Dim: 4, Nodes: 16,
+		TeamSize: 8, PeakAway: 8, AgentMoves: 40, TotalMoves: 40,
+		Makespan: 4, MonotoneOK: true, ContiguousOK: true, Captured: true,
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"visibility", "d=4", "agents=8", "time=4", "captured=true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestResultOk(t *testing.T) {
+	r := sample()
+	if !r.Ok() {
+		t.Error("healthy result not Ok")
+	}
+	r.Captured = false
+	if r.Ok() {
+		t.Error("uncaptured result Ok")
+	}
+	r = sample()
+	r.MonotoneOK = false
+	if r.Ok() {
+		t.Error("non-monotone result Ok")
+	}
+	r = sample()
+	r.ContiguousOK = false
+	if r.Ok() {
+		t.Error("non-contiguous result Ok")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("d", "agents", "ratio")
+	tb.AddRow(4, 8, 1.0)
+	tb.AddRow(10, 252, 0.33333333)
+	md := tb.Markdown()
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("markdown lines = %d:\n%s", len(lines), md)
+	}
+	if !strings.HasPrefix(lines[0], "| d ") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if !strings.Contains(md, "0.333") {
+		t.Errorf("float formatting wrong:\n%s", md)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+	// All rows have equal width.
+	w := len(lines[0])
+	for _, l := range lines {
+		if len(l) != w {
+			t.Errorf("ragged table:\n%s", md)
+		}
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("only")
+	md := tb.Markdown()
+	if !strings.Contains(md, "only") {
+		t.Error("short row dropped")
+	}
+}

@@ -1,0 +1,437 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hypersearch/internal/board"
+	"hypersearch/internal/combin"
+	"hypersearch/internal/heapqueue"
+	"hypersearch/internal/hypercube"
+)
+
+// CleanName identifies the message-passing CLEAN run in results.
+const CleanName = "clean-netsim"
+
+// Message kinds of the coordinated protocol (disjoint from the
+// visibility protocol's kinds; the two protocols use separate mailbox
+// types).
+const (
+	// CourierHop carries a source-routed cleaner one hop; on an escort
+	// leg the synchronizer rides in the same message ("the
+	// synchronizer guides one agent to level l+1"), which makes the
+	// pair's landing atomic exactly as in the other engines.
+	CourierHop MessageKind = iota + 16
+	// SyncHop carries the synchronizer alone (walks, bounces).
+	SyncHop
+	// Shutdown floods the network when the search completes; every
+	// host forwards it once and retires after hearing it from each
+	// neighbour.
+	Shutdown
+)
+
+// cleanMessage is the coordinated protocol's wire format.
+type cleanMessage struct {
+	Kind  MessageKind
+	From  int
+	Agent int
+	Route []int      // CourierHop: remaining hops, next first
+	Sync  *syncState // escorting synchronizer, or SyncHop payload
+}
+
+// syncState is the synchronizer's complete knowledge; it travels with
+// the agent, so no host ever holds global state.
+type syncState struct {
+	ID       int     // the synchronizer's agent id
+	Phase    int     // level currently being cleaned into
+	Dest     int     // travel destination (multi-hop), -1 when arrived
+	BounceTo int     // return leg of an escort, -1 none
+	Stop     int     // current stop, -1 between stops
+	Stops    []int   // remaining stops of the phase, lexicographic
+	Escorts  []int   // remaining children to escort at the stop
+	Extras   [][]int // courier routes still to dispatch from the root
+	Final    bool    // heading home to finish the search
+}
+
+// RunClean executes Algorithm CLEAN as a pure message-passing system:
+// hosts share no memory, cleaners are source-routed messages, the
+// synchronizer migrates with its program and rides the same message as
+// the cleaner it guides on every escort leg. Costs are identical to
+// the other two engines; only the realization differs.
+func RunClean(d int, cfg Config) Stats {
+	h := hypercube.New(d)
+	bt := heapqueue.New(d)
+	team := int(combin.CleanTeamSize(d))
+
+	val := &validator{b: board.New(h, 0)}
+	ids := make([]int, team)
+	for i := range ids {
+		ids[i] = val.place()
+	}
+	if d == 0 {
+		val.terminate(ids[0])
+		s := val.stats(team, 0, 0)
+		s.Strategy = CleanName
+		return s
+	}
+
+	c := &cleanNet{
+		h: h, bt: bt, cfg: cfg, val: val,
+		boxes:  make([]*cleanMailbox, h.Order()),
+		syncID: ids[0],
+		pool:   ids[1:],
+	}
+	for v := range c.boxes {
+		c.boxes[v] = newCleanMailbox()
+	}
+
+	var wg sync.WaitGroup
+	for v := 0; v < h.Order(); v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			c.runHost(v)
+		}(v)
+	}
+
+	// Boot: the synchronizer "arrives" at the root with phase 0 ready.
+	c.boxes[0].in <- cleanMessage{
+		Kind: SyncHop, From: 0, Agent: c.syncID,
+		Sync: &syncState{
+			ID: c.syncID, Phase: 0, Dest: -1, BounceTo: -1,
+			Stop: 0, Escorts: append([]int(nil), bt.Children(0)...),
+		},
+	}
+	wg.Wait()
+	s := val.stats(team, c.moves.Load(), 0)
+	s.Strategy = CleanName
+	s.SyncMoves = c.syncMoves.Load()
+	s.AgentMoves = s.TotalMoves - s.SyncMoves
+	s.BeaconMessages = 0 // the coordinated protocol needs no beacons
+	s.BeaconBits = 0
+	return s
+}
+
+// cleanNet is the shared wiring; hosts communicate only via mailboxes.
+type cleanNet struct {
+	h      *hypercube.Hypercube
+	bt     *heapqueue.Tree
+	cfg    Config
+	val    *validator
+	boxes  []*cleanMailbox
+	syncID int
+	pool   []int // boot-time pool membership (root-local thereafter)
+
+	moves     atomicCounter
+	syncMoves atomicCounter
+}
+
+// cleanHost is one host's local state.
+type cleanHost struct {
+	pool      []int // parked cleaners (root only)
+	gathered  []int // cleaners stationed here for the current phase
+	sync      *syncState
+	shutdowns int // Shutdown messages heard (retire at deg)
+	closed    bool
+}
+
+func (c *cleanNet) runHost(v int) {
+	rng := rand.New(rand.NewSource(c.cfg.Seed ^ (int64(v)+1)*0x1000193))
+	st := &cleanHost{}
+	if v == 0 {
+		st.pool = append(st.pool, c.pool...)
+	}
+	for m := range c.boxes[v].out {
+		switch m.Kind {
+		case CourierHop:
+			c.onCourier(rng, v, st, m)
+		case SyncHop:
+			c.val.arrive(m.Agent, m.From, v)
+			st.sync = m.Sync
+			if st.sync.Dest == v {
+				st.sync.Dest = -1
+			}
+		case Shutdown:
+			st.shutdowns++
+			if !st.closed {
+				st.closed = true
+				for _, w := range c.h.Neighbours(v) {
+					c.send(rng, w, cleanMessage{Kind: Shutdown, From: v})
+				}
+			}
+			if st.shutdowns == len(c.h.Neighbours(v)) {
+				close(c.boxes[v].in)
+			}
+			continue
+		default:
+			panic(fmt.Sprintf("netsim: clean host %d got message kind %d", v, m.Kind))
+		}
+		c.advance(rng, v, st)
+	}
+}
+
+// onCourier lands or forwards a source-routed cleaner; an escorting
+// synchronizer lands with it.
+func (c *cleanNet) onCourier(rng *rand.Rand, v int, st *cleanHost, m cleanMessage) {
+	c.val.arrive(m.Agent, m.From, v)
+	if len(m.Route) > 0 {
+		next := m.Route[0]
+		c.val.depart(m.Agent, v)
+		c.moves.Add(1)
+		c.send(rng, next, cleanMessage{
+			Kind: CourierHop, From: v, Agent: m.Agent, Route: m.Route[1:],
+		})
+		return
+	}
+	if v == 0 {
+		st.pool = append(st.pool, m.Agent)
+	} else {
+		st.gathered = append(st.gathered, m.Agent)
+	}
+	if m.Sync != nil {
+		c.val.arrive(m.Sync.ID, m.From, v)
+		st.sync = m.Sync
+		if st.sync.Dest == v {
+			st.sync.Dest = -1
+		}
+	}
+}
+
+// advance runs the synchronizer program as far as host-local state
+// allows; it is re-entered on every arrival at this host.
+func (c *cleanNet) advance(rng *rand.Rand, v int, st *cleanHost) {
+	s := st.sync
+	if s == nil {
+		return
+	}
+	// Travel leg: keep hopping toward Dest.
+	if s.Dest >= 0 && s.Dest != v {
+		path := c.h.ShortestPath(v, s.Dest)
+		c.hopSync(rng, v, path[1], st)
+		return
+	}
+	s.Dest = -1
+	// Bounce leg: escorted a cleaner down, now return to the stop.
+	if s.BounceTo >= 0 {
+		dst := s.BounceTo
+		s.BounceTo = -1
+		s.Dest = dst
+		c.hopSync(rng, v, dst, st) // the child is adjacent to the stop
+		return
+	}
+	// Root duties: dispatch couriers while the pool lasts.
+	if v == 0 && len(s.Extras) > 0 {
+		for len(st.pool) > 0 && len(s.Extras) > 0 {
+			a := st.pool[len(st.pool)-1]
+			st.pool = st.pool[:len(st.pool)-1]
+			route := s.Extras[0]
+			s.Extras = s.Extras[1:]
+			c.val.depart(a, v)
+			c.moves.Add(1)
+			c.send(rng, route[0], cleanMessage{
+				Kind: CourierHop, From: v, Agent: a, Route: route[1:],
+			})
+		}
+		if len(s.Extras) > 0 {
+			return // wait for returners to refill the pool
+		}
+	}
+	// Final leg: wait for every returner, then flood the shutdown.
+	if s.Final {
+		if v != 0 {
+			panic("netsim: final leg away from the root")
+		}
+		if len(st.pool) != c.expectedFinalPool() {
+			return // returners still walking home
+		}
+		st.sync = nil
+		st.shutdowns = 0
+		st.closed = true
+		for _, w := range c.h.Neighbours(v) {
+			c.send(rng, w, cleanMessage{Kind: Shutdown, From: v})
+		}
+		return
+	}
+	// Stop duties.
+	if s.Stop == v {
+		k := c.bt.Type(v)
+		if k == 0 {
+			// Leaf: release the guard homeward and move on.
+			if len(st.gathered) != 1 {
+				panic(fmt.Sprintf("netsim: leaf %d holds %d cleaners", v, len(st.gathered)))
+			}
+			a := st.gathered[0]
+			st.gathered = nil
+			route := c.h.ShortestPath(v, 0)
+			c.val.depart(a, v)
+			c.moves.Add(1)
+			c.send(rng, route[1], cleanMessage{
+				Kind: CourierHop, From: v, Agent: a, Route: route[2:],
+			})
+			c.nextStop(rng, v, st, s)
+			return
+		}
+		if len(s.Escorts) == 0 {
+			c.nextStop(rng, v, st, s)
+			return
+		}
+		// Complement check: the stationed guard plus couriers (the
+		// root's complement is its pool).
+		have := len(st.gathered)
+		if v == 0 {
+			have = len(st.pool)
+		}
+		if have < len(s.Escorts) {
+			return // couriers still inbound
+		}
+		child := s.Escorts[0]
+		s.Escorts = s.Escorts[1:]
+		var a int
+		if v == 0 {
+			a = st.pool[len(st.pool)-1]
+			st.pool = st.pool[:len(st.pool)-1]
+		} else {
+			a = st.gathered[len(st.gathered)-1]
+			st.gathered = st.gathered[:len(st.gathered)-1]
+		}
+		// The cleaner and the synchronizer travel as one message: the
+		// guided descent of step 2.2.
+		c.val.depart(a, v)
+		c.moves.Add(1)
+		s.Dest = child
+		s.BounceTo = v
+		sync := st.sync
+		st.sync = nil
+		c.val.depart(sync.ID, v)
+		c.syncMoves.Add(1)
+		c.send(rng, child, cleanMessage{
+			Kind: CourierHop, From: v, Agent: a, Sync: sync,
+		})
+		return
+	}
+	// Arrived somewhere that is not the stop: only legal at the root
+	// between phases, where nextStop routes onward.
+	c.nextStop(rng, v, st, s)
+}
+
+// nextStop advances the program once the current stop (if any) is
+// complete.
+func (c *cleanNet) nextStop(rng *rand.Rand, v int, st *cleanHost, s *syncState) {
+	if len(s.Stops) > 0 {
+		s.Stop = s.Stops[0]
+		s.Stops = s.Stops[1:]
+		s.Escorts = append([]int(nil), c.bt.Children(s.Stop)...)
+		s.Dest = s.Stop
+		if s.Dest == v {
+			// Never happens on the hypercube (consecutive stops
+			// differ), but keep the program total.
+			s.Dest = -1
+			c.advance(rng, v, st)
+			return
+		}
+		path := c.h.ShortestPath(v, s.Dest)
+		c.hopSync(rng, v, path[1], st)
+		return
+	}
+	if s.Phase >= c.h.Dim()-1 {
+		s.Final = true
+		s.Stop = -1
+		if v == 0 {
+			c.advance(rng, v, st)
+			return
+		}
+		s.Dest = 0
+		path := c.h.ShortestPath(v, 0)
+		c.hopSync(rng, v, path[1], st)
+		return
+	}
+	// Prepare the next phase and head home for couriers.
+	l := s.Phase + 1
+	s.Phase = l
+	s.Stop = -1
+	s.Stops = append([]int(nil), c.h.NodesAtLevel(l)...)
+	s.Extras = nil
+	for _, x := range c.h.NodesAtLevel(l) {
+		k := c.bt.Type(x)
+		for i := 0; i < k-1; i++ {
+			route := c.bt.PathFromRoot(x)
+			s.Extras = append(s.Extras, route[1:])
+		}
+	}
+	if v == 0 {
+		c.advance(rng, v, st)
+		return
+	}
+	s.Dest = 0
+	path := c.h.ShortestPath(v, 0)
+	c.hopSync(rng, v, path[1], st)
+}
+
+// expectedFinalPool is the pool size once every cleaner except the
+// level-d guard has walked home: team - synchronizer - 1.
+func (c *cleanNet) expectedFinalPool() int {
+	return int(combin.CleanTeamSize(c.h.Dim())) - 2
+}
+
+// hopSync migrates the synchronizer one hop; the state rides along.
+func (c *cleanNet) hopSync(rng *rand.Rand, from, to int, st *cleanHost) {
+	s := st.sync
+	st.sync = nil
+	c.val.depart(s.ID, from)
+	c.syncMoves.Add(1)
+	c.send(rng, to, cleanMessage{Kind: SyncHop, From: from, Agent: s.ID, Sync: s})
+}
+
+// send delivers a coordinated-protocol message with link latency.
+func (c *cleanNet) send(rng *rand.Rand, to int, m cleanMessage) {
+	lat := time.Duration(0)
+	if c.cfg.MaxLatency > 0 {
+		lat = time.Duration(rng.Int63n(int64(c.cfg.MaxLatency) + 1))
+	}
+	if lat == 0 {
+		c.boxes[to].in <- m
+		return
+	}
+	time.AfterFunc(lat, func() { c.boxes[to].in <- m })
+}
+
+// cleanMailbox is an unbounded mailbox for the coordinated protocol.
+type cleanMailbox struct {
+	in  chan<- cleanMessage
+	out <-chan cleanMessage
+}
+
+func newCleanMailbox() *cleanMailbox {
+	in := make(chan cleanMessage)
+	out := make(chan cleanMessage)
+	go func() {
+		var queue []cleanMessage
+		for {
+			if len(queue) == 0 {
+				m, ok := <-in
+				if !ok {
+					close(out)
+					return
+				}
+				queue = append(queue, m)
+				continue
+			}
+			select {
+			case m, ok := <-in:
+				if !ok {
+					for _, q := range queue {
+						out <- q
+					}
+					close(out)
+					return
+				}
+				queue = append(queue, m)
+			case out <- queue[0]:
+				queue = queue[1:]
+			}
+		}
+	}()
+	return &cleanMailbox{in: in, out: out}
+}

@@ -1,0 +1,66 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"hypersearch/internal/combin"
+)
+
+func TestCleanNetsimCorrectAcrossDimensions(t *testing.T) {
+	for d := 0; d <= 7; d++ {
+		s := RunClean(d, Config{Seed: int64(d), MaxLatency: 20 * time.Microsecond})
+		if !s.Captured || !s.MonotoneOK || !s.ContiguousOK {
+			t.Errorf("d=%d: %s", d, s.Result.String())
+		}
+		if s.Recontaminations != 0 {
+			t.Errorf("d=%d: %d recontaminations", d, s.Recontaminations)
+		}
+		if int64(s.TeamSize) != combin.CleanTeamSize(d) {
+			t.Errorf("d=%d: team %d", d, s.TeamSize)
+		}
+	}
+}
+
+func TestCleanNetsimCostsMatchDES(t *testing.T) {
+	// The message-passing realization performs exactly the same
+	// cleaner moves as the discrete-event reference (the final leaf
+	// agent stays out, as there): (d+1)*2^(d-1) - d.
+	for _, d := range []int{3, 5, 6} {
+		s := RunClean(d, Config{Seed: 11})
+		wantAgents := combin.CleanAgentMoves(d) - int64(d)
+		if s.AgentMessages != wantAgents {
+			t.Errorf("d=%d: cleaner hops %d, want %d", d, s.AgentMessages, wantAgents)
+		}
+		if s.SyncMoves == 0 {
+			t.Errorf("d=%d: synchronizer did not move", d)
+		}
+		if s.TotalMoves != wantAgents+s.SyncMoves {
+			t.Errorf("d=%d: move split inconsistent: %d != %d + %d",
+				d, s.TotalMoves, wantAgents, s.SyncMoves)
+		}
+	}
+}
+
+func TestCleanNetsimManySeeds(t *testing.T) {
+	ref := RunClean(5, Config{Seed: 0, MaxLatency: 15 * time.Microsecond})
+	for seed := int64(1); seed < 12; seed++ {
+		s := RunClean(5, Config{Seed: seed, MaxLatency: 15 * time.Microsecond})
+		if !s.Ok() || s.Recontaminations != 0 {
+			t.Errorf("seed %d: %s", seed, s.Result.String())
+		}
+		// The protocol is deterministic in its traffic, whatever the
+		// schedule.
+		if s.AgentMessages != ref.AgentMessages || s.SyncMoves != ref.SyncMoves {
+			t.Errorf("seed %d: traffic differs: %d/%d vs %d/%d",
+				seed, s.AgentMessages, s.SyncMoves, ref.AgentMessages, ref.SyncMoves)
+		}
+	}
+}
+
+func TestCleanNetsimZeroLatency(t *testing.T) {
+	s := RunClean(6, Config{})
+	if !s.Ok() {
+		t.Errorf("%s", s.Result.String())
+	}
+}

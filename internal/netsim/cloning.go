@@ -1,0 +1,114 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"hypersearch/internal/bits"
+	"hypersearch/internal/board"
+	"hypersearch/internal/heapqueue"
+	"hypersearch/internal/hypercube"
+)
+
+// CloningName identifies the message-passing cloning run in results.
+const CloningName = "cloning-netsim"
+
+// RunCloning executes the Section-5 cloning variant on the network
+// engine: a single agent message seeds the homebase; every host that
+// gathers its (single) arrival and sees its smaller neighbours ready
+// clones locally — cloning costs no messages — and sends exactly one
+// agent down each broadcast-tree edge. Total agent migrations: n-1,
+// the minimum possible, making the variant the message-optimal
+// realization of the visibility model.
+func RunCloning(d int, cfg Config) Stats {
+	h := hypercube.New(d)
+	bt := heapqueue.New(d)
+
+	val := &validator{b: board.New(h, 0)}
+	seed := val.place()
+	if d == 0 {
+		val.terminate(seed)
+		s := val.stats(1, 0, 0)
+		s.Strategy = CloningName
+		return s
+	}
+
+	net := &network{
+		h: h, bt: bt, cfg: cfg, val: val,
+		boxes: make([]*Mailbox, h.Order()),
+	}
+	for v := range net.boxes {
+		net.boxes[v] = NewMailbox()
+	}
+
+	var wg sync.WaitGroup
+	for v := 0; v < h.Order(); v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			runCloningHost(net, v)
+		}(v)
+	}
+	net.boxes[0].In <- Message{Kind: AgentArrival, From: 0, Agent: seed}
+	wg.Wait()
+
+	s := val.stats(val.b.Agents(), net.agentMsgs.Load(), net.beaconMsgs.Load())
+	s.Strategy = CloningName
+	return s
+}
+
+// runCloningHost is the local cloning rule: one arrival, clone for the
+// children, beacon the dependents.
+func runCloningHost(n *network, v int) {
+	rng := rand.New(rand.NewSource(n.cfg.Seed ^ int64(v)*0x01000193))
+	smaller := n.h.SmallerNeighbours(v)
+	ready := make(map[int]bool, len(smaller))
+	incumbent := -1
+	dispatched := false
+
+	for m := range n.boxes[v].Out {
+		switch m.Kind {
+		case AgentArrival:
+			n.val.arrive(m.Agent, m.From, v)
+			incumbent = m.Agent
+			for i, w := range n.h.Neighbours(v) {
+				if i+1 <= bits.Msb(bits.Node(w)) {
+					n.send(rng, w, Message{Kind: GuardedBeacon, From: v})
+				}
+			}
+		case GuardedBeacon:
+			ready[m.From] = true
+		default:
+			panic(fmt.Sprintf("netsim: cloning host %d got message kind %d", v, m.Kind))
+		}
+		if dispatched || incumbent < 0 || !allReady(smaller, ready) {
+			continue
+		}
+		dispatched = true
+		children := n.bt.Children(v)
+		if len(children) == 0 {
+			n.val.terminate(incumbent)
+			close(n.boxes[v].In)
+			continue
+		}
+		// The incumbent continues to the first child; clones take the
+		// rest. Cloning is host-local: no messages, no latency.
+		movers := []int{incumbent}
+		for i := 1; i < len(children); i++ {
+			movers = append(movers, n.val.clone(v))
+		}
+		for i, child := range children {
+			n.val.depart(movers[i], v)
+			n.send(rng, child, Message{Kind: AgentArrival, From: v, Agent: movers[i]})
+		}
+		close(n.boxes[v].In)
+	}
+}
+
+// clone creates an agent on a guarded host (validator-side).
+func (v *validator) clone(at int) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.b.Clone(at, 0)
+}

@@ -1,0 +1,47 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"hypersearch/internal/combin"
+)
+
+func TestCloningNetsimCorrectAcrossDimensions(t *testing.T) {
+	for d := 0; d <= 8; d++ {
+		s := RunCloning(d, Config{Seed: int64(d), MaxLatency: 20 * time.Microsecond})
+		if !s.Captured || !s.MonotoneOK || !s.ContiguousOK {
+			t.Errorf("d=%d: %s", d, s.Result.String())
+		}
+		if s.Recontaminations != 0 {
+			t.Errorf("d=%d: %d recontaminations", d, s.Recontaminations)
+		}
+		if int64(s.TeamSize) != combin.VisibilityAgents(d) {
+			t.Errorf("d=%d: team %d, want %d", d, s.TeamSize, combin.VisibilityAgents(d))
+		}
+	}
+}
+
+func TestCloningNetsimMessageOptimal(t *testing.T) {
+	// n-1 agent migrations: every broadcast-tree edge carries exactly
+	// one message. The minimum for any strategy that must visit every
+	// host.
+	for _, d := range []int{3, 5, 7} {
+		s := RunCloning(d, Config{Seed: 1})
+		if s.AgentMessages != combin.CloningMoves(d) {
+			t.Errorf("d=%d: migrations %d, want n-1 = %d", d, s.AgentMessages, combin.CloningMoves(d))
+		}
+		if s.TotalMoves != combin.CloningMoves(d) {
+			t.Errorf("d=%d: moves %d", d, s.TotalMoves)
+		}
+	}
+}
+
+func TestCloningNetsimManySeeds(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s := RunCloning(5, Config{Seed: seed, MaxLatency: 15 * time.Microsecond})
+		if !s.Ok() || s.TotalMoves != combin.CloningMoves(5) {
+			t.Errorf("seed %d: %s", seed, s.Result.String())
+		}
+	}
+}

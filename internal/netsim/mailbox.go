@@ -1,0 +1,46 @@
+package netsim
+
+// Mailbox is an unbounded FIFO channel: sends never block, so host
+// goroutines can post to each other without deadlock regardless of
+// topology cycles. A pump goroutine shuttles messages from In to Out;
+// Close(In) drains and then closes Out.
+type Mailbox struct {
+	In  chan<- Message
+	Out <-chan Message
+}
+
+// NewMailbox starts the pump and returns the endpoints.
+func NewMailbox() *Mailbox {
+	in := make(chan Message)
+	out := make(chan Message)
+	go pump(in, out)
+	return &Mailbox{In: in, Out: out}
+}
+
+func pump(in <-chan Message, out chan<- Message) {
+	var queue []Message
+	for {
+		if len(queue) == 0 {
+			m, ok := <-in
+			if !ok {
+				close(out)
+				return
+			}
+			queue = append(queue, m)
+			continue
+		}
+		select {
+		case m, ok := <-in:
+			if !ok {
+				for _, q := range queue {
+					out <- q
+				}
+				close(out)
+				return
+			}
+			queue = append(queue, m)
+		case out <- queue[0]:
+			queue = queue[1:]
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package netsim executes the visibility strategy as a literal
+// distributed system: every hypercube host is a goroutine, links carry
+// randomized latency, agents migrate between hosts as messages, and —
+// exactly as Section 4 of the paper suggests — the "visibility" of
+// neighbour states is realized by each host sending a single bit to
+// its neighbours when it becomes guarded ("this capability could be
+// easily achieved if the agents ... send a message (e.g., a single
+// bit) to their neighbouring nodes").
+//
+// There is no shared memory between hosts: coordination is purely
+// message-passing (the per-host whiteboard is host-local state). A
+// locked board validates the global invariants as moves land, as in
+// the goroutine runtime.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hypersearch/internal/bits"
+	"hypersearch/internal/board"
+	"hypersearch/internal/combin"
+	"hypersearch/internal/heapqueue"
+	"hypersearch/internal/hypercube"
+	"hypersearch/internal/metrics"
+)
+
+// Name identifies the engine in results.
+const Name = "visibility-netsim"
+
+// MessageKind distinguishes the two message types on the wire.
+type MessageKind uint8
+
+// The wire protocol: agents migrate, and hosts beacon one bit.
+const (
+	// AgentArrival carries one migrating agent.
+	AgentArrival MessageKind = iota
+	// GuardedBeacon is the paper's single bit: "my node is guarded
+	// (and will be clean when I leave)". One per (host, neighbour).
+	GuardedBeacon
+)
+
+// Message is what travels on a link.
+type Message struct {
+	Kind  MessageKind
+	From  int // sending host
+	Agent int // AgentArrival: the migrating agent's id
+}
+
+// Config controls a network execution.
+type Config struct {
+	Seed       int64
+	MaxLatency time.Duration // per-link-delivery latency in [0, MaxLatency]
+}
+
+// Stats extends the cost summary with wire-level accounting.
+type Stats struct {
+	metrics.Result
+	AgentMessages  int64 // migrations (equals moves)
+	BeaconMessages int64 // single-bit notifications
+	BeaconBits     int64 // payload bits carried by beacons (1 each)
+}
+
+// Run executes CLEAN WITH VISIBILITY on H_d as a message-passing
+// system and returns the run statistics.
+func Run(d int, cfg Config) Stats {
+	h := hypercube.New(d)
+	bt := heapqueue.New(d)
+	team := int(combin.VisibilityAgents(d))
+
+	val := &validator{b: board.New(h, 0)}
+	ids := make([]int, team)
+	for i := range ids {
+		ids[i] = val.place()
+	}
+	if d == 0 {
+		val.terminate(ids[0])
+		return val.stats(team, 0, 0)
+	}
+
+	net := &network{
+		h: h, bt: bt, cfg: cfg, val: val,
+		boxes: make([]*Mailbox, h.Order()),
+	}
+	for v := range net.boxes {
+		net.boxes[v] = NewMailbox()
+	}
+
+	var wg sync.WaitGroup
+	for v := 0; v < h.Order(); v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			runHost(net, v)
+		}(v)
+	}
+
+	// Boot: the homebase host receives the whole team as arrivals.
+	for _, id := range ids {
+		net.boxes[0].In <- Message{Kind: AgentArrival, From: 0, Agent: id}
+	}
+
+	wg.Wait()
+	return val.stats(team, net.agentMsgs.Load(), net.beaconMsgs.Load())
+}
+
+// network is the shared wiring (hosts otherwise share nothing).
+type network struct {
+	h     *hypercube.Hypercube
+	bt    *heapqueue.Tree
+	cfg   Config
+	val   *validator
+	boxes []*Mailbox
+
+	agentMsgs  atomicCounter
+	beaconMsgs atomicCounter
+}
+
+// send delivers a message after the link's randomized latency; rng is
+// owned by the sending host.
+func (n *network) send(rng *rand.Rand, to int, m Message) {
+	lat := time.Duration(0)
+	if n.cfg.MaxLatency > 0 {
+		lat = time.Duration(rng.Int63n(int64(n.cfg.MaxLatency) + 1))
+	}
+	switch m.Kind {
+	case AgentArrival:
+		n.agentMsgs.Add(1)
+	case GuardedBeacon:
+		n.beaconMsgs.Add(1)
+	}
+	if lat == 0 {
+		n.boxes[to].In <- m
+		return
+	}
+	time.AfterFunc(lat, func() { n.boxes[to].In <- m })
+}
+
+// runHost is one host's event loop: the local program of Section 4.2
+// driven entirely by arrivals and beacons.
+func runHost(n *network, v int) {
+	rng := rand.New(rand.NewSource(n.cfg.Seed ^ int64(v)*0x9E3779B9))
+	k := n.bt.Type(v)
+	required := int(heapqueue.AgentsRequired(k))
+	smaller := n.h.SmallerNeighbours(v)
+
+	var gathered []int
+	ready := make(map[int]bool, len(smaller)) // smaller neighbour -> beacon seen
+	dispatched := false
+
+	// The root has no smaller neighbours and may dispatch immediately
+	// once its complement arrives; everyone else waits for beacons.
+	for m := range n.boxes[v].Out {
+		switch m.Kind {
+		case AgentArrival:
+			n.val.arrive(m.Agent, m.From, v)
+			gathered = append(gathered, m.Agent)
+			if len(gathered) == required {
+				// Guarded with the full complement: one bit to every
+				// neighbour that waits on this host's state — the
+				// neighbours y for which v is a *smaller* neighbour
+				// (label(v,y) <= m(y)). Others have already retired
+				// their mailboxes and never read v's state.
+				for i, w := range n.h.Neighbours(v) {
+					if i+1 <= bits.Msb(bits.Node(w)) {
+						n.send(rng, w, Message{Kind: GuardedBeacon, From: v})
+					}
+				}
+			}
+		case GuardedBeacon:
+			ready[m.From] = true
+		default:
+			panic(fmt.Sprintf("netsim: host %d got unknown message kind %d", v, m.Kind))
+		}
+		if dispatched || len(gathered) < required {
+			continue
+		}
+		if !allReady(smaller, ready) {
+			continue
+		}
+		dispatched = true
+		if k == 0 {
+			n.val.terminate(gathered[0])
+			close(n.boxes[v].In)
+			continue
+		}
+		// Dispatch the complement down the broadcast tree and retire
+		// this host: with the children notified, no further message
+		// can matter here.
+		plan := heapqueue.DispatchPlan(k)
+		for i, child := range n.bt.Children(v) {
+			for j := int64(0); j < plan[i]; j++ {
+				a := gathered[len(gathered)-1]
+				gathered = gathered[:len(gathered)-1]
+				n.val.depart(a, v)
+				n.send(rng, child, Message{Kind: AgentArrival, From: v, Agent: a})
+			}
+		}
+		close(n.boxes[v].In)
+	}
+}
+
+func allReady(smaller []int, ready map[int]bool) bool {
+	for _, w := range smaller {
+		if !ready[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// validator applies migrations to a locked board, preserving the
+// atomic-move semantics: an agent departs its host and arrives at the
+// destination when the arrival message is processed; between depart
+// and arrive it is "on the link", which the board models by keeping it
+// on the source until arrival (the departure is recorded and the move
+// applied atomically at arrival).
+type validator struct {
+	mu      sync.Mutex
+	b       *board.Board
+	pending map[int]int // agent -> source host while migrating
+}
+
+func (v *validator) place() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.b.Place(0)
+}
+
+func (v *validator) depart(agent, from int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.pending == nil {
+		v.pending = make(map[int]int)
+	}
+	v.pending[agent] = from
+}
+
+func (v *validator) arrive(agent, from, to int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if src, ok := v.pending[agent]; ok {
+		delete(v.pending, agent)
+		if src != from {
+			panic(fmt.Sprintf("netsim: agent %d departed %d but arrived from %d", agent, src, from))
+		}
+		v.b.Move(agent, to, 0)
+		return
+	}
+	// Boot-time arrival at the homebase: the agent is already there.
+	if to != v.b.Home() {
+		panic(fmt.Sprintf("netsim: arrival of non-migrating agent %d at %d", agent, to))
+	}
+}
+
+func (v *validator) terminate(agent int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.b.Terminate(agent, 0)
+}
+
+func (v *validator) stats(team int, agentMsgs, beaconMsgs int64) Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return Stats{
+		Result: metrics.Result{
+			Strategy:         Name,
+			Dim:              dimOf(v.b.Graph().Order()),
+			Nodes:            v.b.Graph().Order(),
+			TeamSize:         team,
+			PeakAway:         v.b.PeakAway(),
+			AgentMoves:       v.b.Moves(),
+			TotalMoves:       v.b.Moves(),
+			Recontaminations: v.b.Recontaminations(),
+			MonotoneOK:       v.b.MonotoneViolations() == 0,
+			ContiguousOK:     v.b.Contiguous(),
+			Captured:         v.b.AllClean(),
+		},
+		AgentMessages:  agentMsgs,
+		BeaconMessages: beaconMsgs,
+		BeaconBits:     beaconMsgs, // one bit each, by construction
+	}
+}
+
+func dimOf(n int) int {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return d
+}
+
+// atomicCounter is a minimal atomic int64 (avoiding a sync/atomic
+// import spread across the file).
+type atomicCounter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (c *atomicCounter) Add(d int64) {
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+func (c *atomicCounter) Load() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"hypersearch/internal/combin"
+)
+
+func TestNetsimCorrectAcrossDimensions(t *testing.T) {
+	for d := 0; d <= 8; d++ {
+		s := Run(d, Config{Seed: int64(d), MaxLatency: 30 * time.Microsecond})
+		if !s.Captured || !s.MonotoneOK || !s.ContiguousOK {
+			t.Errorf("d=%d: %s", d, s.Result.String())
+		}
+		if s.Recontaminations != 0 {
+			t.Errorf("d=%d: %d recontaminations", d, s.Recontaminations)
+		}
+		if int64(s.TeamSize) != combin.VisibilityAgents(d) {
+			t.Errorf("d=%d: team %d", d, s.TeamSize)
+		}
+		if d > 0 && s.TotalMoves != combin.VisibilityMoves(d) {
+			t.Errorf("d=%d: moves %d, want %d", d, s.TotalMoves, combin.VisibilityMoves(d))
+		}
+	}
+}
+
+func TestNetsimManySeeds(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		s := Run(5, Config{Seed: seed, MaxLatency: 20 * time.Microsecond})
+		if !s.Ok() || s.TotalMoves != combin.VisibilityMoves(5) {
+			t.Errorf("seed %d: %s", seed, s.Result.String())
+		}
+	}
+}
+
+func TestNetsimZeroLatency(t *testing.T) {
+	s := Run(6, Config{})
+	if !s.Ok() {
+		t.Errorf("%s", s.Result.String())
+	}
+}
+
+func TestNetsimMessageAccounting(t *testing.T) {
+	const d = 6
+	s := Run(d, Config{Seed: 1})
+	// Every move is one agent migration.
+	if s.AgentMessages != s.TotalMoves {
+		t.Errorf("agent messages %d != moves %d", s.AgentMessages, s.TotalMoves)
+	}
+	// Beacons carry exactly one bit each, and each host beacons its
+	// dependents exactly once: total = sum over hosts of the number of
+	// neighbours that treat it as a smaller neighbour, which is
+	// bounded by twice the edge count and is at least the edge count
+	// of the dependency relation (n-1 tree edges at minimum).
+	if s.BeaconBits != s.BeaconMessages {
+		t.Error("beacons must carry exactly one bit")
+	}
+	edges := int64(d) * (1 << (d - 1))
+	if s.BeaconMessages > 2*edges {
+		t.Errorf("beacons %d exceed 2x edges %d", s.BeaconMessages, 2*edges)
+	}
+	if s.BeaconMessages < int64(1<<d)-1 {
+		t.Errorf("beacons %d below n-1", s.BeaconMessages)
+	}
+}
+
+func TestNetsimBeaconCountDeterministic(t *testing.T) {
+	// The protocol's message complexity is schedule-independent.
+	a := Run(5, Config{Seed: 3, MaxLatency: 10 * time.Microsecond})
+	b := Run(5, Config{Seed: 99, MaxLatency: 50 * time.Microsecond})
+	if a.BeaconMessages != b.BeaconMessages || a.AgentMessages != b.AgentMessages {
+		t.Errorf("message counts vary by schedule: %d/%d vs %d/%d",
+			a.AgentMessages, a.BeaconMessages, b.AgentMessages, b.BeaconMessages)
+	}
+}
+
+func TestMailboxUnboundedFIFO(t *testing.T) {
+	mb := NewMailbox()
+	const n = 10000
+	// Blast sends without a reader: must not block.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			mb.In <- Message{Agent: i}
+		}
+		close(mb.In)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("unbounded mailbox blocked")
+	}
+	// Drain in order; Out closes after the queue empties.
+	for i := 0; i < n; i++ {
+		m, ok := <-mb.Out
+		if !ok || m.Agent != i {
+			t.Fatalf("message %d: got %v ok=%v", i, m.Agent, ok)
+		}
+	}
+	if _, ok := <-mb.Out; ok {
+		t.Fatal("Out not closed after drain")
+	}
+}
+
+func TestMailboxInterleaved(t *testing.T) {
+	mb := NewMailbox()
+	go func() {
+		for i := 0; i < 100; i++ {
+			mb.In <- Message{Agent: i}
+			if i%7 == 0 {
+				time.Sleep(time.Microsecond)
+			}
+		}
+		close(mb.In)
+	}()
+	prev := -1
+	for m := range mb.Out {
+		if m.Agent != prev+1 {
+			t.Fatalf("out of order: %d after %d", m.Agent, prev)
+		}
+		prev = m.Agent
+	}
+	if prev != 99 {
+		t.Fatalf("lost messages, last = %d", prev)
+	}
+}

@@ -1,0 +1,93 @@
+// Package runtime executes the paper's strategies as genuinely
+// concurrent Go programs: every agent is a goroutine, nodes carry
+// mutual-exclusion whiteboards, and per-move latencies are injected by
+// a seeded randomized scheduler — the asynchronous model of Section 2
+// made literal. The discrete-event engine (internal/strategy) is the
+// metrics reference; this package demonstrates that the algorithms,
+// coded as local agent programs, stay correct under real preemption
+// (run the tests with -race).
+package runtime
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"hypersearch/internal/board"
+	"hypersearch/internal/heapqueue"
+	"hypersearch/internal/hypercube"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/whiteboard"
+)
+
+// Config controls a runtime execution.
+type Config struct {
+	Seed       int64         // randomized-scheduler seed
+	MaxLatency time.Duration // per-move sleep is uniform in [0, MaxLatency]
+}
+
+// world is the shared state of one concurrent run. The board is
+// guarded by mu; cond broadcasts on every board change so local agent
+// programs can re-evaluate their visibility conditions.
+type world struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	h  *hypercube.Hypercube
+	bt *heapqueue.Tree
+	b  *board.Board
+	wb *whiteboard.Store
+
+	syncMoves int64
+}
+
+func newWorld(d int) *world {
+	h := hypercube.New(d)
+	w := &world{
+		h:  h,
+		bt: heapqueue.New(d),
+		b:  board.New(h, 0),
+		wb: whiteboard.NewStore(h.Order()),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// sleepLatency injects the adversarial scheduler's delay; rng is owned
+// by the calling goroutine.
+func sleepLatency(rng *rand.Rand, max time.Duration) {
+	if max <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(rng.Int63n(int64(max) + 1)))
+}
+
+// move performs one atomic move of agent id to node `to` under the
+// world lock and wakes every waiting agent.
+func (w *world) move(id, to int) {
+	w.mu.Lock()
+	w.b.Move(id, to, 0)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// result assembles the final summary; real-time runs have no virtual
+// makespan, so Makespan is left zero.
+func (w *world) result(name string, team int) metrics.Result {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return metrics.Result{
+		Strategy:         name,
+		Dim:              w.h.Dim(),
+		Nodes:            w.h.Order(),
+		TeamSize:         team,
+		PeakAway:         w.b.PeakAway(),
+		AgentMoves:       w.b.Moves() - w.syncMoves,
+		SyncMoves:        w.syncMoves,
+		TotalMoves:       w.b.Moves(),
+		Recontaminations: w.b.Recontaminations(),
+		MonotoneOK:       w.b.MonotoneViolations() == 0,
+		ContiguousOK:     w.b.Contiguous(),
+		Captured:         w.b.AllClean(),
+	}
+}

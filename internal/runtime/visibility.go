@@ -1,0 +1,132 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hypersearch/internal/board"
+	"hypersearch/internal/combin"
+	"hypersearch/internal/heapqueue"
+	"hypersearch/internal/metrics"
+)
+
+// VisibilityName identifies the concurrent visibility run in results.
+const VisibilityName = "visibility-goroutines"
+
+// whiteboard field names used by the visibility agents.
+const (
+	fieldAgents  = "agents"  // agents currently gathered on the node
+	fieldPlanned = "planned" // 1 once some agent published the dispatch plan
+	fieldQuota   = "quota."  // per-child remaining dispatch quota (suffix: child index)
+)
+
+// RunVisibility executes CLEAN WITH VISIBILITY with one goroutine per
+// agent. Each agent runs the identical local program of Section 4.2:
+// gather on a node, wait until the complement is present and every
+// smaller neighbour is clean or guarded (read under the node's
+// visibility), claim a child slot on the whiteboard, and move.
+func RunVisibility(d int, cfg Config) metrics.Result {
+	w := newWorld(d)
+	team := int(combin.VisibilityAgents(d))
+
+	w.mu.Lock()
+	ids := make([]int, team)
+	for i := range ids {
+		ids[i] = w.b.Place(0)
+	}
+	w.wb.At(0).Write(fieldAgents, int64(team))
+	w.mu.Unlock()
+
+	if d == 0 {
+		w.mu.Lock()
+		w.b.Terminate(ids[0], 0)
+		w.mu.Unlock()
+		return w.result(VisibilityName, team)
+	}
+
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i, id int) {
+			defer wg.Done()
+			agentProgram(w, id, rand.New(rand.NewSource(cfg.Seed+int64(i))), cfg.MaxLatency)
+		}(i, id)
+	}
+	wg.Wait()
+	return w.result(VisibilityName, team)
+}
+
+// agentProgram is the local rule one agent executes until it retires
+// on a broadcast-tree leaf.
+func agentProgram(w *world, id int, rng *rand.Rand, maxLat time.Duration) {
+	at := 0
+	for {
+		w.mu.Lock()
+		k := w.bt.Type(at)
+		if k == 0 {
+			// Leaf: terminate in place.
+			w.b.Terminate(id, 0)
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			return
+		}
+		required := heapqueue.AgentsRequired(k)
+		// The gather condition must latch: once any member of the
+		// complement observes it and publishes the dispatch plan,
+		// members that re-check later (after peers already departed,
+		// shrinking the count) must still pass. "planned" is that
+		// latch.
+		for !(w.wb.At(at).Read(fieldPlanned) == 1 ||
+			(w.wb.At(at).Read(fieldAgents) == required && w.smallerReadyLocked(at))) {
+			w.cond.Wait()
+		}
+		target := w.claimSlotLocked(at, k)
+		w.mu.Unlock()
+
+		sleepLatency(rng, maxLat)
+
+		w.mu.Lock()
+		w.wb.At(at).Add(fieldAgents, -1)
+		w.wb.At(target).Add(fieldAgents, 1)
+		w.b.Move(id, target, 0)
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		at = target
+	}
+}
+
+// smallerReadyLocked is the visibility read: every smaller neighbour
+// of v is clean or guarded. Caller holds w.mu.
+func (w *world) smallerReadyLocked(v int) bool {
+	for _, u := range w.h.SmallerNeighbours(v) {
+		if w.b.StateOf(u) == board.Contaminated {
+			return false
+		}
+	}
+	return true
+}
+
+// claimSlotLocked atomically claims one dispatch slot on v's
+// whiteboard, publishing the plan on first access, and returns the
+// claimed child. Caller holds w.mu.
+func (w *world) claimSlotLocked(v, k int) int {
+	wb := w.wb.At(v)
+	if wb.Read(fieldPlanned) == 0 {
+		wb.Write(fieldPlanned, 1)
+		for i, q := range heapqueue.DispatchPlan(k) {
+			wb.Write(quotaField(i), q)
+		}
+	}
+	children := w.bt.Children(v)
+	for i, c := range children {
+		if wb.Read(quotaField(i)) > 0 {
+			wb.Add(quotaField(i), -1)
+			return c
+		}
+	}
+	panic(fmt.Sprintf("runtime: node %d has no free dispatch slot", v))
+}
+
+func quotaField(i int) string { return fmt.Sprintf("%s%d", fieldQuota, i) }

@@ -1,0 +1,63 @@
+// Package stats provides the small summary statistics the multi-seed
+// experiments report: min/max/mean/standard deviation over a sample of
+// measurements, without external dependencies.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary condenses a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	StdDev float64 // population standard deviation
+}
+
+// Summarize computes the summary of xs; it panics on an empty sample
+// (an experiment that measured nothing is a harness bug).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.StdDev = math.Sqrt(sq / float64(len(xs)))
+	return s
+}
+
+// SummarizeInts is Summarize over integer measurements.
+func SummarizeInts(xs []int64) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// String renders "mean ± stddev [min, max] (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.3g [%.4g, %.4g] (n=%d)", s.Mean, s.StdDev, s.Min, s.Max, s.N)
+}
+
+// Constant reports whether every sample equaled the first one — the
+// schedule-independence checks use it.
+func (s Summary) Constant() bool { return s.Min == s.Max }

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.StdDev != 2 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Mean != 3.5 || s.StdDev != 0 || !s.Constant() {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int64{1, 2, 3})
+	if s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty sample accepted")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestString(t *testing.T) {
+	out := Summarize([]float64{1, 1, 1}).String()
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "± 0") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+func TestQuickProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean+1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		if s.StdDev < 0 {
+			return false
+		}
+		// StdDev is bounded by the half-range.
+		return s.StdDev <= (s.Max-s.Min)/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

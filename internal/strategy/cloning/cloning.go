@@ -1,0 +1,82 @@
+// Package cloning implements the cloning variant of the visibility
+// strategy (Section 5, "Observations on Cloning"): a single agent
+// starts at the homebase, and agents clone themselves on demand, so
+// nobody ever travels up from the root pool. Each broadcast-tree edge
+// is traversed exactly once downward, for n-1 total moves, by a total
+// of n/2 agents (one per broadcast-tree leaf).
+//
+// Local rule at node x of type T(k), on arrival of the single incoming
+// agent and once every smaller neighbour is clean or guarded: clone
+// k-1 times and send one agent down each broadcast-tree edge. Leaves
+// terminate.
+package cloning
+
+import (
+	"fmt"
+
+	"hypersearch/internal/board"
+	"hypersearch/internal/des"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/strategy"
+)
+
+// Name identifies the strategy in results and registries.
+const Name = "cloning"
+
+// Run executes the cloning variant on H_d.
+func Run(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
+	env := strategy.NewEnv(d, opts)
+	at := make(map[int]int, env.H.Order()) // node -> agent standing there (-1 none)
+	seed := env.Place(strategy.RoleCleaner)
+	at[0] = seed
+
+	if d > 0 {
+		for v := 0; v < env.H.Order(); v++ {
+			spawnNode(env, at, v)
+		}
+	}
+	env.Sim.Run()
+
+	for id := 0; id < env.B.Agents(); id++ {
+		if _, active := env.B.Position(id); active {
+			env.Terminate(id)
+		}
+	}
+	return env.Result(Name), env
+}
+
+func spawnNode(env *strategy.Env, at map[int]int, v int) {
+	env.Sim.Spawn(fmt.Sprintf("node-%d", v), func(p *des.Process) {
+		p.AwaitCond(env.Signal(v), func() bool {
+			if _, ok := at[v]; !ok {
+				return false
+			}
+			for _, w := range env.H.SmallerNeighbours(v) {
+				if env.B.StateOf(w) == board.Contaminated {
+					return false
+				}
+			}
+			return true
+		})
+		a := at[v]
+		children := env.BT.Children(v)
+		if len(children) == 0 {
+			env.Terminate(a)
+			return
+		}
+		// The incumbent continues to the first child; clones take the
+		// rest. Cloning is local and instantaneous.
+		movers := []int{a}
+		for i := 1; i < len(children); i++ {
+			movers = append(movers, env.Clone(a, v, strategy.RoleCleaner))
+		}
+		for i, child := range children {
+			m, child := movers[i], child
+			env.Sim.Spawn("mover", func(q *des.Process) {
+				env.Move(q, m, child, strategy.RoleCleaner)
+				at[child] = m
+				env.Sim.Fire(env.Signal(child))
+			})
+		}
+	})
+}

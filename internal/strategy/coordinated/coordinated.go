@@ -1,0 +1,213 @@
+// Package coordinated implements Algorithm CLEAN (Section 3 of the
+// paper): the synchronizer-led, level-by-level cleaning of the
+// hypercube on its broadcast tree.
+//
+// One agent — the synchronizer — sequences the entire search:
+//
+//	Phase 0:   it escorts one agent from the root to each of the root's
+//	           d broadcast-tree children, returning to the root each
+//	           time.
+//	Phase l:   (cleaning level l to l+1, for l = 1..d-1)
+//	  step 2.1 back at the root, it has the pool send k-1 extra agents
+//	           to every level-l node of type T(k), k >= 2 (couriers
+//	           travel concurrently down the all-clean broadcast tree);
+//	  step 2.2 it walks level l in increasing lexicographic order; at
+//	           each node it waits (via the whiteboard, here the board
+//	           state) for the node's full complement, then escorts one
+//	           agent down each broadcast-tree edge, returning between
+//	           escorts;
+//	  step 2.3 when it passes a leaf (type T(0)), the leaf's agent
+//	           walks back to the root pool and becomes available again.
+//
+// Safety (Lemmas 1-2): when the last agent leaves a level-l node x,
+// every level-(l+1) neighbour of x is already guarded, because its
+// broadcast-tree parent is lexicographically smaller than x and was
+// processed earlier in the walk. All navigation uses clear-bits-first
+// shortest paths, which stay inside the already-clean lower levels, so
+// a correct run has zero recontaminations.
+package coordinated
+
+import (
+	"fmt"
+
+	"hypersearch/internal/combin"
+	"hypersearch/internal/des"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/strategy"
+)
+
+// Name identifies the strategy in results and registries.
+const Name = "clean"
+
+// Run executes Algorithm CLEAN on H_d and returns the run summary and
+// the environment (for trace/figure extraction). The team size is the
+// exact Theorem-2 requirement; the run fails loudly if the pool ever
+// proves insufficient, so a passing run is a constructive validation
+// of the bound.
+func Run(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
+	env := strategy.NewEnv(d, opts)
+	team := int(combin.CleanTeamSize(d))
+	c := &cleaner{
+		env:  env,
+		at:   make(map[int][]int),
+		pool: make([]int, 0, team),
+	}
+
+	// The synchronizer is elected first (whiteboard access order); the
+	// rest of the team forms the available pool at the root.
+	c.sync = env.Place(strategy.RoleSynchronizer)
+	for i := 1; i < team; i++ {
+		c.pool = append(c.pool, env.Place(strategy.RoleCleaner))
+	}
+
+	if d > 0 {
+		env.Sim.Spawn("synchronizer", c.run)
+	}
+	env.Sim.Run()
+
+	// Retire every agent in place so clean-order accounting settles.
+	c.terminateAll(team)
+	return env.Result(Name), env
+}
+
+// cleaner carries the run state shared by the synchronizer process and
+// the courier/returner processes.
+type cleaner struct {
+	env  *strategy.Env
+	sync int
+
+	pool     []int         // agent ids available at the root
+	poolSig  des.Signal    // fired when a returner reaches the root
+	at       map[int][]int // node -> cleaner agent ids standing there
+	inFlight int           // couriers and returners on the move
+}
+
+func (c *cleaner) run(p *des.Process) {
+	env := c.env
+	d := env.H.Dim()
+
+	// Phase 0: root to level 1.
+	for _, child := range env.BT.Children(0) {
+		a := c.take(p)
+		env.MoveTogether(p, []int{c.sync, a}, child, escortRoles)
+		c.at[child] = append(c.at[child], a)
+		env.Move(p, c.sync, 0, strategy.RoleSynchronizer)
+	}
+
+	// Phases 1..d-1.
+	for l := 1; l <= d-1; l++ {
+		c.dispatchExtras(p, l)
+		c.walkLevel(p, l)
+		// Back to the root to collect agents for the next phase.
+		env.Walk(p, c.sync, env.H.ShortestPath(c.pos(), 0), strategy.RoleSynchronizer)
+	}
+}
+
+// dispatchExtras implements step 2.1: k-1 couriers to each type-T(k)
+// node of level l, k >= 2, drawn from the pool (waiting for returners
+// when the pool runs dry — they are always inbound, so this cannot
+// deadlock).
+func (c *cleaner) dispatchExtras(p *des.Process, l int) {
+	env := c.env
+	for _, x := range env.H.NodesAtLevel(l) {
+		k := env.BT.Type(x)
+		for i := 0; i < k-1; i++ {
+			a := c.take(p)
+			c.spawnCourier(a, x)
+		}
+	}
+}
+
+// walkLevel implements steps 2.2 and 2.3 for level l.
+func (c *cleaner) walkLevel(p *des.Process, l int) {
+	env := c.env
+	cur := 0
+	for _, x := range env.H.NodesAtLevel(l) {
+		env.Walk(p, c.sync, env.H.ShortestPath(cur, x), strategy.RoleSynchronizer)
+		cur = x
+		k := env.BT.Type(x)
+		if k == 0 {
+			// 2.3: the leaf agent returns to the pool.
+			a := c.pop(x)
+			c.spawnReturner(a, x)
+			continue
+		}
+		// Wait for the full complement of k agents (extras may still
+		// be in flight), then escort one down each tree edge.
+		p.AwaitCond(env.Signal(x), func() bool { return len(c.at[x]) >= k })
+		if len(c.at[x]) != k {
+			panic(fmt.Sprintf("coordinated: node %d holds %d agents, want %d", x, len(c.at[x]), k))
+		}
+		for _, child := range env.BT.Children(x) {
+			a := c.pop(x)
+			env.MoveTogether(p, []int{c.sync, a}, child, escortRoles)
+			c.at[child] = append(c.at[child], a)
+			env.Move(p, c.sync, x, strategy.RoleSynchronizer)
+		}
+	}
+}
+
+// spawnCourier sends agent a from the root down the broadcast tree to
+// x, concurrently with the synchronizer's walk.
+func (c *cleaner) spawnCourier(a, x int) {
+	env := c.env
+	c.inFlight++
+	env.Sim.Spawn("courier", func(p *des.Process) {
+		env.Walk(p, a, env.BT.PathFromRoot(x), strategy.RoleCleaner)
+		c.at[x] = append(c.at[x], a)
+		c.inFlight--
+		env.Sim.Fire(env.Signal(x))
+	})
+}
+
+// spawnReturner walks agent a from leaf x back to the root pool.
+func (c *cleaner) spawnReturner(a, x int) {
+	env := c.env
+	c.inFlight++
+	env.Sim.Spawn("returner", func(p *des.Process) {
+		env.Walk(p, a, env.H.ShortestPath(x, 0), strategy.RoleCleaner)
+		c.pool = append(c.pool, a)
+		c.inFlight--
+		env.Sim.Fire(&c.poolSig)
+	})
+}
+
+// take pops an available agent from the root pool, waiting for a
+// returner when the pool is empty.
+func (c *cleaner) take(p *des.Process) int {
+	p.AwaitCond(&c.poolSig, func() bool { return len(c.pool) > 0 })
+	a := c.pool[len(c.pool)-1]
+	c.pool = c.pool[:len(c.pool)-1]
+	return a
+}
+
+// pop removes one agent from node x's registry.
+func (c *cleaner) pop(x int) int {
+	agents := c.at[x]
+	if len(agents) == 0 {
+		panic(fmt.Sprintf("coordinated: no agent to take at node %d", x))
+	}
+	a := agents[len(agents)-1]
+	c.at[x] = agents[:len(agents)-1]
+	return a
+}
+
+// pos returns the synchronizer's current node.
+func (c *cleaner) pos() int {
+	v, _ := c.env.B.Position(c.sync)
+	return v
+}
+
+// terminateAll retires every agent after the simulation drains.
+func (c *cleaner) terminateAll(team int) {
+	for id := 0; id < team; id++ {
+		if _, active := c.env.B.Position(id); active {
+			c.env.Terminate(id)
+		}
+	}
+}
+
+// escortRoles labels the two moves of an escorted pair: the
+// synchronizer and its cleaner move as one action, each recorded under
+// its own role.
+var escortRoles = []string{strategy.RoleSynchronizer, strategy.RoleCleaner}

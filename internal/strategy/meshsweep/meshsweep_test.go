@@ -1,0 +1,95 @@
+package meshsweep
+
+import (
+	"testing"
+
+	"hypersearch/internal/strategy/levelsweep"
+	"hypersearch/internal/strategy/optimal"
+	"hypersearch/internal/topologies"
+)
+
+func TestSweepVariousShapes(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {1, 8}, {8, 1}, {2, 2}, {3, 5}, {5, 3}, {4, 4}, {6, 9}, {9, 6}}
+	for _, s := range shapes {
+		rows, cols := s[0], s[1]
+		r, b, log := Run(rows, cols)
+		if !r.Captured || !r.MonotoneOK || !r.ContiguousOK {
+			t.Errorf("%dx%d: %s", rows, cols, r.String())
+		}
+		if r.Recontaminations != 0 {
+			t.Errorf("%dx%d: %d recontaminations", rows, cols, r.Recontaminations)
+		}
+		if r.TeamSize != Team(rows, cols) {
+			t.Errorf("%dx%d: team %d, want %d", rows, cols, r.TeamSize, Team(rows, cols))
+		}
+		if b.Agents() != r.TeamSize {
+			t.Errorf("%dx%d: board team mismatch", rows, cols)
+		}
+		// Replay on the same mesh must agree.
+		rb, err := log.Replay(topologies.Mesh(rows, cols), 0)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", rows, cols, err)
+		}
+		if !rb.AllClean() || rb.MonotoneViolations() != 0 {
+			t.Errorf("%dx%d: replay differs", rows, cols)
+		}
+	}
+}
+
+func TestTeamIsMinSide(t *testing.T) {
+	if Team(3, 7) != 3 || Team(7, 3) != 3 || Team(5, 5) != 5 {
+		t.Error("Team wrong")
+	}
+}
+
+func TestSweepMatchesOptimalOnSmallMeshes(t *testing.T) {
+	shapes := [][2]int{{2, 3}, {3, 3}, {3, 4}, {4, 4}, {2, 6}}
+	for _, s := range shapes {
+		rows, cols := s[0], s[1]
+		g := topologies.Mesh(rows, cols)
+		a := optimal.MinimalTeam(g, 0, 8, optimal.Limits{})
+		if !a.Feasible {
+			t.Fatalf("%dx%d: no optimum found", rows, cols)
+		}
+		if Team(rows, cols) != a.Team {
+			t.Errorf("%dx%d: sweep team %d, optimum %d", rows, cols, Team(rows, cols), a.Team)
+		}
+	}
+}
+
+func TestSweepBeatsGenericLevelSweep(t *testing.T) {
+	// The dedicated sweep must never use more agents than the generic
+	// BFS-level strategy on the same mesh.
+	shapes := [][2]int{{4, 4}, {4, 8}, {6, 6}, {3, 9}}
+	for _, s := range shapes {
+		rows, cols := s[0], s[1]
+		generic := levelsweep.Team(topologies.Mesh(rows, cols), 0)
+		if Team(rows, cols) > generic {
+			t.Errorf("%dx%d: dedicated %d > generic %d", rows, cols, Team(rows, cols), generic)
+		}
+	}
+}
+
+func TestSweepMoveCount(t *testing.T) {
+	// Deployment: sum_{r=1}^{rows-1} r; advance: rows * (cols - 1),
+	// in normalized (rows <= cols) orientation.
+	r, _, _ := Run(3, 5)
+	want := int64(1+2) + int64(3*4)
+	if r.TotalMoves != want {
+		t.Errorf("3x5 moves = %d, want %d", r.TotalMoves, want)
+	}
+	// Transposed input gives identical costs.
+	rt, _, _ := Run(5, 3)
+	if rt.TotalMoves != want || rt.TeamSize != r.TeamSize {
+		t.Error("transposed sweep differs")
+	}
+}
+
+func TestSweepRejectsInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("0x3 accepted")
+		}
+	}()
+	Run(0, 3)
+}

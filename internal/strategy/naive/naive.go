@@ -1,0 +1,108 @@
+// Package naive implements contamination-oblivious sweep baselines:
+// traversals that visit every node but do not guard the frontier. They
+// motivate the paper's problem — against an arbitrarily fast intruder,
+// covering the graph is not capturing (experiment X4).
+package naive
+
+import (
+	"hypersearch/internal/des"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/strategy"
+)
+
+// DFSName and ConvoyName identify the baselines in results.
+const (
+	DFSName    = "naive-dfs"
+	ConvoyName = "naive-convoy"
+)
+
+// RunDFS sweeps H_d with a single agent walking a depth-first
+// traversal (each tree retreat walks back along tree edges). It visits
+// every node, but the contamination closure reclaims territory behind
+// it; the result records how badly.
+func RunDFS(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
+	env := strategy.NewEnv(d, opts)
+	a := env.Place(strategy.RoleCleaner)
+	if d > 0 {
+		env.Sim.Spawn("dfs", func(p *des.Process) {
+			walkDFS(env, p, a)
+		})
+	}
+	env.Sim.Run()
+	env.Terminate(a)
+	return env.Result(DFSName), env
+}
+
+// walkDFS performs an explicit-stack DFS from the homebase, moving the
+// agent along each tree edge down and back up.
+func walkDFS(env *strategy.Env, p *des.Process, a int) {
+	seen := make([]bool, env.H.Order())
+	var rec func(v int)
+	rec = func(v int) {
+		seen[v] = true
+		for _, w := range env.H.Neighbours(v) {
+			if !seen[w] {
+				env.Move(p, a, w, strategy.RoleCleaner)
+				rec(w)
+				env.Move(p, a, v, strategy.RoleCleaner)
+			}
+		}
+	}
+	rec(0)
+}
+
+// RunConvoy sweeps with `team` agents marching in single file along the
+// same DFS route, one step apart: more bodies, same obliviousness. It
+// shows that throwing agents at an unguarded sweep does not help until
+// the team is large enough to behave like a frontier.
+func RunConvoy(d, team int, opts strategy.Options) (metrics.Result, *strategy.Env) {
+	env := strategy.NewEnv(d, opts)
+	if team < 1 {
+		team = 1
+	}
+	agents := make([]int, team)
+	for i := range agents {
+		agents[i] = env.Place(strategy.RoleCleaner)
+	}
+	if d > 0 {
+		walk := expandWalk(env)
+		env.Sim.Spawn("convoy", func(p *des.Process) {
+			// Agent i trails agent i-1 by one walk position, guarding
+			// a moving window of `team` nodes behind the leader.
+			for step := 0; step < len(walk)+team-1; step++ {
+				for i := 0; i < team; i++ {
+					idx := step - i
+					if idx >= 0 && idx < len(walk) {
+						env.Move(p, agents[i], walk[idx], strategy.RoleCleaner)
+					}
+				}
+			}
+		})
+	}
+	env.Sim.Run()
+	for _, a := range agents {
+		env.Terminate(a)
+	}
+	return env.Result(ConvoyName), env
+}
+
+// expandWalk turns the DFS of the hypercube into a legal edge walk
+// starting at the homebase (with backtrack steps), excluding the start
+// node itself.
+func expandWalk(env *strategy.Env) []int {
+	seen := make([]bool, env.H.Order())
+	var walk []int
+	var rec func(v int)
+	rec = func(v int) {
+		seen[v] = true
+		for _, w := range env.H.Neighbours(v) {
+			if !seen[w] {
+				walk = append(walk, w)
+				rec(w)
+				walk = append(walk, v)
+			}
+		}
+	}
+	rec(0)
+	return walk
+}

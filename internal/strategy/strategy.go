@@ -1,0 +1,246 @@
+// Package strategy provides the shared execution environment the
+// cleaning strategies run on: a hypercube board driven by the
+// discrete-event simulator, with per-move latency models (unit latency
+// for ideal-time measurement, seeded random latency as the asynchronous
+// adversary), structured trace recording, per-node condition signals
+// for visibility-style waiting, and result assembly.
+package strategy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hypersearch/internal/board"
+	"hypersearch/internal/des"
+	"hypersearch/internal/heapqueue"
+	"hypersearch/internal/hypercube"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/trace"
+)
+
+// Latency models how long one edge traversal takes. Draws happen in
+// deterministic DES order, so a seeded latency makes the whole run
+// reproducible.
+type Latency interface {
+	// Draw returns the duration (>= 1) of a move from one node to a
+	// neighbour.
+	Draw(from, to int) int64
+}
+
+// Unit is the ideal-time model: every move takes exactly one step.
+type Unit struct{}
+
+// Draw implements Latency.
+func (Unit) Draw(_, _ int) int64 { return 1 }
+
+// Adversarial draws durations uniformly from [1, Max], seeded: the
+// standard asynchronous adversary used by the robustness experiments.
+type Adversarial struct {
+	rng *rand.Rand
+	max int64
+}
+
+// NewAdversarial returns an adversarial latency with durations in
+// [1, max].
+func NewAdversarial(seed, max int64) *Adversarial {
+	if max < 1 {
+		panic("strategy: adversarial max latency must be >= 1")
+	}
+	return &Adversarial{rng: rand.New(rand.NewSource(seed)), max: max}
+}
+
+// Draw implements Latency.
+func (a *Adversarial) Draw(_, _ int) int64 { return 1 + a.rng.Int63n(a.max) }
+
+// ContiguityCheck selects how often the O(n) connectivity invariant is
+// verified during a run.
+type ContiguityCheck int
+
+// Checking modes, from cheapest to most thorough.
+const (
+	CheckFinal     ContiguityCheck = iota // once, at the end
+	CheckEveryMove                        // after every move (tests, small d)
+	CheckNever                            // benchmarks
+)
+
+// Options configures an execution environment.
+type Options struct {
+	Latency    Latency         // nil means Unit{}
+	Contiguity ContiguityCheck // default CheckFinal
+	Record     bool            // keep a full trace log
+}
+
+// Env is the execution environment for one strategy run on H_d.
+type Env struct {
+	H   *hypercube.Hypercube
+	BT  *heapqueue.Tree
+	Sim *des.Simulator
+	B   *board.Board
+
+	opts         Options
+	log          *trace.Log
+	sigs         []des.Signal
+	contiguousOK bool
+	roleMoves    map[string]int64
+}
+
+// NewEnv builds an environment for dimension d with all nodes
+// contaminated except the homebase 0.
+func NewEnv(d int, opts Options) *Env {
+	if opts.Latency == nil {
+		opts.Latency = Unit{}
+	}
+	h := hypercube.New(d)
+	e := &Env{
+		H:            h,
+		BT:           heapqueue.New(d),
+		Sim:          des.New(),
+		B:            board.New(h, 0),
+		opts:         opts,
+		sigs:         make([]des.Signal, h.Order()),
+		contiguousOK: true,
+		roleMoves:    map[string]int64{},
+	}
+	if opts.Record {
+		e.log = &trace.Log{}
+	}
+	return e
+}
+
+// Log returns the trace log, or nil if recording was off.
+func (e *Env) Log() *trace.Log { return e.log }
+
+// Signal returns node v's condition signal; it fires whenever the
+// board changes at v or at a neighbour of v.
+func (e *Env) Signal(v int) *des.Signal { return &e.sigs[v] }
+
+func (e *Env) fireAround(v int) {
+	e.Sim.Fire(&e.sigs[v])
+	for _, w := range e.H.Neighbours(v) {
+		e.Sim.Fire(&e.sigs[w])
+	}
+}
+
+// Place creates an agent on the homebase at the current time.
+func (e *Env) Place(role string) int {
+	id := e.B.Place(e.Sim.Now())
+	if e.log != nil {
+		e.log.Append(trace.Event{Time: e.Sim.Now(), Kind: trace.Place, Agent: id, To: e.B.Home(), Role: role})
+	}
+	e.fireAround(e.B.Home())
+	return id
+}
+
+// Clone creates an agent on v (which must hold one) at the current
+// time; parent records provenance in the trace.
+func (e *Env) Clone(parent, v int, role string) int {
+	id := e.B.Clone(v, e.Sim.Now())
+	if e.log != nil {
+		e.log.Append(trace.Event{Time: e.Sim.Now(), Kind: trace.Clone, Agent: id, From: parent, To: v, Role: role})
+	}
+	e.fireAround(v)
+	return id
+}
+
+// Terminate retires an agent in place.
+func (e *Env) Terminate(agent int) {
+	v, _ := e.B.Position(agent)
+	e.B.Terminate(agent, e.Sim.Now())
+	if e.log != nil {
+		e.log.Append(trace.Event{Time: e.Sim.Now(), Kind: trace.Terminate, Agent: agent, From: v, To: v})
+	}
+	e.fireAround(v)
+}
+
+// apply performs the instantaneous part of a move at the current
+// simulation time: board update, trace, invariant check, signals.
+func (e *Env) apply(agent, to int, role string) {
+	from, _ := e.B.Position(agent)
+	e.B.Move(agent, to, e.Sim.Now())
+	e.roleMoves[role]++
+	if e.log != nil {
+		e.log.Append(trace.Event{Time: e.Sim.Now(), Kind: trace.Move, Agent: agent, From: from, To: to, Role: role})
+	}
+	if e.opts.Contiguity == CheckEveryMove && e.contiguousOK {
+		e.contiguousOK = e.B.Contiguous()
+	}
+	e.fireAround(from)
+	e.fireAround(to)
+}
+
+// Move walks one edge: the calling process sleeps for the drawn
+// latency, then the move applies atomically (the agent occupies the
+// source until completion — the standard graph-search action model).
+func (e *Env) Move(p *des.Process, agent, to int, role string) {
+	from, _ := e.B.Position(agent)
+	p.Delay(e.opts.Latency.Draw(from, to))
+	e.apply(agent, to, role)
+}
+
+// MoveTogether moves a group of agents across the same edge as one
+// action (the synchronizer escorting a cleaner): one latency draw, all
+// moves applied at the same instant. roles[i] labels agents[i]'s move.
+func (e *Env) MoveTogether(p *des.Process, agents []int, to int, roles []string) {
+	if len(agents) == 0 || len(agents) != len(roles) {
+		panic("strategy: MoveTogether needs matching agents and roles")
+	}
+	from, _ := e.B.Position(agents[0])
+	p.Delay(e.opts.Latency.Draw(from, to))
+	for i, a := range agents {
+		e.apply(a, to, roles[i])
+	}
+}
+
+// Walk moves an agent along a path (path[0] must be its current node).
+func (e *Env) Walk(p *des.Process, agent int, path []int, role string) {
+	if len(path) == 0 {
+		return
+	}
+	if at, _ := e.B.Position(agent); at != path[0] {
+		panic(fmt.Sprintf("strategy: Walk of agent %d starting at %d, path starts at %d", agent, at, path[0]))
+	}
+	for _, v := range path[1:] {
+		e.Move(p, agent, v, role)
+	}
+}
+
+// RoleMoves returns the number of moves recorded for a role.
+func (e *Env) RoleMoves(role string) int64 { return e.roleMoves[role] }
+
+// Result assembles the run's cost and correctness summary. Call it
+// after Sim.Run has returned.
+func (e *Env) Result(name string) metrics.Result {
+	ok := e.contiguousOK
+	if e.opts.Contiguity != CheckNever {
+		ok = ok && e.B.Contiguous()
+	}
+	var agentMoves, syncMoves int64
+	for role, n := range e.roleMoves {
+		if role == RoleSynchronizer {
+			syncMoves += n
+		} else {
+			agentMoves += n
+		}
+	}
+	return metrics.Result{
+		Strategy:         name,
+		Dim:              e.H.Dim(),
+		Nodes:            e.H.Order(),
+		TeamSize:         e.B.Agents(),
+		PeakAway:         e.B.PeakAway(),
+		AgentMoves:       agentMoves,
+		SyncMoves:        syncMoves,
+		TotalMoves:       e.B.Moves(),
+		Makespan:         e.B.Now(),
+		Recontaminations: e.B.Recontaminations(),
+		MonotoneOK:       e.B.MonotoneViolations() == 0,
+		ContiguousOK:     ok,
+		Captured:         e.B.AllClean(),
+	}
+}
+
+// Role names used in traces and per-role move accounting.
+const (
+	RoleSynchronizer = "synchronizer"
+	RoleCleaner      = "cleaner"
+)

@@ -1,0 +1,161 @@
+package strategy
+
+import (
+	"testing"
+
+	"hypersearch/internal/des"
+)
+
+func TestUnitLatency(t *testing.T) {
+	if (Unit{}).Draw(0, 1) != 1 {
+		t.Error("unit latency wrong")
+	}
+}
+
+func TestAdversarialLatencyRangeAndDeterminism(t *testing.T) {
+	a := NewAdversarial(5, 10)
+	b := NewAdversarial(5, 10)
+	for i := 0; i < 1000; i++ {
+		x := a.Draw(0, 1)
+		if x < 1 || x > 10 {
+			t.Fatalf("draw %d out of range", x)
+		}
+		if x != b.Draw(0, 1) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestAdversarialRejectsBadMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("max < 1 accepted")
+		}
+	}()
+	NewAdversarial(1, 0)
+}
+
+func TestEnvPlaceMoveWalk(t *testing.T) {
+	e := NewEnv(3, Options{Record: true, Contiguity: CheckEveryMove})
+	a := e.Place(RoleCleaner)
+	e.Sim.Spawn("walker", func(p *des.Process) {
+		e.Walk(p, a, e.H.ShortestPath(0, 7), RoleCleaner)
+	})
+	e.Sim.Run()
+	if got, _ := e.B.Position(a); got != 7 {
+		t.Errorf("agent at %d", got)
+	}
+	if e.RoleMoves(RoleCleaner) != 3 {
+		t.Errorf("moves = %d", e.RoleMoves(RoleCleaner))
+	}
+	if e.Log().Len() != 4 { // 1 place + 3 moves
+		t.Errorf("log len = %d", e.Log().Len())
+	}
+	if e.B.Now() != 3 {
+		t.Errorf("makespan = %d", e.B.Now())
+	}
+}
+
+func TestEnvWalkValidatesStart(t *testing.T) {
+	e := NewEnv(2, Options{})
+	a := e.Place(RoleCleaner)
+	e.Sim.Spawn("bad", func(p *des.Process) {
+		defer func() {
+			if recover() == nil {
+				t.Error("walk from wrong start accepted")
+			}
+		}()
+		e.Walk(p, a, []int{1, 3}, RoleCleaner)
+	})
+	e.Sim.Run()
+}
+
+func TestMoveTogetherSimultaneous(t *testing.T) {
+	e := NewEnv(2, Options{Record: true})
+	a := e.Place(RoleSynchronizer)
+	b := e.Place(RoleCleaner)
+	e.Sim.Spawn("pair", func(p *des.Process) {
+		e.MoveTogether(p, []int{a, b}, 1, []string{RoleSynchronizer, RoleCleaner})
+	})
+	e.Sim.Run()
+	events := e.Log().Events()
+	last := events[len(events)-1]
+	prev := events[len(events)-2]
+	if last.Time != prev.Time {
+		t.Error("escorted moves not simultaneous")
+	}
+	if e.RoleMoves(RoleSynchronizer) != 1 || e.RoleMoves(RoleCleaner) != 1 {
+		t.Error("role accounting wrong")
+	}
+}
+
+func TestMoveTogetherValidation(t *testing.T) {
+	e := NewEnv(2, Options{})
+	a := e.Place(RoleCleaner)
+	e.Sim.Spawn("bad", func(p *des.Process) {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched roles accepted")
+			}
+		}()
+		e.MoveTogether(p, []int{a}, 1, nil)
+	})
+	e.Sim.Run()
+}
+
+func TestSignalsFireOnNeighbourChange(t *testing.T) {
+	e := NewEnv(3, Options{})
+	a := e.Place(RoleCleaner)
+	woke := false
+	e.Sim.Spawn("watcher", func(p *des.Process) {
+		// Node 3 is a neighbour of 1; moving the agent to 1 must wake it.
+		p.Await(e.Signal(3))
+		woke = true
+	})
+	e.Sim.Spawn("mover", func(p *des.Process) {
+		e.Move(p, a, 1, RoleCleaner)
+	})
+	e.Sim.Run()
+	if !woke {
+		t.Error("signal did not propagate to neighbour")
+	}
+}
+
+func TestResultAssembly(t *testing.T) {
+	e := NewEnv(1, Options{Record: true})
+	a := e.Place(RoleCleaner)
+	e.Sim.Spawn("m", func(p *des.Process) { e.Move(p, a, 1, RoleCleaner) })
+	e.Sim.Run()
+	e.Terminate(a)
+	r := e.Result("test")
+	if !r.Captured || !r.MonotoneOK || !r.ContiguousOK {
+		t.Errorf("result = %+v", r)
+	}
+	if r.TeamSize != 1 || r.TotalMoves != 1 || r.Makespan != 1 || r.Dim != 1 || r.Nodes != 2 {
+		t.Errorf("result = %+v", r)
+	}
+	if r.SyncMoves != 0 || r.AgentMoves != 1 {
+		t.Errorf("role split = %+v", r)
+	}
+}
+
+func TestContiguityViolationDetected(t *testing.T) {
+	// Two agents on H_3: one stays home, the other walks 0->1->3. When
+	// it leaves node 1, node 1 floods (neighbour 5 is contaminated),
+	// leaving the decontaminated set {0 guarded, 3 guarded}, and 0-3 is
+	// not an edge: the every-move contiguity check must trip.
+	e := NewEnv(3, Options{Contiguity: CheckEveryMove})
+	e.Place(RoleCleaner) // rear guard stays home
+	a := e.Place(RoleCleaner)
+	e.Sim.Spawn("w", func(p *des.Process) {
+		e.Walk(p, a, []int{0, 1, 3}, RoleCleaner)
+	})
+	e.Sim.Run()
+	r := e.Result("bad")
+	if r.ContiguousOK {
+		t.Error("disconnected clean set not detected")
+	}
+	if r.Captured {
+		t.Error("this walk cannot capture")
+	}
+}

@@ -1,0 +1,90 @@
+// Package synchronous implements the synchronous variant of Section 5
+// ("Observations on Synchronicity"): agents move in lockstep rounds
+// and start simultaneously, so no visibility is needed. The agents on
+// node x move exactly at global time t = m(x) (the position of x's
+// most significant bit); at that time all smaller neighbours of x are
+// implicitly known to be clean or guarded.
+//
+// The implementation asserts, rather than assumes, the implicit-safety
+// claim: at dispatch time the node must hold its full complement, and
+// the run must finish with zero recontaminations — so every passing
+// run is a constructive check of the Section 5 observation.
+package synchronous
+
+import (
+	"fmt"
+
+	"hypersearch/internal/combin"
+	"hypersearch/internal/des"
+	"hypersearch/internal/heapqueue"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/strategy"
+)
+
+// Name identifies the strategy in results and registries.
+const Name = "synchronous"
+
+// Run executes the synchronous variant on H_d. The latency model is
+// forced to unit latency: the variant is only defined for synchronous
+// systems.
+func Run(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
+	opts.Latency = strategy.Unit{}
+	env := strategy.NewEnv(d, opts)
+	team := int(combin.VisibilityAgents(d))
+	at := make(map[int][]int, env.H.Order())
+	for i := 0; i < team; i++ {
+		at[0] = append(at[0], env.Place(strategy.RoleCleaner))
+	}
+
+	if d > 0 {
+		for v := 0; v < env.H.Order(); v++ {
+			spawnNode(env, at, v)
+		}
+	}
+	env.Sim.Run()
+
+	for id := 0; id < team; id++ {
+		if _, active := env.B.Position(id); active {
+			env.Terminate(id)
+		}
+	}
+	return env.Result(Name), env
+}
+
+func spawnNode(env *strategy.Env, at map[int][]int, v int) {
+	k := env.BT.Type(v)
+	required := int(heapqueue.AgentsRequired(k))
+	moveAt := int64(env.H.Class(v)) // t = m(x)
+	env.Sim.Spawn(fmt.Sprintf("node-%d", v), func(p *des.Process) {
+		p.Delay(moveAt)
+		// Re-yield once so that arrivals scheduled for this same round
+		// (from t = m(x)-1) apply first: in continuous time an arrival
+		// "at t" precedes the dispatch "at t".
+		p.Delay(0)
+		// No visibility read: the schedule itself must guarantee the
+		// complement has arrived. Assert it.
+		if len(at[v]) != required {
+			panic(fmt.Sprintf("synchronous: node %d holds %d agents at t=%d, want %d",
+				v, len(at[v]), p.Now(), required))
+		}
+		if k == 0 {
+			env.Terminate(at[v][0])
+			at[v] = nil
+			return
+		}
+		children := env.BT.Children(v)
+		plan := heapqueue.DispatchPlan(k)
+		for i, child := range children {
+			for j := int64(0); j < plan[i]; j++ {
+				agents := at[v]
+				a := agents[len(agents)-1]
+				at[v] = agents[:len(agents)-1]
+				child := child
+				env.Sim.Spawn("mover", func(q *des.Process) {
+					env.Move(q, a, child, strategy.RoleCleaner)
+					at[child] = append(at[child], a)
+				})
+			}
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package synchronous
+
+import (
+	"testing"
+
+	"hypersearch/internal/combin"
+	"hypersearch/internal/strategy"
+)
+
+func TestSynchronousSmallDimensionsFullChecks(t *testing.T) {
+	for d := 0; d <= 8; d++ {
+		r, _ := Run(d, strategy.Options{Contiguity: strategy.CheckEveryMove})
+		if !r.Captured || !r.MonotoneOK || !r.ContiguousOK {
+			t.Errorf("d=%d: %s", d, r.String())
+		}
+		// A passing run certifies the Section 5 claim: dispatching at
+		// t = m(x) with no visibility never recontaminates.
+		if r.Recontaminations != 0 {
+			t.Errorf("d=%d: %d recontaminations", d, r.Recontaminations)
+		}
+	}
+}
+
+func TestSynchronousMatchesVisibilityCosts(t *testing.T) {
+	// Same agents (n/2), same time (d), same moves as the visibility
+	// strategy — only the model differs.
+	for d := 1; d <= 9; d++ {
+		r, _ := Run(d, strategy.Options{})
+		if int64(r.TeamSize) != combin.VisibilityAgents(d) {
+			t.Errorf("d=%d: team %d", d, r.TeamSize)
+		}
+		if r.Makespan != combin.VisibilityTime(d) {
+			t.Errorf("d=%d: makespan %d", d, r.Makespan)
+		}
+		if r.TotalMoves != combin.VisibilityMoves(d) {
+			t.Errorf("d=%d: moves %d", d, r.TotalMoves)
+		}
+	}
+}
+
+func TestSynchronousForcesUnitLatency(t *testing.T) {
+	// The variant is undefined for asynchronous systems; Run overrides
+	// the latency model rather than miscount rounds.
+	r, _ := Run(5, strategy.Options{Latency: strategy.NewAdversarial(3, 9)})
+	if !r.Ok() || r.Makespan != 5 {
+		t.Errorf("latency override failed: %s", r.String())
+	}
+}

@@ -1,0 +1,68 @@
+package torussweep
+
+import (
+	"testing"
+
+	"hypersearch/internal/strategy/optimal"
+	"hypersearch/internal/topologies"
+)
+
+func TestSweepVariousShapes(t *testing.T) {
+	shapes := [][2]int{{3, 3}, {3, 5}, {5, 3}, {4, 4}, {4, 7}, {6, 6}}
+	for _, s := range shapes {
+		rows, cols := s[0], s[1]
+		r, _, log := Run(rows, cols)
+		if !r.Captured || !r.MonotoneOK || !r.ContiguousOK {
+			t.Errorf("%dx%d: %s", rows, cols, r.String())
+		}
+		if r.Recontaminations != 0 {
+			t.Errorf("%dx%d: %d recontaminations", rows, cols, r.Recontaminations)
+		}
+		if r.TeamSize != Team(rows, cols) {
+			t.Errorf("%dx%d: team %d, want %d", rows, cols, r.TeamSize, Team(rows, cols))
+		}
+		rb, err := log.Replay(topologies.Torus(rows, cols), 0)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", rows, cols, err)
+		}
+		if !rb.AllClean() || rb.MonotoneViolations() != 0 {
+			t.Errorf("%dx%d: replay differs", rows, cols)
+		}
+	}
+}
+
+func TestSweepWithinOneOfOptimal(t *testing.T) {
+	// On small square tori the exhaustive optimum is 2*min - 1; the
+	// two-rank sweep pays exactly one extra agent for its simplicity.
+	for _, s := range [][2]int{{3, 3}, {3, 4}, {4, 4}} {
+		rows, cols := s[0], s[1]
+		g := topologies.Torus(rows, cols)
+		a := optimal.MinimalTeam(g, 0, 10, optimal.Limits{})
+		if !a.Feasible {
+			t.Fatalf("%dx%d: no optimum", rows, cols)
+		}
+		if Team(rows, cols) < a.Team {
+			t.Fatalf("%dx%d: sweep %d beats proven optimum %d", rows, cols, Team(rows, cols), a.Team)
+		}
+		if Team(rows, cols) > a.Team+1 {
+			t.Errorf("%dx%d: sweep %d more than optimum+1 (%d)", rows, cols, Team(rows, cols), a.Team)
+		}
+	}
+}
+
+func TestSweepRejectsSmallSides(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("2x5 torus accepted")
+		}
+	}()
+	Run(2, 5)
+}
+
+func TestTransposeSymmetry(t *testing.T) {
+	a, _, _ := Run(3, 6)
+	b, _, _ := Run(6, 3)
+	if a.TeamSize != b.TeamSize || a.TotalMoves != b.TotalMoves {
+		t.Errorf("transpose differs: %s vs %s", a.String(), b.String())
+	}
+}

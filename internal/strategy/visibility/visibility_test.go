@@ -1,0 +1,140 @@
+package visibility
+
+import (
+	"testing"
+
+	"hypersearch/internal/combin"
+	"hypersearch/internal/strategy"
+)
+
+func TestVisibilitySmallDimensionsFullChecks(t *testing.T) {
+	for d := 0; d <= 8; d++ {
+		r, _ := Run(d, strategy.Options{Contiguity: strategy.CheckEveryMove})
+		if !r.Captured || !r.MonotoneOK || !r.ContiguousOK {
+			t.Errorf("d=%d: %s", d, r.String())
+		}
+		if r.Recontaminations != 0 {
+			t.Errorf("d=%d: %d recontaminations", d, r.Recontaminations)
+		}
+	}
+}
+
+func TestTheorem5AgentCount(t *testing.T) {
+	for d := 1; d <= 10; d++ {
+		r, _ := Run(d, strategy.Options{})
+		if int64(r.TeamSize) != combin.VisibilityAgents(d) {
+			t.Errorf("d=%d: team %d, want n/2 = %d", d, r.TeamSize, combin.VisibilityAgents(d))
+		}
+	}
+}
+
+func TestTheorem7TimeIsExactlyD(t *testing.T) {
+	// Under unit latency the makespan is exactly d = log n: class C_i
+	// is cleaned at time i.
+	for d := 1; d <= 10; d++ {
+		r, _ := Run(d, strategy.Options{})
+		if r.Makespan != int64(d) {
+			t.Errorf("d=%d: makespan %d, want %d", d, r.Makespan, d)
+		}
+	}
+}
+
+func TestTheorem8MoveCount(t *testing.T) {
+	// Total moves = sum of broadcast-tree leaf depths = (d+1)*2^(d-2).
+	for d := 1; d <= 10; d++ {
+		r, _ := Run(d, strategy.Options{})
+		if r.TotalMoves != combin.VisibilityMoves(d) {
+			t.Errorf("d=%d: moves %d, want %d", d, r.TotalMoves, combin.VisibilityMoves(d))
+		}
+		if r.SyncMoves != 0 {
+			t.Errorf("d=%d: local strategy has a synchronizer?", d)
+		}
+	}
+}
+
+func TestClassesCleanInTimeOrder(t *testing.T) {
+	// The Theorem 7 induction: the agents on class C_i depart at time i
+	// (Figure 4's schedule). The paper calls C_i "clean at time i" at
+	// the departure instant; under our atomic-at-completion move
+	// semantics a non-leaf C_i node settles when its departures
+	// complete, at time i+1. Leaves (all in C_d) terminate once every
+	// neighbour is clean or guarded, no later than time d.
+	const d = 6
+	_, env := Run(d, strategy.Options{})
+	for v := 1; v < env.H.Order(); v++ {
+		i := env.H.Class(v)
+		got := env.B.CleanTime(v)
+		if env.BT.IsLeaf(v) {
+			if got < int64(env.H.Level(v)) || got > d {
+				t.Errorf("leaf %d settled at %d", v, got)
+			}
+			continue
+		}
+		if got != int64(i)+1 {
+			t.Errorf("node %d in C_%d settled at %d, want %d", v, i, got, i+1)
+		}
+	}
+	if got := env.B.CleanTime(0); got != 1 {
+		t.Errorf("root settled at %d", got)
+	}
+}
+
+func TestVisibilityUnderAdversarialAsynchrony(t *testing.T) {
+	// The waiting condition is monotone, so arbitrary latencies must
+	// never deadlock or break the invariants; move totals are
+	// schedule-independent.
+	for seed := int64(0); seed < 12; seed++ {
+		r, _ := Run(5, strategy.Options{
+			Latency:    strategy.NewAdversarial(seed, 9),
+			Contiguity: strategy.CheckEveryMove,
+		})
+		if !r.Ok() || r.Recontaminations != 0 {
+			t.Errorf("seed %d: %s", seed, r.String())
+		}
+		if r.TotalMoves != combin.VisibilityMoves(5) {
+			t.Errorf("seed %d: moves %d", seed, r.TotalMoves)
+		}
+		if r.Makespan < 5 {
+			t.Errorf("seed %d: impossible makespan %d", seed, r.Makespan)
+		}
+	}
+}
+
+func TestPeakAwayIsWholeTeam(t *testing.T) {
+	// Every agent leaves the root (they all end on leaves): the peak
+	// away-count equals the team size.
+	r, _ := Run(6, strategy.Options{})
+	if r.PeakAway != r.TeamSize {
+		t.Errorf("peak %d != team %d", r.PeakAway, r.TeamSize)
+	}
+}
+
+func TestVisibilityTraceReplays(t *testing.T) {
+	r, env := Run(5, strategy.Options{Record: true})
+	b, err := env.Log().Replay(env.H, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.AllClean() || b.Moves() != r.TotalMoves {
+		t.Error("replay disagrees with live run")
+	}
+}
+
+func TestAgentsEndOnDistinctLeaves(t *testing.T) {
+	const d = 6
+	r, env := Run(d, strategy.Options{})
+	seen := map[int]bool{}
+	for id := 0; id < r.TeamSize; id++ {
+		v, active := env.B.Position(id)
+		if active {
+			t.Errorf("agent %d still active", id)
+		}
+		if !env.BT.IsLeaf(v) {
+			t.Errorf("agent %d ended on non-leaf %d", id, v)
+		}
+		if seen[v] {
+			t.Errorf("two agents ended on leaf %d", v)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,31 @@
+package topologies
+
+import (
+	"testing"
+
+	"hypersearch/internal/graph"
+)
+
+// FuzzParse asserts that no spec string can panic the parser and that
+// every accepted spec yields a connected graph.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"hypercube:4", "path:9", "ring:8", "mesh:3x4", "torus:3x4",
+		"complete:6", "star:5", "random:12:4:7", "mesh:0x0", "blob", ":",
+		"hypercube:-1", "random:1:0:9223372036854775807", "mesh:1x1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		g, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if g.Order() < 1 {
+			t.Fatalf("spec %q produced empty graph", spec)
+		}
+		if g.Order() <= 1<<12 && !graph.Connected(g) {
+			t.Fatalf("spec %q produced a disconnected graph", spec)
+		}
+	})
+}

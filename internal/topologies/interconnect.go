@@ -1,0 +1,53 @@
+package topologies
+
+import (
+	"fmt"
+
+	"hypersearch/internal/graph"
+)
+
+// CubeConnectedCycles returns CCC(d): each hypercube corner is blown
+// up into a d-cycle; cycle vertex (x, i) connects to its cycle
+// neighbours (x, i±1 mod d) and across dimension i to (x ^ 2^i, i).
+// CCC(d) has d*2^d vertices, all of degree 3 — the classic
+// constant-degree stand-in for the hypercube. Vertex (x, i) has index
+// x*d + i. Requires d >= 3 so the cycle edges are simple.
+func CubeConnectedCycles(d int) *graph.Adjacency {
+	if d < 3 || d > 16 {
+		panic(fmt.Sprintf("topologies: CCC dimension %d out of range [3,16]", d))
+	}
+	n := d * (1 << d)
+	g := graph.NewAdjacency(n)
+	id := func(x, i int) int { return x*d + i }
+	for x := 0; x < 1<<d; x++ {
+		for i := 0; i < d; i++ {
+			// Cycle edge to (x, i+1); added once per pair.
+			g.AddEdge(id(x, i), id(x, (i+1)%d))
+			// Cube edge across dimension i; add from the lower copy.
+			if x&(1<<i) == 0 {
+				g.AddEdge(id(x, i), id(x^(1<<i), i))
+			}
+		}
+	}
+	return g
+}
+
+// Butterfly returns the d-dimensional (wrapped = false) butterfly
+// network: levels 0..d of 2^d rows; vertex (l, r) connects to
+// (l+1, r) and (l+1, r ^ 2^l). It has (d+1)*2^d vertices. Vertex
+// (l, r) has index l*2^d + r.
+func Butterfly(d int) *graph.Adjacency {
+	if d < 1 || d > 16 {
+		panic(fmt.Sprintf("topologies: butterfly dimension %d out of range [1,16]", d))
+	}
+	rows := 1 << d
+	g := graph.NewAdjacency((d + 1) * rows)
+	id := func(l, r int) int { return l*rows + r }
+	for l := 0; l < d; l++ {
+		for r := 0; r < rows; r++ {
+			g.AddEdge(id(l, r), id(l+1, r))
+			g.AddEdge(id(l, r), id(l+1, r^(1<<l)))
+		}
+	}
+	return g
+}

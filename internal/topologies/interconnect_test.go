@@ -1,0 +1,74 @@
+package topologies
+
+import (
+	"testing"
+
+	"hypersearch/internal/graph"
+)
+
+func TestCubeConnectedCyclesStructure(t *testing.T) {
+	for d := 3; d <= 6; d++ {
+		g := CubeConnectedCycles(d)
+		if g.Order() != d*(1<<d) {
+			t.Fatalf("CCC(%d) order = %d", d, g.Order())
+		}
+		// 3-regular: d*2^d vertices, 3*d*2^d/2 edges.
+		if g.Size() != 3*d*(1<<d)/2 {
+			t.Errorf("CCC(%d) size = %d", d, g.Size())
+		}
+		for v := 0; v < g.Order(); v++ {
+			if len(g.Neighbours(v)) != 3 {
+				t.Fatalf("CCC(%d) vertex %d has degree %d", d, v, len(g.Neighbours(v)))
+			}
+		}
+		if !graph.Connected(g) {
+			t.Errorf("CCC(%d) disconnected", d)
+		}
+	}
+}
+
+func TestCCCBounds(t *testing.T) {
+	for _, d := range []int{2, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CCC(%d) accepted", d)
+				}
+			}()
+			CubeConnectedCycles(d)
+		}()
+	}
+}
+
+func TestButterflyStructure(t *testing.T) {
+	for d := 1; d <= 6; d++ {
+		g := Butterfly(d)
+		if g.Order() != (d+1)*(1<<d) {
+			t.Fatalf("BF(%d) order = %d", d, g.Order())
+		}
+		// Each of the d levels contributes 2^(d+1) edges.
+		if g.Size() != d*(1<<(d+1)) {
+			t.Errorf("BF(%d) size = %d", d, g.Size())
+		}
+		if !graph.Connected(g) {
+			t.Errorf("BF(%d) disconnected", d)
+		}
+		// End levels have degree 2, middle levels degree 4.
+		rows := 1 << d
+		if len(g.Neighbours(0)) != 2 || len(g.Neighbours(d*rows)) != 2 {
+			t.Errorf("BF(%d) end degrees wrong", d)
+		}
+		if d >= 2 && len(g.Neighbours(rows)) != 4 {
+			t.Errorf("BF(%d) middle degree = %d", d, len(g.Neighbours(rows)))
+		}
+	}
+}
+
+func TestButterflyBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Butterfly(0) accepted")
+		}
+	}()
+	Butterfly(0)
+}

@@ -1,0 +1,131 @@
+package topologies
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hypersearch/internal/graph"
+	"hypersearch/internal/hypercube"
+)
+
+// Parse builds a graph from a compact spec string, for the generic
+// command-line tools:
+//
+//	hypercube:4      H_4
+//	path:9           path on 9 vertices
+//	ring:8           cycle on 8 vertices
+//	mesh:3x4         3x4 grid
+//	torus:3x4        3x4 torus
+//	complete:6       K_6
+//	star:5           star with 5 leaves
+//	random:12:4:7    12 vertices, 4 extra chords, seed 7
+func Parse(spec string) (graph.Graph, error) {
+	kind, rest, found := strings.Cut(spec, ":")
+	if !found {
+		return nil, fmt.Errorf("topologies: spec %q has no parameters (want kind:params)", spec)
+	}
+	atoi := func(s string) (int, error) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("topologies: bad number %q in spec %q", s, spec)
+		}
+		return v, nil
+	}
+	switch kind {
+	case "hypercube":
+		d, err := atoi(rest)
+		if err != nil {
+			return nil, err
+		}
+		if d < 0 || d > 20 {
+			return nil, fmt.Errorf("topologies: hypercube dimension %d out of range [0,20]", d)
+		}
+		return hypercube.New(d), nil
+	case "ccc":
+		d, err := atoi(rest)
+		if err != nil {
+			return nil, err
+		}
+		if d < 3 || d > 16 {
+			return nil, fmt.Errorf("topologies: ccc dimension %d out of range [3,16]", d)
+		}
+		return CubeConnectedCycles(d), nil
+	case "butterfly":
+		d, err := atoi(rest)
+		if err != nil {
+			return nil, err
+		}
+		if d < 1 || d > 16 {
+			return nil, fmt.Errorf("topologies: butterfly dimension %d out of range [1,16]", d)
+		}
+		return Butterfly(d), nil
+	case "path", "ring", "complete", "star":
+		n, err := atoi(rest)
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 || n > 1<<20 {
+			return nil, fmt.Errorf("topologies: size %d out of range", n)
+		}
+		switch kind {
+		case "path":
+			return Path(n), nil
+		case "ring":
+			if n < 3 {
+				return nil, fmt.Errorf("topologies: ring needs >= 3 vertices")
+			}
+			return Ring(n), nil
+		case "complete":
+			return Complete(n), nil
+		default:
+			return Star(n), nil
+		}
+	case "mesh", "torus":
+		rs, cs, ok := strings.Cut(rest, "x")
+		if !ok {
+			return nil, fmt.Errorf("topologies: %s spec %q wants RxC", kind, spec)
+		}
+		r, err := atoi(rs)
+		if err != nil {
+			return nil, err
+		}
+		c, err := atoi(cs)
+		if err != nil {
+			return nil, err
+		}
+		if kind == "mesh" {
+			if r < 1 || c < 1 {
+				return nil, fmt.Errorf("topologies: mesh %dx%d invalid", r, c)
+			}
+			return Mesh(r, c), nil
+		}
+		if r < 3 || c < 3 {
+			return nil, fmt.Errorf("topologies: torus needs sides >= 3")
+		}
+		return Torus(r, c), nil
+	case "random":
+		parts := strings.Split(rest, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("topologies: random spec wants random:N:EXTRA:SEED")
+		}
+		n, err := atoi(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		extra, err := atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		seed, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("topologies: bad seed %q", parts[2])
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("topologies: need at least one vertex")
+		}
+		return RandomConnected(n, extra, seed), nil
+	default:
+		return nil, fmt.Errorf("topologies: unknown kind %q (want hypercube, ccc, butterfly, path, ring, mesh, torus, complete, star, random)", kind)
+	}
+}

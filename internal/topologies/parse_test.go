@@ -1,0 +1,64 @@
+package topologies
+
+import (
+	"testing"
+
+	"hypersearch/internal/graph"
+)
+
+func TestParseValidSpecs(t *testing.T) {
+	cases := []struct {
+		spec  string
+		order int
+		size  int
+	}{
+		{"hypercube:3", 8, 12},
+		{"path:5", 5, 4},
+		{"ring:6", 6, 6},
+		{"mesh:3x4", 12, 17},
+		{"torus:3x4", 12, 24},
+		{"complete:5", 5, 10},
+		{"star:4", 5, 4},
+		{"ccc:3", 24, 36},
+		{"butterfly:2", 12, 16},
+	}
+	for _, c := range cases {
+		g, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if g.Order() != c.order || graph.Size(g) != c.size {
+			t.Errorf("%s: order/size = %d/%d, want %d/%d",
+				c.spec, g.Order(), graph.Size(g), c.order, c.size)
+		}
+	}
+}
+
+func TestParseRandom(t *testing.T) {
+	g, err := Parse("random:12:4:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Order() != 12 || !graph.Connected(g) {
+		t.Error("random parse wrong")
+	}
+	// Same spec, same graph.
+	h, _ := Parse("random:12:4:7")
+	if graph.Size(g) != graph.Size(h) {
+		t.Error("random spec not deterministic")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "hypercube", "hypercube:x", "hypercube:25", "mesh:3", "mesh:ax4",
+		"mesh:3xb", "mesh:0x4", "torus:2x4", "ring:2", "path:0", "blob:3",
+		"random:5:2", "random:5:2:x", "random:0:0:1", "ccc:2", "ccc:zz",
+		"butterfly:0", "butterfly:q",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

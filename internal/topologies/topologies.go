@@ -1,0 +1,134 @@
+// Package topologies is a catalog of interconnection networks beyond
+// the paper's hypercube, letting the library's topology-generic pieces
+// (board, invariant checkers, optimal search, level sweep, greedy
+// search) be exercised and compared across the structures the
+// graph-searching literature studies: paths, rings, meshes, tori,
+// complete graphs, and random connected graphs.
+package topologies
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hypersearch/internal/graph"
+)
+
+// Path returns the path graph on n vertices (0 - 1 - ... - n-1).
+func Path(n int) *graph.Adjacency {
+	g := graph.NewAdjacency(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Ring returns the cycle on n vertices (n >= 3).
+func Ring(n int) *graph.Adjacency {
+	if n < 3 {
+		panic(fmt.Sprintf("topologies: ring needs >= 3 vertices, got %d", n))
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+// Mesh returns the rows x cols grid graph; vertex (r, c) has index
+// r*cols + c.
+func Mesh(rows, cols int) *graph.Adjacency {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("topologies: mesh %dx%d invalid", rows, cols))
+	}
+	g := graph.NewAdjacency(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				g.AddEdge(v, v+1)
+			}
+			if r+1 < rows {
+				g.AddEdge(v, v+cols)
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows x cols torus (grid with wraparound); both
+// sides must be >= 3 so no duplicate edges arise.
+func Torus(rows, cols int) *graph.Adjacency {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("topologies: torus needs sides >= 3, got %dx%d", rows, cols))
+	}
+	g := graph.NewAdjacency(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			g.AddEdge(v, r*cols+(c+1)%cols)
+			g.AddEdge(v, ((r+1)%rows)*cols+c)
+		}
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Adjacency {
+	g := graph.NewAdjacency(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Star returns the star with the given number of leaves; the center is
+// vertex 0.
+func Star(leaves int) *graph.Adjacency {
+	g := graph.NewAdjacency(leaves + 1)
+	for v := 1; v <= leaves; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+// RandomConnected returns a random connected graph on n vertices:
+// a uniform random spanning tree skeleton (random parent attachment)
+// plus `extra` random chords, deterministically from the seed.
+func RandomConnected(n, extra int, seed int64) *graph.Adjacency {
+	if n < 1 {
+		panic("topologies: need at least one vertex")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewAdjacency(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for added := 0; added < extra; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			// Bail out when the graph saturates.
+			if g.Size() == n*(n-1)/2 {
+				break
+			}
+			continue
+		}
+		g.AddEdge(u, v)
+		added++
+	}
+	return g
+}
+
+// RandomTree returns a random tree on n vertices rooted at 0,
+// deterministically from the seed.
+func RandomTree(n int, seed int64) *graph.Tree {
+	if n < 1 {
+		panic("topologies: need at least one vertex")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	parent := make([]int, n)
+	for v := 1; v < n; v++ {
+		parent[v] = rng.Intn(v)
+	}
+	return graph.MustTree(0, parent)
+}

@@ -1,0 +1,152 @@
+package topologies
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hypersearch/internal/graph"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.Order() != 5 || g.Size() != 4 || !graph.IsTree(g) {
+		t.Error("path wrong")
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(6)
+	if g.Order() != 6 || g.Size() != 6 || !graph.Connected(g) {
+		t.Error("ring wrong")
+	}
+	for v := 0; v < 6; v++ {
+		if len(g.Neighbours(v)) != 2 {
+			t.Errorf("ring vertex %d has degree %d", v, len(g.Neighbours(v)))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Ring(2) accepted")
+		}
+	}()
+	Ring(2)
+}
+
+func TestMesh(t *testing.T) {
+	g := Mesh(3, 4)
+	if g.Order() != 12 {
+		t.Fatal("order wrong")
+	}
+	// Edge count: rows*(cols-1) + cols*(rows-1) = 3*3 + 4*2 = 17.
+	if g.Size() != 17 {
+		t.Errorf("mesh size = %d, want 17", g.Size())
+	}
+	// Corner degree 2, edge degree 3, interior degree 4.
+	if len(g.Neighbours(0)) != 2 || len(g.Neighbours(1)) != 3 || len(g.Neighbours(5)) != 4 {
+		t.Error("mesh degrees wrong")
+	}
+	if !graph.Connected(g) {
+		t.Error("mesh disconnected")
+	}
+}
+
+func TestMeshDegenerate(t *testing.T) {
+	if Mesh(1, 7).Size() != 6 {
+		t.Error("1xN mesh should be a path")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Mesh(0, 3) accepted")
+		}
+	}()
+	Mesh(0, 3)
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(3, 4)
+	if g.Order() != 12 || g.Size() != 24 {
+		t.Fatalf("torus order/size = %d/%d", g.Order(), g.Size())
+	}
+	for v := 0; v < g.Order(); v++ {
+		if len(g.Neighbours(v)) != 4 {
+			t.Errorf("torus vertex %d degree %d", v, len(g.Neighbours(v)))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Torus(2, 4) accepted")
+		}
+	}()
+	Torus(2, 4)
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.Size() != 15 {
+		t.Errorf("K_6 size = %d", g.Size())
+	}
+	for v := 0; v < 6; v++ {
+		if len(g.Neighbours(v)) != 5 {
+			t.Error("K_6 degree wrong")
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(4)
+	if g.Order() != 5 || len(g.Neighbours(0)) != 4 || len(g.Neighbours(3)) != 1 {
+		t.Error("star wrong")
+	}
+}
+
+func TestRandomConnectedProperties(t *testing.T) {
+	f := func(rawN, rawExtra uint8, seed int64) bool {
+		n := 1 + int(rawN)%30
+		extra := int(rawExtra) % 20
+		g := RandomConnected(n, extra, seed)
+		if g.Order() != n || !graph.Connected(g) {
+			return false
+		}
+		maxEdges := n * (n - 1) / 2
+		return g.Size() <= maxEdges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	a := RandomConnected(20, 10, 5)
+	b := RandomConnected(20, 10, 5)
+	for v := 0; v < 20; v++ {
+		na, nb := a.Neighbours(v), b.Neighbours(v)
+		if len(na) != len(nb) {
+			t.Fatal("seeded generator not deterministic")
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatal("seeded generator not deterministic")
+			}
+		}
+	}
+}
+
+func TestRandomConnectedSaturation(t *testing.T) {
+	// Asking for more chords than fit must terminate with K_n.
+	g := RandomConnected(5, 100, 1)
+	if g.Size() != 10 {
+		t.Errorf("saturated graph has %d edges", g.Size())
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		tr := RandomTree(1+int(seed)*3%25, seed)
+		if !graph.IsTree(tr) {
+			t.Fatalf("seed %d: not a tree", seed)
+		}
+		if tr.Root() != 0 {
+			t.Fatal("root moved")
+		}
+	}
+}

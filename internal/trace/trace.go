@@ -1,0 +1,131 @@
+// Package trace records search executions as structured event logs
+// that can be exported as JSON, replayed against a fresh board for
+// verification, and rendered by the figure package.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hypersearch/internal/board"
+	"hypersearch/internal/graph"
+)
+
+// Kind labels an event.
+type Kind string
+
+// Event kinds. Place and Clone create agents; Move traverses one edge;
+// Terminate retires an agent in place.
+const (
+	Place     Kind = "place"
+	Move      Kind = "move"
+	Clone     Kind = "clone"
+	Terminate Kind = "terminate"
+)
+
+// Event is one recorded action.
+type Event struct {
+	Seq   int    `json:"seq"`
+	Time  int64  `json:"time"`
+	Kind  Kind   `json:"kind"`
+	Agent int    `json:"agent"`
+	From  int    `json:"from"` // Move: source; Clone: parent agent id
+	To    int    `json:"to"`   // Move/Clone: node; Place: homebase
+	Role  string `json:"role,omitempty"`
+}
+
+// Log is an append-only event log. The zero value is ready to use.
+type Log struct {
+	events []Event
+}
+
+// Append adds an event, assigning its sequence number.
+func (l *Log) Append(e Event) {
+	e.Seq = len(l.events)
+	l.events = append(l.events, e)
+}
+
+// Events returns the recorded events; callers must not modify them.
+func (l *Log) Events() []Event { return l.events }
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Moves returns the number of Move events, optionally filtered by role
+// (empty role matches every move).
+func (l *Log) Moves(role string) int64 {
+	var n int64
+	for _, e := range l.events {
+		if e.Kind == Move && (role == "" || e.Role == role) {
+			n++
+		}
+	}
+	return n
+}
+
+// Makespan returns the largest event time, or 0 for an empty log.
+func (l *Log) Makespan() int64 {
+	var best int64
+	for _, e := range l.events {
+		if e.Time > best {
+			best = e.Time
+		}
+	}
+	return best
+}
+
+// WriteJSON streams the log as a JSON array.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(l.events)
+}
+
+// ReadJSON parses a log previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Log, error) {
+	var events []Event
+	if err := json.NewDecoder(r).Decode(&events); err != nil {
+		return nil, fmt.Errorf("trace: decoding log: %w", err)
+	}
+	return &Log{events: events}, nil
+}
+
+// Replay applies the log to a fresh board over g with the given
+// homebase and returns the final board. Events must appear in
+// non-decreasing time order (as recorders emit them); replay panics on
+// the same rule violations the live run would have hit, making it a
+// strong consistency check for recorded runs.
+func (l *Log) Replay(g graph.Graph, home int) (*board.Board, error) {
+	b := board.New(g, home)
+	ids := map[int]int{} // recorded agent id -> replay agent id
+	for _, e := range l.events {
+		switch e.Kind {
+		case Place:
+			if _, ok := ids[e.Agent]; ok {
+				return nil, fmt.Errorf("trace: place reuses agent id %d (event %d)", e.Agent, e.Seq)
+			}
+			ids[e.Agent] = b.Place(e.Time)
+		case Clone:
+			if _, ok := ids[e.Agent]; ok {
+				return nil, fmt.Errorf("trace: clone reuses agent id %d (event %d)", e.Agent, e.Seq)
+			}
+			ids[e.Agent] = b.Clone(e.To, e.Time)
+		case Move:
+			id, ok := ids[e.Agent]
+			if !ok {
+				return nil, fmt.Errorf("trace: move of unknown agent %d (event %d)", e.Agent, e.Seq)
+			}
+			b.Move(id, e.To, e.Time)
+		case Terminate:
+			id, ok := ids[e.Agent]
+			if !ok {
+				return nil, fmt.Errorf("trace: terminate of unknown agent %d (event %d)", e.Agent, e.Seq)
+			}
+			b.Terminate(id, e.Time)
+		default:
+			return nil, fmt.Errorf("trace: unknown event kind %q (event %d)", e.Kind, e.Seq)
+		}
+	}
+	return b, nil
+}

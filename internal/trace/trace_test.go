@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hypersearch/internal/board"
+	"hypersearch/internal/graph"
+)
+
+func pathGraph(n int) graph.Graph {
+	g := graph.NewAdjacency(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// record builds a simple sweep log: place agent 0, walk 0->1->2->3,
+// terminate.
+func sweepLog() *Log {
+	l := &Log{}
+	l.Append(Event{Time: 0, Kind: Place, Agent: 0, To: 0, Role: "cleaner"})
+	for v := 1; v <= 3; v++ {
+		l.Append(Event{Time: int64(v), Kind: Move, Agent: 0, From: v - 1, To: v, Role: "cleaner"})
+	}
+	l.Append(Event{Time: 4, Kind: Terminate, Agent: 0})
+	return l
+}
+
+func TestAppendAssignsSeq(t *testing.T) {
+	l := sweepLog()
+	for i, e := range l.Events() {
+		if e.Seq != i {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if l.Len() != 5 {
+		t.Errorf("len = %d", l.Len())
+	}
+}
+
+func TestMovesAndMakespan(t *testing.T) {
+	l := sweepLog()
+	if l.Moves("") != 3 || l.Moves("cleaner") != 3 || l.Moves("sync") != 0 {
+		t.Error("move counting wrong")
+	}
+	if l.Makespan() != 4 {
+		t.Errorf("makespan = %d", l.Makespan())
+	}
+	empty := &Log{}
+	if empty.Makespan() != 0 {
+		t.Error("empty makespan should be 0")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := sweepLog()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l.Len() {
+		t.Fatalf("round trip length %d", back.Len())
+	}
+	for i, e := range back.Events() {
+		if e != l.Events()[i] {
+			t.Errorf("event %d differs: %+v vs %+v", i, e, l.Events()[i])
+		}
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReplaySweep(t *testing.T) {
+	l := sweepLog()
+	b, err := l.Replay(pathGraph(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.AllClean() || b.Moves() != 3 || b.MonotoneViolations() != 0 {
+		t.Error("replayed sweep wrong")
+	}
+}
+
+func TestReplayClone(t *testing.T) {
+	l := &Log{}
+	l.Append(Event{Time: 0, Kind: Place, Agent: 0, To: 0})
+	l.Append(Event{Time: 0, Kind: Clone, Agent: 1, From: 0, To: 0})
+	l.Append(Event{Time: 1, Kind: Move, Agent: 0, From: 0, To: 1})
+	l.Append(Event{Time: 2, Kind: Move, Agent: 1, From: 0, To: 1})
+	b, err := l.Replay(pathGraph(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Agents() != 2 || b.AgentsOn(1) != 2 {
+		t.Error("clone replay wrong")
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"unknown kind", []Event{{Kind: Kind("jump"), Agent: 0}}},
+		{"move unknown agent", []Event{{Kind: Move, Agent: 3, To: 1}}},
+		{"terminate unknown agent", []Event{{Kind: Terminate, Agent: 3}}},
+		{"place reuse", []Event{{Kind: Place, Agent: 0, To: 0}, {Kind: Place, Agent: 0, To: 0}}},
+		{"clone reuse", []Event{{Kind: Place, Agent: 0, To: 0}, {Kind: Clone, Agent: 0, To: 0}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l := &Log{}
+			for _, e := range c.events {
+				l.Append(e)
+			}
+			if _, err := l.Replay(pathGraph(3), 0); err == nil {
+				t.Errorf("%s accepted", c.name)
+			}
+		})
+	}
+}
+
+func TestReplayDetectsIllegalMove(t *testing.T) {
+	l := &Log{}
+	l.Append(Event{Time: 0, Kind: Place, Agent: 0, To: 0})
+	l.Append(Event{Time: 1, Kind: Move, Agent: 0, From: 0, To: 2}) // not an edge
+	defer func() {
+		if recover() == nil {
+			t.Error("illegal move replayed silently")
+		}
+	}()
+	_, _ = l.Replay(pathGraph(3), 0)
+}
+
+var _ = board.Clean // keep the board import tied to replay semantics

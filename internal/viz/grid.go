@@ -1,0 +1,46 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"hypersearch/internal/board"
+)
+
+// Grid renders a rows x cols mesh/torus board as a block of state
+// symbols ('#' contaminated, 'G' guarded, '.' clean), row per line —
+// the natural view for the mesh and torus sweeps.
+func Grid(b *board.Board, rows, cols int) string {
+	if rows*cols != b.Graph().Order() {
+		panic(fmt.Sprintf("viz: %dx%d grid does not match graph order %d", rows, cols, b.Graph().Order()))
+	}
+	var out strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			switch b.StateOf(r*cols + c) {
+			case board.Contaminated:
+				out.WriteByte('#')
+			case board.Guarded:
+				out.WriteByte('G')
+			default:
+				out.WriteByte('.')
+			}
+		}
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// GridHistory replays nothing itself; callers snapshot Grid at the
+// times they care about. This helper stacks labelled snapshots for
+// side-by-side display in examples.
+func GridHistory(labels []string, frames []string) string {
+	if len(labels) != len(frames) {
+		panic("viz: labels and frames mismatch")
+	}
+	var out strings.Builder
+	for i, label := range labels {
+		fmt.Fprintf(&out, "%s\n%s\n", label, strings.TrimRight(frames[i], "\n"))
+	}
+	return out.String()
+}

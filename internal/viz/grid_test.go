@@ -1,0 +1,66 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"hypersearch/internal/board"
+	"hypersearch/internal/strategy/meshsweep"
+	"hypersearch/internal/topologies"
+)
+
+func TestGridOnFinishedSweep(t *testing.T) {
+	_, b, _ := meshsweep.Run(3, 5)
+	out := Grid(b, 3, 5)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 5 {
+			t.Errorf("row %q wrong width", l)
+		}
+	}
+	if strings.Contains(out, "#") {
+		t.Errorf("finished sweep still contaminated:\n%s", out)
+	}
+	// The final column keeps the terminated rank.
+	if !strings.HasSuffix(lines[0], "G") {
+		t.Errorf("final column not guarded:\n%s", out)
+	}
+}
+
+func TestGridMidRun(t *testing.T) {
+	g := topologies.Mesh(2, 3)
+	b := board.New(g, 0)
+	a := b.Place(0)
+	b.Move(a, 1, 1)
+	out := Grid(b, 2, 3)
+	if !strings.Contains(out, "G") || !strings.Contains(out, "#") {
+		t.Errorf("mid-run grid wrong:\n%s", out)
+	}
+}
+
+func TestGridValidatesShape(t *testing.T) {
+	g := topologies.Mesh(2, 3)
+	b := board.New(g, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched shape accepted")
+		}
+	}()
+	Grid(b, 3, 3)
+}
+
+func TestGridHistory(t *testing.T) {
+	out := GridHistory([]string{"t=0", "t=1"}, []string{"##\n", "..\n"})
+	if !strings.Contains(out, "t=0\n##") || !strings.Contains(out, "t=1\n..") {
+		t.Errorf("history = %q", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched history accepted")
+		}
+	}()
+	GridHistory([]string{"a"}, nil)
+}

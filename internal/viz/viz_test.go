@@ -1,0 +1,84 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"hypersearch/internal/strategy"
+	"hypersearch/internal/strategy/coordinated"
+	"hypersearch/internal/strategy/visibility"
+)
+
+func TestBroadcastTreeFigure1(t *testing.T) {
+	out := BroadcastTree(6)
+	if !strings.Contains(out, "Broadcast tree T(6) of H_6 (64 nodes, 32 leaves)") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	// 64 node lines + 1 header.
+	if got := strings.Count(out, "\n"); got != 65 {
+		t.Errorf("%d lines", got)
+	}
+	// The root and its six children are visible with their types.
+	for _, want := range []string{"000000  T(6)", "000001  T(5)", "100000  T(0)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestClassesFigure3(t *testing.T) {
+	out := Classes(4)
+	for _, want := range []string{
+		"C_0 ( 1): 0000",
+		"C_1 ( 1): 0001",
+		"C_2 ( 2): 0010 0011",
+		"C_4 ( 8):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCleanOrderFigure2(t *testing.T) {
+	_, env := coordinated.Run(4, strategy.Options{})
+	out := CleanOrder(env.H, env.B, false)
+	if !strings.Contains(out, "Cleaning order") {
+		t.Error("header missing")
+	}
+	for l := 0; l <= 4; l++ {
+		if !strings.Contains(out, "level ") {
+			t.Error("levels missing")
+		}
+	}
+	// Every node appears exactly once: count colons.
+	if got := strings.Count(out, ":"); got != 22 { // 16 nodes + 5 level labels + header
+		t.Errorf("%d node entries", got)
+	}
+}
+
+func TestCleanScheduleFigure4(t *testing.T) {
+	_, env := visibility.Run(4, strategy.Options{})
+	out := CleanOrder(env.H, env.B, true)
+	if !strings.Contains(out, "Cleaning schedule") {
+		t.Error("header missing")
+	}
+	if got := strings.Count(out, ":"); got != 22 { // 16 nodes + 5 level labels + header
+		t.Errorf("%d node entries", got)
+	}
+}
+
+func TestStatesSnapshot(t *testing.T) {
+	_, env := visibility.Run(3, strategy.Options{})
+	out := States(env.H, env.B)
+	// Finished run: everything clean or guarded (terminated agents).
+	if strings.Contains(out, "#") {
+		t.Errorf("contamination in finished run:\n%s", out)
+	}
+	if !strings.Contains(out, "G") {
+		t.Errorf("no guards in finished run (agents end on leaves):\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 4 {
+		t.Errorf("%d lines", got)
+	}
+}

@@ -1,0 +1,144 @@
+// Package whiteboard implements the per-node shared storage of the
+// paper's agent model: a small mutual-exclusion key/value store holding
+// O(log n)-bit fields, accessed fairly by the agents residing on (or,
+// in the visibility model, adjacent to) a node.
+//
+// The store tracks a bit budget so tests can assert the paper's space
+// claim: every strategy fits its per-node state in O(log n) bits.
+package whiteboard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Board is one node's whiteboard. The zero value is unusable; create
+// stores with NewStore.
+type Board struct {
+	mu     sync.Mutex
+	fields map[string]int64
+}
+
+// Store is the collection of whiteboards for a topology, one per node.
+type Store struct {
+	boards []Board
+}
+
+// NewStore returns whiteboards for n nodes.
+func NewStore(n int) *Store {
+	s := &Store{boards: make([]Board, n)}
+	for i := range s.boards {
+		s.boards[i].fields = make(map[string]int64)
+	}
+	return s
+}
+
+// At returns node v's whiteboard.
+func (s *Store) At(v int) *Board { return &s.boards[v] }
+
+// Len returns the number of whiteboards.
+func (s *Store) Len() int { return len(s.boards) }
+
+// Read returns the value of a field (0 if never written), under the
+// board's lock.
+func (b *Board) Read(field string) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fields[field]
+}
+
+// Write sets a field under the board's lock.
+func (b *Board) Write(field string, v int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fields[field] = v
+}
+
+// Add atomically adds delta to a field and returns the new value.
+func (b *Board) Add(field string, delta int64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fields[field] += delta
+	return b.fields[field]
+}
+
+// CompareAndSwap atomically sets field to new if it currently equals
+// old, reporting whether the swap happened. Agents use it to elect the
+// synchronizer ("the first that gains access will become the
+// synchronizer").
+func (b *Board) CompareAndSwap(field string, old, new int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fields[field] != old {
+		return false
+	}
+	b.fields[field] = new
+	return true
+}
+
+// Update runs fn on the current value of field under the lock and
+// stores the result, returning it. It generalizes read-modify-write
+// cycles that must be atomic under fair mutual exclusion.
+func (b *Board) Update(field string, fn func(int64) int64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v := fn(b.fields[field])
+	b.fields[field] = v
+	return v
+}
+
+// Bits returns the total number of bits the board currently stores:
+// for each field, the bits of its value (minimum 1). Field names are
+// program text, not stored state, so they do not count — matching the
+// paper's accounting, where the whiteboard holds a constant number of
+// O(log n)-bit values.
+func (b *Board) Bits() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := 0
+	for _, v := range b.fields {
+		total += bitsOf(v)
+	}
+	return total
+}
+
+func bitsOf(v int64) int {
+	if v < 0 {
+		v = -v
+	}
+	n := 1
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// MaxBits returns the largest per-board bit usage across the store,
+// for O(log n) space assertions.
+func (s *Store) MaxBits() int {
+	max := 0
+	for i := range s.boards {
+		if b := s.boards[i].Bits(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// Dump renders a board's fields deterministically, for debugging.
+func (b *Board) Dump() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	keys := make([]string, 0, len(b.fields))
+	for k := range b.fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d ", k, b.fields[k])
+	}
+	return out
+}

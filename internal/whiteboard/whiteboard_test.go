@@ -1,0 +1,143 @@
+package whiteboard
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestReadWriteAdd(t *testing.T) {
+	s := NewStore(3)
+	b := s.At(1)
+	if b.Read("agents") != 0 {
+		t.Error("unwritten field should read 0")
+	}
+	b.Write("agents", 5)
+	if b.Read("agents") != 5 {
+		t.Error("write lost")
+	}
+	if b.Add("agents", -2) != 3 || b.Read("agents") != 3 {
+		t.Error("Add wrong")
+	}
+	if s.Len() != 3 {
+		t.Error("Len wrong")
+	}
+}
+
+func TestCompareAndSwapElection(t *testing.T) {
+	s := NewStore(1)
+	b := s.At(0)
+	if !b.CompareAndSwap("sync", 0, 7) {
+		t.Fatal("first CAS should win")
+	}
+	if b.CompareAndSwap("sync", 0, 9) {
+		t.Fatal("second CAS should lose")
+	}
+	if b.Read("sync") != 7 {
+		t.Error("winner overwritten")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	s := NewStore(1)
+	b := s.At(0)
+	got := b.Update("x", func(v int64) int64 { return v*2 + 1 })
+	if got != 1 || b.Read("x") != 1 {
+		t.Error("Update wrong")
+	}
+	if b.Update("x", func(v int64) int64 { return v + 9 }) != 10 {
+		t.Error("second Update wrong")
+	}
+}
+
+func TestConcurrentElectionExactlyOneWinner(t *testing.T) {
+	s := NewStore(1)
+	b := s.At(0)
+	const workers = 64
+	var wg sync.WaitGroup
+	wins := make(chan int, workers)
+	for i := 1; i <= workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if b.CompareAndSwap("sync", 0, int64(id)) {
+				wins <- id
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	count := 0
+	var winner int
+	for id := range wins {
+		count++
+		winner = id
+	}
+	if count != 1 {
+		t.Fatalf("%d winners", count)
+	}
+	if b.Read("sync") != int64(winner) {
+		t.Error("stored winner mismatch")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	s := NewStore(1)
+	b := s.At(0)
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				b.Add("count", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Read("count") != workers*per {
+		t.Errorf("count = %d", b.Read("count"))
+	}
+}
+
+func TestBitsAccounting(t *testing.T) {
+	s := NewStore(2)
+	b := s.At(0)
+	if b.Bits() != 0 {
+		t.Error("empty board should use 0 bits")
+	}
+	b.Write("flag", 1)
+	if b.Bits() != 1 {
+		t.Errorf("1-bit value counted as %d", b.Bits())
+	}
+	b.Write("count", 255) // 8 bits
+	if b.Bits() != 9 {
+		t.Errorf("bits = %d, want 9", b.Bits())
+	}
+	b.Write("neg", -4) // |−4| = 100b -> 3 bits
+	if b.Bits() != 12 {
+		t.Errorf("bits = %d, want 12", b.Bits())
+	}
+	if s.MaxBits() != 12 {
+		t.Errorf("MaxBits = %d", s.MaxBits())
+	}
+	s.At(1).Write("big", 1<<40)
+	if s.MaxBits() != 41 {
+		t.Errorf("MaxBits = %d, want 41", s.MaxBits())
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	s := NewStore(1)
+	b := s.At(0)
+	b.Write("zeta", 1)
+	b.Write("alpha", 2)
+	d := b.Dump()
+	if !strings.HasPrefix(d, "alpha=2 ") || !strings.Contains(d, "zeta=1") {
+		t.Errorf("Dump = %q", d)
+	}
+	if d != b.Dump() {
+		t.Error("Dump not deterministic")
+	}
+}
