@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race ci faults fuzz
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke-run the fault campaign: every named scenario must pass its
+# invariant replay, and the rerun must be byte-identical.
+faults:
+	$(GO) run ./cmd/hqfaults -verify
+
+ci: build vet race faults
+
+# Short real fuzz runs of the fault-plan parser and the engine under
+# fuzzed fault application (regression corpus always runs under `test`).
+fuzz:
+	$(GO) test ./internal/faults -fuzz FuzzParse -fuzztime 15s
+	$(GO) test ./internal/runtime -fuzz FuzzFaultApplication -fuzztime 20s

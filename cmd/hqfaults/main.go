@@ -1,0 +1,303 @@
+// Command hqfaults runs the deterministic fault-injection campaign: a
+// declarative set of named fault scenarios executed against the
+// crash-tolerant goroutine runtimes and the discrete-event engine,
+// each checked by the trace-replay invariant verifier and compared
+// against its fault-free baseline.
+//
+// Usage:
+//
+//	hqfaults            # run the campaign on H_4
+//	hqfaults -d 5       # bigger cube
+//	hqfaults -verify    # run twice, require byte-identical reports
+//
+// The report is deliberately built only from deterministic quantities
+// (move counts, logical/virtual times, recovery statistics), so two
+// runs of the same campaign produce byte-identical output; -verify
+// enforces that.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hypersearch/internal/faults"
+	"hypersearch/internal/hypercube"
+	"hypersearch/internal/invariant"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/runtime"
+	"hypersearch/internal/strategy"
+	"hypersearch/internal/strategy/coordinated"
+	"hypersearch/internal/trace"
+)
+
+// Engines a scenario can run on.
+const (
+	engineCleanFT = "clean-ft"   // crash-tolerant coordinated goroutine runtime
+	engineVisFT   = "vis-ft"     // fault-injected visibility goroutine runtime
+	engineDES     = "des-clean"  // discrete-event CLEAN with kernel interception
+)
+
+// scenario is one named entry of the declarative campaign.
+type scenario struct {
+	name   string
+	engine string
+	plan   func(d int) *faults.Plan
+}
+
+// campaign returns the named scenarios, every one seeded and
+// deterministic. Crash targets use the schedule-independent trigger
+// counters: the synchronizer's own move sequence and per-order edge
+// sequences (phase-0 escort keys p0.e<i> exist for every d >= 2).
+func campaign() []scenario {
+	return []scenario{
+		{"cleaner-crash", engineCleanFT, func(d int) *faults.Plan {
+			return &faults.Plan{Name: "cleaner-crash", Seed: 101, Faults: []faults.Fault{
+				{Kind: faults.Crash, Target: "order:p0.e1", At: 1},
+			}}
+		}},
+		{"synchronizer-crash", engineCleanFT, func(d int) *faults.Plan {
+			// The d=2 synchronizer makes only 4 moves, so the trigger
+			// must scale with the cube: 2d-1 fires at every d >= 2.
+			return &faults.Plan{Name: "synchronizer-crash", Seed: 102, Faults: []faults.Fault{
+				{Kind: faults.Crash, Target: faults.TargetSync, At: 2*d - 1},
+			}}
+		}},
+		{"cleaner-stall", engineCleanFT, func(d int) *faults.Plan {
+			return &faults.Plan{Name: "cleaner-stall", Seed: 103, Faults: []faults.Fault{
+				{Kind: faults.Stall, Target: faults.TargetAny, At: 5, Delay: 200},
+				{Kind: faults.Stall, Target: faults.TargetSync, At: 3, Delay: 120},
+			}}
+		}},
+		{"latency-spike", engineDES, func(d int) *faults.Plan {
+			return &faults.Plan{Name: "latency-spike", Seed: 104, Faults: []faults.Fault{
+				{Kind: faults.LatencySpike, Target: faults.TargetAny, At: 10, Until: 60, Delay: 25},
+				{Kind: faults.KernelLag, From: 20, To: 60},
+			}}
+		}},
+		{"lock-starvation", engineVisFT, func(d int) *faults.Plan {
+			return &faults.Plan{Name: "lock-starvation", Seed: 105, Faults: []faults.Fault{
+				{Kind: faults.LockStarve, Target: faults.TargetAny, At: 6, Delay: 150},
+				{Kind: faults.LockStarve, Target: faults.TargetAny, At: 11, Delay: 150},
+			}}
+		}},
+		{"lost-wakeup", engineVisFT, func(d int) *faults.Plan {
+			return &faults.Plan{Name: "lost-wakeup", Seed: 106, Faults: []faults.Fault{
+				{Kind: faults.LostWakeup, At: 1, Until: 200},
+			}}
+		}},
+		{"mixed", engineCleanFT, func(d int) *faults.Plan {
+			return &faults.Plan{Name: "mixed", Seed: 107, Faults: []faults.Fault{
+				{Kind: faults.Crash, Target: "order:p0.e0", At: 1},
+				{Kind: faults.Crash, Target: faults.TargetSync, At: 2*d - 1},
+				{Kind: faults.LatencySpike, Target: faults.TargetAny, At: 4, Until: 20, Delay: 10},
+				{Kind: faults.Stall, Target: faults.TargetAny, At: 12, Delay: 80},
+				{Kind: faults.LostWakeup, At: 3, Until: 15},
+			}}
+		}},
+	}
+}
+
+// outcome collects the deterministic facts of one scenario run.
+type outcome struct {
+	name, engine string
+
+	moves  int64 // total board moves
+	dMoves int64 // overhead vs the engine's fault-free baseline
+	mkspan int64 // logical (goroutines) or virtual (DES) completion time
+	dTime  int64
+
+	crashes, reassigned, reelections, spares int
+
+	invariant string // "ok" or the first violation
+	pass      bool
+}
+
+// baseline is an engine's fault-free reference run.
+type baseline struct {
+	moves, mkspan int64
+}
+
+// ftConfig is the goroutine-runtime configuration of the campaign: a
+// fixed scheduler seed, mild real latency, and a lease TTL short
+// enough for a snappy CLI run yet still 60x the heartbeat.
+func ftConfig(seed int64, plan *faults.Plan) runtime.Config {
+	return runtime.Config{
+		Seed:           seed,
+		MaxLatency:     300 * time.Microsecond,
+		Faults:         plan,
+		Record:         true,
+		HeartbeatEvery: 2 * time.Millisecond,
+		LeaseTTL:       120 * time.Millisecond,
+		FaultUnit:      50 * time.Microsecond,
+	}
+}
+
+func checkLog(l *trace.Log, d int) string {
+	rep, err := invariant.Check(l, hypercube.New(d), 0)
+	if err != nil {
+		return err.Error()
+	}
+	if !rep.Ok() {
+		if len(rep.Violations) > 0 {
+			return rep.Violations[0]
+		}
+		return rep.String()
+	}
+	return "ok"
+}
+
+func runFT(d int, engine string, plan *faults.Plan) (runtime.FTReport, error) {
+	if engine == engineVisFT {
+		return runtime.RunVisibilityFT(d, ftConfig(7, plan))
+	}
+	return runtime.RunCleanFT(d, ftConfig(7, plan))
+}
+
+func runDES(d int, plan *faults.Plan) (metrics.Result, *strategy.Env, error) {
+	opts := strategy.Options{Record: true, Contiguity: strategy.CheckEveryMove}
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			return metrics.Result{}, nil, err
+		}
+		if plan.RequiresRecovery() {
+			return metrics.Result{}, nil, fmt.Errorf("crash faults require the goroutine runtime")
+		}
+		opts.Faults = faults.NewInjector(plan)
+	}
+	res, env := coordinated.Run(d, opts)
+	return res, env, nil
+}
+
+func runScenario(d int, s scenario, bases map[string]baseline) outcome {
+	o := outcome{name: s.name, engine: s.engine}
+	plan := s.plan(d)
+	switch s.engine {
+	case engineDES:
+		res, env, err := runDES(d, plan)
+		if err != nil {
+			o.invariant = err.Error()
+			return o
+		}
+		o.moves, o.mkspan = res.TotalMoves, res.Makespan
+		o.invariant = checkLog(env.Log(), d)
+		o.pass = res.Ok() && o.invariant == "ok"
+	default:
+		rep, err := runFT(d, s.engine, plan)
+		if err != nil {
+			o.invariant = err.Error()
+			return o
+		}
+		o.moves, o.mkspan = rep.Result.TotalMoves, rep.Log.Makespan()
+		o.crashes, o.reassigned = rep.Crashes, rep.Reassigned
+		o.reelections, o.spares = rep.Reelections, rep.SparesUsed
+		o.invariant = checkLog(rep.Log, d)
+		o.pass = rep.Result.Ok() && o.invariant == "ok"
+		if plan.Crashes() != rep.Crashes {
+			o.invariant = fmt.Sprintf("planned %d crashes, %d fired", plan.Crashes(), rep.Crashes)
+			o.pass = false
+		}
+	}
+	if b, ok := bases[s.engine]; ok {
+		o.dMoves = o.moves - b.moves
+		o.dTime = o.mkspan - b.mkspan
+	}
+	return o
+}
+
+// report renders the whole campaign deterministically.
+func report(d int, bases map[string]baseline, outs []outcome) (string, bool) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fault campaign on H_%d (%d nodes)\n\n", d, 1<<uint(d))
+	fmt.Fprintf(&sb, "baselines (fault-free): ")
+	for _, e := range []string{engineCleanFT, engineVisFT, engineDES} {
+		b := bases[e]
+		fmt.Fprintf(&sb, "%s moves=%d time=%d  ", e, b.moves, b.mkspan)
+	}
+	sb.WriteString("\n\n")
+
+	t := metrics.NewTable("scenario", "engine", "moves", "Δmoves", "time", "Δtime",
+		"crashes", "reassigned", "reelections", "spares", "invariants", "verdict")
+	allPass := true
+	for _, o := range outs {
+		verdict := "PASS"
+		if !o.pass {
+			verdict = "FAIL"
+			allPass = false
+		}
+		t.AddRow(o.name, o.engine, o.moves, fmt.Sprintf("%+d", o.dMoves), o.mkspan,
+			fmt.Sprintf("%+d", o.dTime), o.crashes, o.reassigned, o.reelections,
+			o.spares, o.invariant, verdict)
+	}
+	sb.WriteString(t.Markdown())
+	if allPass {
+		fmt.Fprintf(&sb, "\nall %d scenarios passed\n", len(outs))
+	} else {
+		sb.WriteString("\nCAMPAIGN FAILED\n")
+	}
+	return sb.String(), allPass
+}
+
+// runCampaign executes baselines plus every scenario and returns the
+// canonical report.
+func runCampaign(d int) (string, bool, error) {
+	bases := map[string]baseline{}
+	if rep, err := runFT(d, engineCleanFT, nil); err == nil {
+		bases[engineCleanFT] = baseline{rep.Result.TotalMoves, rep.Log.Makespan()}
+	} else {
+		return "", false, err
+	}
+	if rep, err := runFT(d, engineVisFT, nil); err == nil {
+		bases[engineVisFT] = baseline{rep.Result.TotalMoves, rep.Log.Makespan()}
+	} else {
+		return "", false, err
+	}
+	res, _, err := runDES(d, nil)
+	if err != nil {
+		return "", false, err
+	}
+	bases[engineDES] = baseline{res.TotalMoves, res.Makespan}
+
+	var outs []outcome
+	for _, s := range campaign() {
+		outs = append(outs, runScenario(d, s, bases))
+	}
+	rep, ok := report(d, bases, outs)
+	return rep, ok, nil
+}
+
+func main() {
+	var (
+		dim    = flag.Int("d", 4, "hypercube dimension (n = 2^d), minimum 2")
+		verify = flag.Bool("verify", false, "run the campaign twice and require byte-identical reports")
+	)
+	flag.Parse()
+	if *dim < 2 {
+		fmt.Fprintln(os.Stderr, "hqfaults: need -d >= 2 (the campaign's crash orders exist from d=2)")
+		os.Exit(2)
+	}
+
+	rep, ok, err := runCampaign(*dim)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqfaults:", err)
+		os.Exit(2)
+	}
+	fmt.Print(rep)
+	if *verify {
+		again, _, err := runCampaign(*dim)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hqfaults:", err)
+			os.Exit(2)
+		}
+		if again != rep {
+			fmt.Fprintln(os.Stderr, "hqfaults: rerun diverged from the first report — determinism broken")
+			os.Exit(1)
+		}
+		fmt.Println("verify: rerun byte-identical")
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

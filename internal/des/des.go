@@ -28,7 +28,17 @@ type Simulator struct {
 	seq    int64
 	queue  eventHeap
 	parked int // processes blocked on signals (not time)
+	icept  Interceptor
 }
+
+// Interceptor inspects every event as it reaches the head of the queue
+// and may defer it by returning a positive delay; the event is pushed
+// back at its time plus that delay (with a fresh sequence number, so
+// deferred events fire after same-time events that were not deferred).
+// Fault-injection harnesses use this to impose latency windows on the
+// whole kernel without the strategies' cooperation. An interceptor
+// must eventually stop deferring an event or Run never terminates.
+type Interceptor func(at, seq int64) (delay int64)
 
 type event struct {
 	at  int64
@@ -58,6 +68,9 @@ func (h *eventHeap) Pop() interface{} {
 // New returns an empty simulator at time 0.
 func New() *Simulator { return &Simulator{} }
 
+// Intercept installs (or, with nil, removes) the kernel interceptor.
+func (s *Simulator) Intercept(i Interceptor) { s.icept = i }
+
 // Now returns the current virtual time.
 func (s *Simulator) Now() int64 { return s.now }
 
@@ -84,6 +97,13 @@ func (s *Simulator) After(delay int64, fn func()) {
 func (s *Simulator) Run() int64 {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(event)
+		if s.icept != nil {
+			if d := s.icept(e.at, e.seq); d > 0 {
+				heap.Push(&s.queue, event{at: e.at + d, seq: s.seq, fn: e.fn})
+				s.seq++
+				continue
+			}
+		}
 		s.now = e.at
 		e.fn()
 	}

@@ -1,0 +1,100 @@
+package des
+
+import "testing"
+
+// An interceptor deferring a window of virtual time must push affected
+// events to the window's end without reordering unaffected ones.
+func TestInterceptorDefersWindow(t *testing.T) {
+	s := New()
+	var fired []int64
+	log := func() { fired = append(fired, s.Now()) }
+	for _, at := range []int64{1, 5, 12, 30} {
+		s.Schedule(at, log)
+	}
+	// Defer everything in [4, 20) to exactly 20 — the half-open window
+	// means a deferred event landing at 20 is not deferred again.
+	s.Intercept(func(at, _ int64) int64 {
+		if at >= 4 && at < 20 {
+			return 20 - at
+		}
+		return 0
+	})
+	end := s.Run()
+	want := []int64{1, 20, 20, 30}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if end != 30 {
+		t.Fatalf("end time %d, want 30", end)
+	}
+}
+
+// Deferred events must fire after same-time events that were scheduled
+// normally (fresh sequence numbers), preserving kernel determinism.
+func TestInterceptorDeterministicOrder(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var order []string
+		s.Schedule(2, func() { order = append(order, "deferred") })
+		s.Schedule(10, func() { order = append(order, "native") })
+		s.Intercept(func(at, _ int64) int64 {
+			if at == 2 {
+				return 8
+			}
+			return 0
+		})
+		s.Run()
+		return order
+	}
+	first := run()
+	if len(first) != 2 || first[0] != "native" || first[1] != "deferred" {
+		t.Fatalf("order %v, want [native deferred]", first)
+	}
+	for i := 0; i < 10; i++ {
+		again := run()
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("run %d diverged: %v vs %v", i, again, first)
+			}
+		}
+	}
+}
+
+// Removing the interceptor restores plain dispatch.
+func TestInterceptorRemoval(t *testing.T) {
+	s := New()
+	count := 0
+	s.Intercept(func(at, seq int64) int64 { return 1 })
+	s.Intercept(nil)
+	s.Schedule(1, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("event did not fire after interceptor removal")
+	}
+}
+
+// Processes blocked on Delay go through the queue too: a kernel-lag
+// window stretches their virtual sleep.
+func TestInterceptorStretchesProcessDelay(t *testing.T) {
+	s := New()
+	var woke int64
+	s.Spawn("sleeper", func(p *Process) {
+		p.Delay(5)
+		woke = p.Now()
+	})
+	s.Intercept(func(at, _ int64) int64 {
+		if at >= 1 && at < 50 {
+			return 50 - at
+		}
+		return 0
+	})
+	s.Run()
+	if woke != 50 {
+		t.Fatalf("process woke at %d, want 50", woke)
+	}
+}

@@ -1,0 +1,357 @@
+// Package faults defines seeded, fully deterministic fault plans for
+// the agent runtimes and the discrete-event engine: agent crashes at a
+// given step, stalls, move-latency spikes, whiteboard lock starvation,
+// and lost visibility wakeups. A Plan is declarative data; an Injector
+// compiles it into the hooks the engines consult on every move,
+// broadcast, and (for the DES kernel) every dispatched event.
+//
+// Determinism contract: triggers count deterministic quantities — a
+// role's move sequence ("sync"), an order's edge sequence
+// ("order:<key>"), an agent's own moves ("agent:<id>") — so the same
+// plan always fires at the same point of the computation regardless of
+// OS scheduling. Crash faults are restricted to the "sync" and
+// "order:" targets because only those have schedule-independent move
+// sequences; delay-only faults (stall, spike, starve, lost wakeups)
+// may use any target since they never change which moves happen, only
+// when.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind labels a fault.
+type Kind string
+
+// The fault kinds of the robustness model.
+const (
+	Crash        Kind = "crash"         // target stops executing at its At-th move
+	Stall        Kind = "stall"         // target pauses Delay units before its At-th move
+	LatencySpike Kind = "latency-spike" // moves At..Until of the target each take +Delay units
+	LockStarve   Kind = "lock-starve"   // target holds the engine lock Delay units during its At-th move
+	LostWakeup   Kind = "lost-wakeup"   // broadcasts At..Until are dropped (watchdog must heal)
+	KernelLag    Kind = "kernel-lag"    // DES kernel: events in virtual window [From,To) are deferred to To
+)
+
+// Target sentinels. "agent:<id>" and "order:<key>" are parameterized.
+const (
+	TargetSync = "sync" // whichever agent currently holds the synchronizer role
+	TargetAny  = "any"  // every move, counted globally
+)
+
+// MaxDelay bounds a single fault's delay so fuzzed plans cannot stall
+// an engine for unbounded wall time.
+const MaxDelay = 1 << 20
+
+// Fault is one injected adversity.
+type Fault struct {
+	Kind Kind `json:"kind"`
+	// Target selects whose counter triggers the fault: "sync",
+	// "any", "agent:<id>", or "order:<key>". Ignored by lost-wakeup
+	// (global broadcast counter) and kernel-lag (virtual time).
+	Target string `json:"target,omitempty"`
+	At     int    `json:"at,omitempty"`    // 1-based trigger count
+	Until  int    `json:"until,omitempty"` // window end for spikes / lost wakeups (default At)
+	Delay  int64  `json:"delay,omitempty"` // delay in engine units
+	From   int64  `json:"from,omitempty"`  // kernel-lag: virtual window start
+	To     int64  `json:"to,omitempty"`    // kernel-lag: virtual window end
+}
+
+// Plan is a named, seeded fault campaign for one run.
+type Plan struct {
+	Name   string  `json:"name,omitempty"`
+	Seed   int64   `json:"seed"`
+	Faults []Fault `json:"faults"`
+}
+
+// Crashes returns the number of crash faults, which bounds the spare
+// agents a recovering runtime must provision.
+func (p *Plan) Crashes() int {
+	n := 0
+	for _, f := range p.Faults {
+		if f.Kind == Crash {
+			n++
+		}
+	}
+	return n
+}
+
+// RequiresRecovery reports whether the plan kills agents, i.e. whether
+// it can only run on the crash-tolerant runtime.
+func (p *Plan) RequiresRecovery() bool { return p.Crashes() > 0 }
+
+// Validate checks the plan's structural rules; an Injector may only be
+// built from a valid plan.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return fmt.Errorf("faults: nil plan")
+	}
+	if len(p.Faults) > 256 {
+		return fmt.Errorf("faults: %d faults exceeds the 256-fault cap", len(p.Faults))
+	}
+	for i, f := range p.Faults {
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("faults: fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (f Fault) validate() error {
+	if f.Delay < 0 || f.Delay > MaxDelay {
+		return fmt.Errorf("delay %d outside [0,%d]", f.Delay, MaxDelay)
+	}
+	switch f.Kind {
+	case Crash:
+		if strings.HasPrefix(f.Target, "order:") {
+			if err := validTarget(f.Target); err != nil {
+				return err
+			}
+		} else if f.Target != TargetSync {
+			return fmt.Errorf("crash target %q: only %q and \"order:<key>\" have deterministic move sequences", f.Target, TargetSync)
+		}
+		if f.At < 1 {
+			return fmt.Errorf("crash needs at >= 1, got %d", f.At)
+		}
+	case Stall, LockStarve:
+		if err := validTarget(f.Target); err != nil {
+			return err
+		}
+		if f.At < 1 {
+			return fmt.Errorf("%s needs at >= 1, got %d", f.Kind, f.At)
+		}
+		if f.Delay == 0 {
+			return fmt.Errorf("%s needs a positive delay", f.Kind)
+		}
+	case LatencySpike:
+		if err := validTarget(f.Target); err != nil {
+			return err
+		}
+		if f.At < 1 || (f.Until != 0 && f.Until < f.At) {
+			return fmt.Errorf("spike window [%d,%d] invalid", f.At, f.Until)
+		}
+		if f.Delay == 0 {
+			return fmt.Errorf("latency-spike needs a positive delay")
+		}
+	case LostWakeup:
+		if f.At < 1 || (f.Until != 0 && f.Until < f.At) {
+			return fmt.Errorf("lost-wakeup window [%d,%d] invalid", f.At, f.Until)
+		}
+	case KernelLag:
+		if f.From < 0 || f.To <= f.From {
+			return fmt.Errorf("kernel-lag window [%d,%d) invalid", f.From, f.To)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", f.Kind)
+	}
+	return nil
+}
+
+func validTarget(t string) error {
+	switch {
+	case t == TargetSync || t == TargetAny:
+		return nil
+	case strings.HasPrefix(t, "agent:"):
+		if _, err := strconv.Atoi(t[len("agent:"):]); err != nil {
+			return fmt.Errorf("bad agent target %q", t)
+		}
+		return nil
+	case strings.HasPrefix(t, "order:"):
+		if t == "order:" {
+			return fmt.Errorf("empty order key in target")
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown target %q", t)
+	}
+}
+
+// MoveCtx identifies one move attempt to the injector.
+type MoveCtx struct {
+	Agent    int    // agent id
+	Sync     bool   // the agent currently holds the synchronizer role
+	OrderKey string // ledger key of the order being executed, if any
+}
+
+// Action is the injector's verdict for one move.
+type Action struct {
+	Crash bool  // the agent dies before making this move
+	Delay int64 // units to sleep before the move, outside all locks
+	Hold  int64 // units to hold the engine lock while applying the move
+}
+
+// Injector is the compiled, concurrency-safe form of a Plan. One
+// injector serves exactly one run: it owns the per-target counters.
+type Injector struct {
+	mu     sync.Mutex
+	faults []Fault
+	fired  []bool
+
+	anyMoves   int
+	syncMoves  int
+	agentMoves map[int]int
+	orderEdges map[string]int
+	broadcasts int
+	firedCount int
+}
+
+// NewInjector compiles a validated plan. It panics on an invalid plan
+// so engines can assume injector queries never fail.
+func NewInjector(p *Plan) *Injector {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{
+		faults:     append([]Fault(nil), p.Faults...),
+		fired:      make([]bool, len(p.Faults)),
+		agentMoves: map[int]int{},
+		orderEdges: map[string]int{},
+	}
+}
+
+// Crashes returns the number of crash faults in the compiled plan.
+func (in *Injector) Crashes() int {
+	n := 0
+	for _, f := range in.faults {
+		if f.Kind == Crash {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns how many one-shot faults have triggered so far.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.firedCount
+}
+
+// BeforeMove advances the move counters for ctx and returns the
+// combined action of every fault that triggers on this move.
+func (in *Injector) BeforeMove(ctx MoveCtx) Action {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.anyMoves++
+	if ctx.Sync {
+		in.syncMoves++
+	}
+	in.agentMoves[ctx.Agent]++
+	if ctx.OrderKey != "" {
+		in.orderEdges[ctx.OrderKey]++
+	}
+	var act Action
+	for i, f := range in.faults {
+		n, ok := in.count(f.Target, ctx)
+		if !ok {
+			continue
+		}
+		switch f.Kind {
+		case Crash:
+			if !in.fired[i] && n == f.At {
+				in.fired[i] = true
+				in.firedCount++
+				act.Crash = true
+			}
+		case Stall:
+			if !in.fired[i] && n == f.At {
+				in.fired[i] = true
+				in.firedCount++
+				act.Delay += f.Delay
+			}
+		case LockStarve:
+			if !in.fired[i] && n == f.At {
+				in.fired[i] = true
+				in.firedCount++
+				act.Hold += f.Delay
+			}
+		case LatencySpike:
+			if n >= f.At && n <= f.window() {
+				act.Delay += f.Delay
+			}
+		}
+	}
+	return act
+}
+
+// count resolves the trigger counter for a target in this context,
+// reporting false when the fault does not apply to the move at all.
+func (in *Injector) count(target string, ctx MoveCtx) (int, bool) {
+	switch {
+	case target == TargetAny || target == "":
+		return in.anyMoves, true
+	case target == TargetSync:
+		if !ctx.Sync {
+			return 0, false
+		}
+		return in.syncMoves, true
+	case strings.HasPrefix(target, "agent:"):
+		id, _ := strconv.Atoi(target[len("agent:"):])
+		if ctx.Agent != id {
+			return 0, false
+		}
+		return in.agentMoves[id], true
+	case strings.HasPrefix(target, "order:"):
+		key := target[len("order:"):]
+		if ctx.OrderKey != key {
+			return 0, false
+		}
+		return in.orderEdges[key], true
+	default:
+		return 0, false
+	}
+}
+
+func (f Fault) window() int {
+	if f.Until == 0 {
+		return f.At
+	}
+	return f.Until
+}
+
+// DropWakeup advances the global broadcast counter and reports whether
+// this broadcast should be swallowed. Engines that honour it must run
+// a periodic re-broadcast (the watchdog) to stay live.
+func (in *Injector) DropWakeup() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.broadcasts++
+	for _, f := range in.faults {
+		if f.Kind == LostWakeup && in.broadcasts >= f.At && in.broadcasts <= f.window() {
+			return true
+		}
+	}
+	return false
+}
+
+// KernelInterceptor returns a DES event interceptor deferring every
+// event whose virtual time falls in a kernel-lag window to that
+// window's end, or nil when the plan has no kernel-lag faults. A
+// deferred event lands exactly at To, outside the half-open window, so
+// it is never deferred twice by the same fault.
+func (in *Injector) KernelInterceptor() func(at, seq int64) int64 {
+	has := false
+	for _, f := range in.faults {
+		if f.Kind == KernelLag {
+			has = true
+			break
+		}
+	}
+	if !has {
+		return nil
+	}
+	return func(at, _ int64) int64 {
+		var defer_ int64
+		for _, f := range in.faults {
+			if f.Kind == KernelLag && at >= f.From && at < f.To {
+				if d := f.To - at; d > defer_ {
+					defer_ = d
+				}
+			}
+		}
+		return defer_
+	}
+}

@@ -1,0 +1,178 @@
+package faults
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault Fault
+	}{
+		{"crash on any", Fault{Kind: Crash, Target: TargetAny, At: 1}},
+		{"crash on agent", Fault{Kind: Crash, Target: "agent:3", At: 1}},
+		{"crash without at", Fault{Kind: Crash, Target: TargetSync}},
+		{"stall without delay", Fault{Kind: Stall, Target: TargetAny, At: 1}},
+		{"stall without at", Fault{Kind: Stall, Target: TargetAny, Delay: 5}},
+		{"starve bad target", Fault{Kind: LockStarve, Target: "nonsense", At: 1, Delay: 5}},
+		{"spike inverted window", Fault{Kind: LatencySpike, Target: TargetAny, At: 9, Until: 3, Delay: 5}},
+		{"spike without delay", Fault{Kind: LatencySpike, Target: TargetAny, At: 1}},
+		{"lost-wakeup inverted window", Fault{Kind: LostWakeup, At: 9, Until: 3}},
+		{"kernel-lag empty window", Fault{Kind: KernelLag, From: 5, To: 5}},
+		{"kernel-lag negative start", Fault{Kind: KernelLag, From: -1, To: 5}},
+		{"unknown kind", Fault{Kind: "meteor", Target: TargetAny, At: 1}},
+		{"negative delay", Fault{Kind: Stall, Target: TargetAny, At: 1, Delay: -1}},
+		{"oversized delay", Fault{Kind: Stall, Target: TargetAny, At: 1, Delay: MaxDelay + 1}},
+		{"empty order key", Fault{Kind: Crash, Target: "order:", At: 1}},
+		{"bad agent id", Fault{Kind: Stall, Target: "agent:xyz", At: 1, Delay: 5}},
+	}
+	for _, c := range cases {
+		p := &Plan{Seed: 1, Faults: []Fault{c.fault}}
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+	big := &Plan{Seed: 1, Faults: make([]Fault, 257)}
+	for i := range big.Faults {
+		big.Faults[i] = Fault{Kind: LostWakeup, At: 1}
+	}
+	if err := big.Validate(); err == nil {
+		t.Error("257-fault plan validated")
+	}
+	if err := (*Plan)(nil).Validate(); err == nil {
+		t.Error("nil plan validated")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p := &Plan{Name: "mixed", Seed: 42, Faults: []Fault{
+		{Kind: Crash, Target: "order:p0.e1", At: 1},
+		{Kind: Crash, Target: TargetSync, At: 7},
+		{Kind: Stall, Target: "agent:2", At: 3, Delay: 50},
+		{Kind: LatencySpike, Target: TargetAny, At: 5, Until: 25, Delay: 10},
+		{Kind: LostWakeup, At: 2, Until: 9},
+		{Kind: KernelLag, From: 100, To: 250},
+	}}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip changed the plan:\n%+v\n%+v", p, got)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"seed":1,"faults":[],"bogus":true}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestParseRejectsInvalidPlan(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"seed":1,"faults":[{"kind":"crash","target":"any","at":1}]}`))
+	if err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}
+
+func TestInjectorCrashOneShot(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1, Faults: []Fault{
+		{Kind: Crash, Target: "order:k", At: 2},
+	}})
+	ctx := MoveCtx{Agent: 0, OrderKey: "k"}
+	if in.BeforeMove(ctx).Crash {
+		t.Fatal("crashed on edge 1, wanted edge 2")
+	}
+	if !in.BeforeMove(ctx).Crash {
+		t.Fatal("no crash on edge 2")
+	}
+	if in.BeforeMove(ctx).Crash {
+		t.Fatal("crash fired twice")
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", in.Fired())
+	}
+	if in.Crashes() != 1 {
+		t.Fatalf("Crashes() = %d, want 1", in.Crashes())
+	}
+}
+
+func TestInjectorTargetIsolation(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1, Faults: []Fault{
+		{Kind: Crash, Target: TargetSync, At: 2},
+	}})
+	// Non-sync moves must never advance the sync counter.
+	for i := 0; i < 10; i++ {
+		if in.BeforeMove(MoveCtx{Agent: i}).Crash {
+			t.Fatal("sync crash fired on a worker move")
+		}
+	}
+	if in.BeforeMove(MoveCtx{Agent: 0, Sync: true}).Crash {
+		t.Fatal("fired on sync move 1")
+	}
+	if !in.BeforeMove(MoveCtx{Agent: 3, Sync: true}).Crash {
+		t.Fatal("did not fire on sync move 2 (counter must follow the role, not the agent)")
+	}
+}
+
+func TestInjectorSpikeWindow(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1, Faults: []Fault{
+		{Kind: LatencySpike, Target: TargetAny, At: 2, Until: 3, Delay: 7},
+	}})
+	want := []int64{0, 7, 7, 0}
+	for i, d := range want {
+		if got := in.BeforeMove(MoveCtx{}).Delay; got != d {
+			t.Fatalf("move %d: delay %d, want %d", i+1, got, d)
+		}
+	}
+}
+
+func TestInjectorStallAndStarveCombine(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1, Faults: []Fault{
+		{Kind: Stall, Target: TargetAny, At: 1, Delay: 11},
+		{Kind: LockStarve, Target: TargetAny, At: 1, Delay: 5},
+	}})
+	act := in.BeforeMove(MoveCtx{})
+	if act.Delay != 11 || act.Hold != 5 {
+		t.Fatalf("act = %+v, want Delay 11 Hold 5", act)
+	}
+}
+
+func TestDropWakeupWindow(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1, Faults: []Fault{
+		{Kind: LostWakeup, At: 2, Until: 3},
+	}})
+	want := []bool{false, true, true, false}
+	for i, drop := range want {
+		if got := in.DropWakeup(); got != drop {
+			t.Fatalf("broadcast %d: drop=%v, want %v", i+1, got, drop)
+		}
+	}
+}
+
+func TestKernelInterceptor(t *testing.T) {
+	none := NewInjector(&Plan{Seed: 1, Faults: []Fault{{Kind: LostWakeup, At: 1}}})
+	if none.KernelInterceptor() != nil {
+		t.Fatal("interceptor without kernel-lag faults")
+	}
+	in := NewInjector(&Plan{Seed: 1, Faults: []Fault{
+		{Kind: KernelLag, From: 10, To: 20},
+	}})
+	ic := in.KernelInterceptor()
+	cases := []struct{ at, defer_ int64 }{
+		{9, 0}, {10, 10}, {15, 5}, {19, 1}, {20, 0}, {25, 0},
+	}
+	for _, c := range cases {
+		if got := ic(c.at, 0); got != c.defer_ {
+			t.Fatalf("at=%d: defer %d, want %d", c.at, got, c.defer_)
+		}
+	}
+}

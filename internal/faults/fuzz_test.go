@@ -1,0 +1,65 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to the plan decoder: it must reject
+// or accept, never panic, and whatever it accepts must survive its own
+// validator and compile into an injector whose hooks tolerate any move
+// context thrown at them. This is the "fuzzed plans never panic the
+// engines" half of the harness contract; the engine-level half (fuzzed
+// plans never wedge a real run) lives in the runtime package's tests.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"seed":1,"faults":[]}`))
+	f.Add([]byte(`{"name":"x","seed":-9,"faults":[{"kind":"crash","target":"sync","at":3}]}`))
+	f.Add([]byte(`{"seed":0,"faults":[{"kind":"crash","target":"order:p0.e1","at":1}]}`))
+	f.Add([]byte(`{"seed":2,"faults":[{"kind":"stall","target":"agent:0","at":2,"delay":40}]}`))
+	f.Add([]byte(`{"seed":3,"faults":[{"kind":"latency-spike","target":"any","at":1,"until":9,"delay":5}]}`))
+	f.Add([]byte(`{"seed":4,"faults":[{"kind":"lock-starve","target":"sync","at":4,"delay":12}]}`))
+	f.Add([]byte(`{"seed":5,"faults":[{"kind":"lost-wakeup","at":1,"until":30}]}`))
+	f.Add([]byte(`{"seed":6,"faults":[{"kind":"kernel-lag","from":5,"to":50}]}`))
+	f.Add([]byte(`{"seed":7,"faults":[{"kind":"crash","target":"any","at":1}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"seed":1,"faults":[{"kind":"stall","target":"any","at":1,"delay":99999999999}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted a plan its own validator rejects: %v", err)
+		}
+		in := NewInjector(p)
+		// Hammer the hooks with contexts the engines could produce.
+		ctxs := []MoveCtx{
+			{},
+			{Agent: 1},
+			{Agent: 2, Sync: true},
+			{Agent: 3, OrderKey: "p0.e1"},
+			{Agent: -1, OrderKey: "w1.x1.e0", Sync: true},
+		}
+		for i := 0; i < 64; i++ {
+			act := in.BeforeMove(ctxs[i%len(ctxs)])
+			if act.Delay < 0 || act.Delay > int64(len(p.Faults))*MaxDelay {
+				t.Fatalf("delay %d out of bounds", act.Delay)
+			}
+			if act.Hold < 0 || act.Hold > int64(len(p.Faults))*MaxDelay {
+				t.Fatalf("hold %d out of bounds", act.Hold)
+			}
+			in.DropWakeup()
+		}
+		if ic := in.KernelInterceptor(); ic != nil {
+			for at := int64(-4); at < 64; at++ {
+				if d := ic(at, 0); d < 0 {
+					t.Fatalf("interceptor returned negative deferral %d at %d", d, at)
+				}
+			}
+		}
+		if in.Fired() > len(p.Faults) {
+			t.Fatalf("Fired()=%d exceeds plan size %d", in.Fired(), len(p.Faults))
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Parse decodes and validates a JSON plan, e.g.
+//
+//	{"name":"mixed","seed":7,"faults":[
+//	  {"kind":"crash","target":"order:p0.e1","at":1},
+//	  {"kind":"latency-spike","target":"any","at":10,"until":40,"delay":25}]}
+func Parse(r io.Reader) (*Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("faults: decoding plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// WriteJSON streams the plan as indented JSON.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(p)
+}

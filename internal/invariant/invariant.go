@@ -1,0 +1,116 @@
+// Package invariant replays recorded traces against a fresh board and
+// asserts, event by event, that the defining invariants of contiguous
+// monotone search still hold: no stably-clean node is ever
+// recontaminated (monotonicity) and the decontaminated region stays
+// connected (contiguity). The fault-injection campaign runs it over
+// every trace so that recovery machinery cannot quietly trade
+// correctness for liveness.
+package invariant
+
+import (
+	"fmt"
+
+	"hypersearch/internal/board"
+	"hypersearch/internal/graph"
+	"hypersearch/internal/trace"
+)
+
+// maxViolations bounds how many violation messages a report keeps.
+const maxViolations = 8
+
+// Report is the outcome of checking one trace.
+type Report struct {
+	Events       int   // events replayed
+	Moves        int64 // move events among them
+	CheckedEvery int   // contiguity verified every that many events
+
+	MonotoneOK   bool // no stably-clean node was recontaminated
+	ContiguousOK bool // decontaminated set stayed connected at every check
+	Captured     bool // final board has no contaminated node
+
+	Violations []string // first few violations, for diagnostics
+}
+
+// Ok reports whether every invariant held through the whole trace.
+func (r Report) Ok() bool { return r.MonotoneOK && r.ContiguousOK && r.Captured }
+
+// String renders a one-line verdict.
+func (r Report) String() string {
+	return fmt.Sprintf("events=%d moves=%d monotone=%v contiguous=%v captured=%v",
+		r.Events, r.Moves, r.MonotoneOK, r.ContiguousOK, r.Captured)
+}
+
+// Check replays l on a fresh board over g with the given homebase,
+// verifying monotonicity after every event and contiguity every
+// CheckedEvery events (1 for small graphs, 32 beyond 1024 nodes, plus
+// always after the final event). Structural errors in the trace —
+// unknown agents, non-edges, time running backwards — are returned as
+// errors rather than panics, so the checker is safe on traces of
+// arbitrary provenance.
+func Check(l *trace.Log, g graph.Graph, home int) (rep Report, err error) {
+	every := 1
+	if g.Order() > 1024 {
+		every = 32
+	}
+	rep = Report{MonotoneOK: true, ContiguousOK: true, CheckedEvery: every}
+
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("invariant: trace violates board rules: %v", r)
+		}
+	}()
+
+	b := board.New(g, home)
+	ids := map[int]int{} // recorded agent id -> replay agent id
+	events := l.Events()
+	var seenViolations int64
+	for i, e := range events {
+		switch e.Kind {
+		case trace.Place:
+			if _, ok := ids[e.Agent]; ok {
+				return rep, fmt.Errorf("invariant: place reuses agent id %d (event %d)", e.Agent, e.Seq)
+			}
+			ids[e.Agent] = b.Place(e.Time)
+		case trace.Clone:
+			if _, ok := ids[e.Agent]; ok {
+				return rep, fmt.Errorf("invariant: clone reuses agent id %d (event %d)", e.Agent, e.Seq)
+			}
+			ids[e.Agent] = b.Clone(e.To, e.Time)
+		case trace.Move:
+			id, ok := ids[e.Agent]
+			if !ok {
+				return rep, fmt.Errorf("invariant: move of unknown agent %d (event %d)", e.Agent, e.Seq)
+			}
+			b.Move(id, e.To, e.Time)
+			rep.Moves++
+		case trace.Terminate:
+			id, ok := ids[e.Agent]
+			if !ok {
+				return rep, fmt.Errorf("invariant: terminate of unknown agent %d (event %d)", e.Agent, e.Seq)
+			}
+			b.Terminate(id, e.Time)
+		default:
+			return rep, fmt.Errorf("invariant: unknown event kind %q (event %d)", e.Kind, e.Seq)
+		}
+		if v := b.MonotoneViolations(); v > seenViolations {
+			seenViolations = v
+			rep.MonotoneOK = false
+			rep.addViolation(fmt.Sprintf("event %d (%s agent %d -> %d): stably-clean node recontaminated", e.Seq, e.Kind, e.Agent, e.To))
+		}
+		if (i%every == 0 || i == len(events)-1) && !b.Contiguous() {
+			if rep.ContiguousOK {
+				rep.addViolation(fmt.Sprintf("event %d: decontaminated region disconnected", e.Seq))
+			}
+			rep.ContiguousOK = false
+		}
+	}
+	rep.Events = len(events)
+	rep.Captured = b.AllClean()
+	return rep, nil
+}
+
+func (r *Report) addViolation(msg string) {
+	if len(r.Violations) < maxViolations {
+		r.Violations = append(r.Violations, msg)
+	}
+}

@@ -1,0 +1,649 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"hypersearch/internal/combin"
+	"hypersearch/internal/faults"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/trace"
+)
+
+// CleanFTName identifies the crash-tolerant coordinated run in results.
+const CleanFTName = "clean-ft-goroutines"
+
+// Whiteboard fields of the recovery protocol, all on the homebase
+// board (the root is clean from the start and every agent can reach
+// it, so it doubles as the durable registry of the paper's model).
+const (
+	fieldCk    = "ck"          // synchronizer checkpoint: completed steps
+	fieldOwner = "sync.owner"  // current synchronizer id + 1
+	fieldEpoch = "sync.epoch." // re-election CAS field, one per epoch
+	fieldLease = "lease."      // per-agent heartbeat counter
+	fieldFence = "fence."      // set once the watchdog declares an agent dead
+	fieldOrder = "ord."        // per-order destination / completion mirror
+)
+
+func leaseField(id int) string   { return fmt.Sprintf("%s%d", fieldLease, id) }
+func fenceField(id int) string   { return fmt.Sprintf("%s%d", fieldFence, id) }
+func epochField(e int64) string  { return fmt.Sprintf("%s%d", fieldEpoch, e) }
+func orderField(k, f string) string { return fieldOrder + k + "." + f }
+
+// ftOrder is one ledger entry: a walk some agent owes the search. The
+// destination plus the walker's board position fully determine the
+// remaining path (tree paths for outbound work, clear-bits-first
+// shortest paths for homeward walks), which is what makes a crashed
+// walk reconstructible.
+type ftOrder struct {
+	key      string
+	assignee int
+	dst      int
+	register bool // true: report to at[dst]; false: walk home to the pool
+	done     bool
+}
+
+// FTReport is the outcome of a fault-tolerant run.
+type FTReport struct {
+	Result metrics.Result
+	Log    *trace.Log // nil unless Config.Record
+
+	Team        int // paper team size
+	Spares      int // extra agents provisioned for recovery
+	Crashes     int // injected crashes that fired
+	Reassigned  int // orders re-executed by a spare
+	Reelections int // synchronizer CAS re-elections
+	SparesUsed  int // spares drafted into service
+}
+
+// ftWorld extends the shared world with the recovery protocol's
+// replicated state: the order ledger, per-node agent registry, root
+// pool, spare pool, fencing flags, and the synchronizer epoch. All of
+// it is guarded by the world mutex; the homebase whiteboard mirrors
+// the durable fields (leases, checkpoint, order records, fences) that
+// the paper's model would store on node whiteboards.
+type ftWorld struct {
+	*world
+	cfg Config
+	inj *faults.Injector
+	log *trace.Log
+
+	step int64 // logical clock: one tick per board action
+
+	inbox  [][]string
+	ledger map[string]*ftOrder
+	at     map[int][]int
+	pool   []int
+	spares []int
+
+	dead   []bool // fenced by the watchdog
+	exited []bool // returned cleanly (lease no longer monitored)
+
+	syncID   int
+	epoch    int64
+	needSync bool
+	doneFlag bool
+
+	hbQuit []chan struct{}
+	hbOnce []sync.Once
+
+	crashes     int
+	reassigned  int
+	reelections int
+	sparesUsed  int
+}
+
+func newFTWorld(d int, cfg Config, inj *faults.Injector) *ftWorld {
+	w := &ftWorld{
+		world:  newWorld(d),
+		cfg:    cfg,
+		inj:    inj,
+		ledger: map[string]*ftOrder{},
+		at:     map[int][]int{},
+		syncID: -1,
+	}
+	if cfg.Record {
+		w.log = &trace.Log{}
+	}
+	return w
+}
+
+// initAgents places total agents on the homebase (recording the trace)
+// and splits them into the working pool (0..team-1) and spares.
+func (w *ftWorld) initAgents(total, team int) {
+	w.inbox = make([][]string, total)
+	w.dead = make([]bool, total)
+	w.exited = make([]bool, total)
+	w.hbQuit = make([]chan struct{}, total)
+	w.hbOnce = make([]sync.Once, total)
+	w.mu.Lock()
+	for i := 0; i < total; i++ {
+		id := w.b.Place(w.step)
+		w.record(trace.Event{Time: w.step, Kind: trace.Place, Agent: id, To: 0, Role: roleFor(i, team)})
+		w.step++
+		w.hbQuit[i] = make(chan struct{})
+		if i < team {
+			w.pool = append(w.pool, id)
+		} else {
+			w.spares = append(w.spares, id)
+		}
+	}
+	w.mu.Unlock()
+}
+
+func roleFor(i, team int) string {
+	if i < team {
+		return "cleaner"
+	}
+	return "spare"
+}
+
+func (w *ftWorld) record(e trace.Event) {
+	if w.log != nil {
+		w.log.Append(e)
+	}
+}
+
+// action consults the injector for one move; a nil injector is a
+// fault-free run.
+func (w *ftWorld) action(ctx faults.MoveCtx) faults.Action {
+	if w.inj == nil {
+		return faults.Action{}
+	}
+	return w.inj.BeforeMove(ctx)
+}
+
+func (w *ftWorld) sleepUnits(units int64) {
+	if units > 0 && w.cfg.FaultUnit > 0 {
+		time.Sleep(time.Duration(units) * w.cfg.FaultUnit)
+	}
+}
+
+// broadcastLocked wakes every waiter unless the injector swallows the
+// wakeup (the watchdog's periodic re-broadcast keeps the run live).
+func (w *ftWorld) broadcastLocked() {
+	if w.inj != nil && w.inj.DropWakeup() {
+		return
+	}
+	w.cond.Broadcast()
+}
+
+// applyMove performs one fenced, traced board move. A positive hold
+// simulates whiteboard lock starvation: the mutex is held for that
+// long with every other agent shut out. Returns false when the agent
+// was fenced by the watchdog and must stop acting.
+func (w *ftWorld) applyMove(id, to int, hold int64, sync bool, role string) bool {
+	w.mu.Lock()
+	if w.dead[id] {
+		w.mu.Unlock()
+		return false
+	}
+	from, _ := w.b.Position(id)
+	w.b.Move(id, to, w.step)
+	if sync {
+		w.syncMoves++
+	}
+	w.record(trace.Event{Time: w.step, Kind: trace.Move, Agent: id, From: from, To: to, Role: role})
+	w.step++
+	if hold > 0 && w.cfg.FaultUnit > 0 {
+		time.Sleep(time.Duration(hold) * w.cfg.FaultUnit)
+	}
+	w.broadcastLocked()
+	w.mu.Unlock()
+	return true
+}
+
+// awaitLocked blocks until cond holds, returning false if the agent is
+// fenced first. Caller holds w.mu.
+func (w *ftWorld) awaitLocked(id int, cond func() bool) bool {
+	for {
+		if w.dead[id] {
+			return false
+		}
+		if cond() {
+			return true
+		}
+		w.cond.Wait()
+	}
+}
+
+// noteCrash is the injected crash: the agent's goroutines stop, its
+// heartbeat ceases, and nothing else is cleaned up — detection is the
+// watchdog's job, through the expiring lease.
+func (w *ftWorld) noteCrash(id int) {
+	w.stopHeartbeat(id)
+	w.mu.Lock()
+	w.crashes++
+	w.mu.Unlock()
+}
+
+func (w *ftWorld) stopHeartbeat(id int) {
+	w.hbOnce[id].Do(func() { close(w.hbQuit[id]) })
+}
+
+// finish marks a clean exit: the lease stops being monitored.
+func (w *ftWorld) finish(id int) {
+	w.mu.Lock()
+	w.exited[id] = true
+	w.mu.Unlock()
+	w.stopHeartbeat(id)
+}
+
+// heartbeat renews the agent's lease on the homebase whiteboard. It
+// runs on its own goroutine so a stalled (but live) agent is never
+// mistaken for a crashed one — liveness and progress are separate.
+func (w *ftWorld) heartbeat(id int) {
+	t := time.NewTicker(w.cfg.HeartbeatEvery)
+	defer t.Stop()
+	var n int64
+	for {
+		select {
+		case <-w.hbQuit[id]:
+			return
+		case <-t.C:
+			n++
+			w.wb.At(0).Write(leaseField(id), n)
+		}
+	}
+}
+
+// watchdog samples every lease each heartbeat period and declares an
+// agent dead once its lease has been silent for LeaseTTL. It also
+// re-broadcasts the world condition every tick, healing any wakeups
+// the fault injector swallowed.
+func (w *ftWorld) watchdog(quit chan struct{}) {
+	type lease struct {
+		val   int64
+		since time.Time
+	}
+	seen := make([]lease, len(w.hbQuit))
+	start := time.Now()
+	for i := range seen {
+		seen[i].since = start
+	}
+	t := time.NewTicker(w.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-t.C:
+		}
+		w.mu.Lock()
+		done := w.doneFlag
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		if done {
+			return
+		}
+		now := time.Now()
+		for id := range seen {
+			v := w.wb.At(0).Read(leaseField(id))
+			if v != seen[id].val {
+				seen[id] = lease{v, now}
+				continue
+			}
+			if now.Sub(seen[id].since) >= w.cfg.LeaseTTL {
+				w.declareDead(id)
+			}
+		}
+	}
+}
+
+// declareDead fences an expired agent and starts recovery: a dead
+// synchronizer opens a new election epoch; a dead worker's incomplete
+// outbound orders are reassigned to spares, which re-execute them from
+// the root along the (still clean) broadcast-tree paths.
+func (w *ftWorld) declareDead(id int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.doneFlag || w.dead[id] || w.exited[id] {
+		return
+	}
+	w.dead[id] = true
+	w.wb.At(0).Write(fenceField(id), 1)
+	w.inbox[id] = nil
+	if id == w.syncID {
+		w.epoch++
+		w.needSync = true
+		if len(w.spares) == 0 {
+			panic("runtime: synchronizer crashed with no spares left to re-elect; raise Config.Spares")
+		}
+	} else {
+		keys := make([]string, 0, 4)
+		for key, ord := range w.ledger {
+			if ord.assignee == id && !ord.done && ord.register {
+				keys = append(keys, key)
+			}
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			ord := w.ledger[key]
+			s := w.takeSpareLocked()
+			ord.assignee = s
+			w.inbox[s] = append(w.inbox[s], key)
+			w.reassigned++
+		}
+	}
+	w.cond.Broadcast()
+}
+
+func (w *ftWorld) takeSpareLocked() int {
+	if len(w.spares) == 0 {
+		panic("runtime: spare pool exhausted during recovery; raise Config.Spares")
+	}
+	s := w.spares[0]
+	w.spares = w.spares[1:]
+	w.sparesUsed++
+	return s
+}
+
+// poolInboundLocked reports whether some live agent still holds an
+// incomplete homeward order and will therefore rejoin the root pool.
+func (w *ftWorld) poolInboundLocked() bool {
+	for _, ord := range w.ledger {
+		if !ord.done && !ord.register && ord.assignee >= 0 && !w.dead[ord.assignee] {
+			return true
+		}
+	}
+	return false
+}
+
+// takeWorkerLocked draws an idle agent from the root pool. When the
+// pool is empty it waits for inbound returners rather than racing them
+// against the spare reserve — drafting a spare just because a returner
+// is a few scheduler ticks from home would make the spare count depend
+// on wall-clock timing. A spare is drafted only once the pool can no
+// longer refill (every homeward walker is done or dead). Returns false
+// if the caller is fenced while waiting.
+func (w *ftWorld) takeWorkerLocked(caller int) (int, bool) {
+	if !w.awaitLocked(caller, func() bool {
+		return len(w.pool) > 0 || (!w.poolInboundLocked() && len(w.spares) > 0)
+	}) {
+		return -1, false
+	}
+	if len(w.pool) > 0 {
+		a := w.pool[len(w.pool)-1]
+		w.pool = w.pool[:len(w.pool)-1]
+		return a, true
+	}
+	return w.takeSpareLocked(), true
+}
+
+// popLiveAtLocked removes and returns a live agent standing on x, or
+// -1 when only crashed bodies remain (they keep guarding x but cannot
+// walk; a spare must take over their onward duty).
+func (w *ftWorld) popLiveAtLocked(x int) int {
+	agents := w.at[x]
+	for i := len(agents) - 1; i >= 0; i-- {
+		a := agents[i]
+		if w.dead[a] {
+			continue
+		}
+		w.at[x] = append(agents[:i], agents[i+1:]...)
+		return a
+	}
+	return -1
+}
+
+// issueLocked records an order on the ledger (mirrored to the homebase
+// whiteboard) and posts it to the assignee's inbox. An assignee of -1
+// records a vacuously complete order — the work is moot, e.g. a dead
+// leaf agent that stays behind as a permanent guard.
+func (w *ftWorld) issueLocked(key string, assignee, dst int, register bool) *ftOrder {
+	ord := &ftOrder{key: key, assignee: assignee, dst: dst, register: register}
+	w.ledger[key] = ord
+	w.wb.At(0).Write(orderField(key, "dst"), int64(dst))
+	if assignee < 0 {
+		ord.done = true
+		w.wb.At(0).Write(orderField(key, "done"), 1)
+	} else {
+		w.inbox[assignee] = append(w.inbox[assignee], key)
+	}
+	w.broadcastLocked()
+	return ord
+}
+
+// execute walks one order. The remaining path is reconstructed from
+// the agent's current position and the order's destination: outbound
+// orders follow the broadcast-tree path from the root (of which the
+// walker's position is always a prefix node — spares start at the
+// root, escorted cleaners at the destination's parent), homeward
+// orders the clear-bits-first shortest path. Returns false if the
+// agent crashed or was fenced mid-walk.
+func (w *ftWorld) execute(id int, ord *ftOrder, rng *rand.Rand) bool {
+	w.mu.Lock()
+	pos, _ := w.b.Position(id)
+	w.mu.Unlock()
+	var path []int
+	if ord.register {
+		tp := w.bt.PathFromRoot(ord.dst)
+		i := indexOf(tp, pos)
+		if i < 0 {
+			panic(fmt.Sprintf("runtime: agent %d at %d is off the tree path to %d (order %s)", id, pos, ord.dst, ord.key))
+		}
+		path = tp[i:]
+	} else {
+		path = w.h.ShortestPath(pos, ord.dst)
+	}
+	for _, v := range path[1:] {
+		act := w.action(faults.MoveCtx{Agent: id, OrderKey: ord.key})
+		if act.Crash {
+			w.noteCrash(id)
+			return false
+		}
+		w.sleepUnits(act.Delay)
+		sleepLatency(rng, w.cfg.MaxLatency)
+		if !w.applyMove(id, v, act.Hold, false, "cleaner") {
+			return false
+		}
+	}
+	w.mu.Lock()
+	ord.done = true
+	w.wb.At(0).Write(orderField(ord.key, "done"), 1)
+	if ord.register {
+		w.at[ord.dst] = append(w.at[ord.dst], id)
+	} else {
+		w.pool = append(w.pool, id)
+	}
+	w.broadcastLocked()
+	w.mu.Unlock()
+	return true
+}
+
+func indexOf(path []int, v int) int {
+	for i, p := range path {
+		if p == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// workerLoop is the local program of every non-synchronizer agent:
+// serve orders from the inbox; spares additionally stand for election
+// when the watchdog opens a new synchronizer epoch.
+func (w *ftWorld) workerLoop(id int, spare bool, rng *rand.Rand) {
+	w.mu.Lock()
+	for {
+		switch {
+		case w.dead[id]:
+			w.mu.Unlock()
+			w.stopHeartbeat(id)
+			return
+		case len(w.inbox[id]) > 0:
+			key := w.inbox[id][0]
+			w.inbox[id] = w.inbox[id][1:]
+			ord := w.ledger[key]
+			w.mu.Unlock()
+			if !w.execute(id, ord, rng) {
+				return // crashed (lease expires) or fenced (already declared)
+			}
+			w.mu.Lock()
+		case spare && w.needSync && w.inReserveLocked(id):
+			e := w.epoch
+			w.mu.Unlock()
+			won := w.wb.At(0).CompareAndSwap(epochField(e), 0, int64(id)+1)
+			w.mu.Lock()
+			if won && w.needSync && w.epoch == e {
+				w.needSync = false
+				w.syncID = id
+				w.removeSpareLocked(id)
+				w.sparesUsed++
+				w.reelections++
+				w.wb.At(0).Write(fieldOwner, int64(id)+1)
+				w.cond.Broadcast()
+				w.mu.Unlock()
+				w.syncProgram(id, rng)
+				return
+			}
+			for w.needSync && w.epoch == e && !w.dead[id] {
+				w.cond.Wait()
+			}
+		case w.doneFlag:
+			w.mu.Unlock()
+			w.finish(id)
+			return
+		default:
+			w.cond.Wait()
+		}
+	}
+}
+
+// inReserveLocked reports whether id is still an undrafted spare. Only
+// reserve spares may stand for synchronizer re-election: a drafted
+// spare may be standing guard on a frontier node, and abandoning that
+// post to run the synchronizer program would recontaminate the region
+// behind it.
+func (w *ftWorld) inReserveLocked(id int) bool {
+	for _, s := range w.spares {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *ftWorld) removeSpareLocked(id int) {
+	for i, s := range w.spares {
+		if s == id {
+			w.spares = append(w.spares[:i], w.spares[i+1:]...)
+			return
+		}
+	}
+}
+
+// removeFromPoolLocked drops id from the root pool (the elected
+// synchronizer stops being assignable).
+func (w *ftWorld) removeFromPoolLocked(id int) {
+	for i, a := range w.pool {
+		if a == id {
+			w.pool = append(w.pool[:i], w.pool[i+1:]...)
+			return
+		}
+	}
+}
+
+// terminateAllLocked retires every still-active agent in place,
+// recording the trace. Crashed bodies stay as permanent guards.
+func (w *ftWorld) terminateAllLocked() {
+	for id := 0; id < w.b.Agents(); id++ {
+		if v, active := w.b.Position(id); active {
+			w.b.Terminate(id, w.step)
+			w.record(trace.Event{Time: w.step, Kind: trace.Terminate, Agent: id, From: v, To: v})
+			w.step++
+		}
+	}
+}
+
+func (w *ftWorld) report(name string, team, spares int) FTReport {
+	res := w.result(name, team+spares)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return FTReport{
+		Result:      res,
+		Log:         w.log,
+		Team:        team,
+		Spares:      spares,
+		Crashes:     w.crashes,
+		Reassigned:  w.reassigned,
+		Reelections: w.reelections,
+		SparesUsed:  w.sparesUsed,
+	}
+}
+
+// RunCleanFT executes Algorithm CLEAN on the crash-tolerant goroutine
+// runtime: the team races a whiteboard CAS election, the winner runs
+// the checkpointed synchronizer program, every agent maintains a lease
+// the watchdog monitors, and cfg.Faults injects deterministic
+// adversity. A crashed cleaner's walk is reconstructed from the order
+// ledger and reassigned to a spare; a crashed synchronizer triggers a
+// CAS re-election among the spares, and the winner resumes from the
+// whiteboard checkpoint. The search completes with the surviving team
+// as long as spares cover the crashes.
+func RunCleanFT(d int, cfg Config) (FTReport, error) {
+	cfg = cfg.withDefaults()
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return FTReport{}, err
+		}
+		inj = faults.NewInjector(cfg.Faults)
+	}
+	w := newFTWorld(d, cfg, inj)
+	team := int(combin.CleanTeamSize(d))
+	spares := cfg.Spares
+	if spares <= 0 && inj != nil && inj.Crashes() > 0 {
+		spares = inj.Crashes() + 1
+	}
+	total := team + spares
+	w.initAgents(total, team)
+
+	if d == 0 {
+		w.mu.Lock()
+		w.terminateAllLocked()
+		w.mu.Unlock()
+		return w.report(CleanFTName, team, spares), nil
+	}
+
+	wdQuit := make(chan struct{})
+	go w.watchdog(wdQuit)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		go w.heartbeat(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(deriveSeed(cfg.Seed, uint64(i))))
+			w.agentMain(i, i >= team, rng)
+		}(i)
+	}
+	wg.Wait()
+	close(wdQuit)
+	for i := 0; i < total; i++ {
+		w.stopHeartbeat(i)
+	}
+
+	w.mu.Lock()
+	w.terminateAllLocked()
+	w.mu.Unlock()
+	return w.report(CleanFTName, team, spares), nil
+}
+
+// agentMain races the initial election (workers only — spares stay in
+// reserve) and then runs the won role.
+func (w *ftWorld) agentMain(id int, spare bool, rng *rand.Rand) {
+	if !spare && w.wb.At(0).CompareAndSwap(fieldSync, 0, int64(id)+1) {
+		w.mu.Lock()
+		w.syncID = id
+		w.removeFromPoolLocked(id)
+		w.mu.Unlock()
+		w.wb.At(0).Write(fieldOwner, int64(id)+1)
+		w.syncProgram(id, rng)
+		return
+	}
+	w.workerLoop(id, spare, rng)
+}

@@ -1,0 +1,219 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"hypersearch/internal/faults"
+	"hypersearch/internal/hypercube"
+	"hypersearch/internal/invariant"
+)
+
+// Fast watchdog knobs for tests: crash detection costs one TTL, so the
+// tests shrink it (while keeping it far above the heartbeat period, as
+// the spurious-fencing guard requires).
+func testCfg(seed int64, plan *faults.Plan) Config {
+	return Config{
+		Seed:           seed,
+		MaxLatency:     100 * time.Microsecond,
+		Faults:         plan,
+		Record:         true,
+		HeartbeatEvery: time.Millisecond,
+		LeaseTTL:       80 * time.Millisecond,
+		FaultUnit:      10 * time.Microsecond,
+	}
+}
+
+func checkTrace(t *testing.T, rep FTReport, d int) {
+	t.Helper()
+	if rep.Log == nil {
+		t.Fatal("Record was set but the report carries no trace")
+	}
+	ir, err := invariant.Check(rep.Log, hypercube.New(d), 0)
+	if err != nil {
+		t.Fatalf("invariant.Check: %v", err)
+	}
+	if !ir.Ok() {
+		t.Fatalf("trace violates invariants: %s %v", ir, ir.Violations)
+	}
+}
+
+// A fault-free FT run must complete the search with exactly the plain
+// concurrent runtime's cleaner traffic: the recovery machinery (leases,
+// watchdog, ledger) may cost time, never moves.
+func TestCleanFTFaultFreeParity(t *testing.T) {
+	for d := 0; d <= 4; d++ {
+		rep, err := RunCleanFT(d, testCfg(11, nil))
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if !rep.Result.Ok() {
+			t.Fatalf("d=%d: run failed invariants: %+v", d, rep.Result)
+		}
+		if rep.Crashes != 0 || rep.Reassigned != 0 || rep.Reelections != 0 || rep.SparesUsed != 0 {
+			t.Fatalf("d=%d: fault-free run reports recovery activity: %+v", d, rep)
+		}
+		plain := RunClean(d, Config{Seed: 11, MaxLatency: 100 * time.Microsecond})
+		if rep.Result.AgentMoves != plain.AgentMoves {
+			t.Errorf("d=%d: FT cleaner moves %d, plain runtime %d", d, rep.Result.AgentMoves, plain.AgentMoves)
+		}
+		// d <= 1 has no level walks, so the synchronizer never moves.
+		if d >= 2 && rep.Result.SyncMoves == 0 {
+			t.Errorf("d=%d: synchronizer made no moves", d)
+		}
+		checkTrace(t, rep, d)
+	}
+}
+
+// A crashed cleaner's walk must be reconstructed from the order ledger
+// and finished by a spare, without recontaminating a single node.
+func TestCleanFTCleanerCrashRecovery(t *testing.T) {
+	plan := &faults.Plan{Name: "cleaner-crash", Seed: 7, Faults: []faults.Fault{
+		{Kind: faults.Crash, Target: "order:p0.e1", At: 1},
+	}}
+	rep, err := RunCleanFT(3, testCfg(7, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Result.Ok() {
+		t.Fatalf("search did not complete cleanly: %+v", rep.Result)
+	}
+	if rep.Result.Recontaminations != 0 {
+		t.Fatalf("recovery recontaminated %d times", rep.Result.Recontaminations)
+	}
+	if rep.Crashes != 1 || rep.Reassigned != 1 || rep.SparesUsed != 1 || rep.Reelections != 0 {
+		t.Fatalf("unexpected recovery stats: %+v", rep)
+	}
+	checkTrace(t, rep, 3)
+}
+
+// A crashed synchronizer must trigger a CAS re-election among the
+// spares, and the winner must resume from the whiteboard checkpoint.
+func TestCleanFTSynchronizerReelection(t *testing.T) {
+	plan := &faults.Plan{Name: "sync-crash", Seed: 7, Faults: []faults.Fault{
+		{Kind: faults.Crash, Target: faults.TargetSync, At: 5},
+	}}
+	rep, err := RunCleanFT(3, testCfg(7, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Result.Ok() {
+		t.Fatalf("search did not complete cleanly: %+v", rep.Result)
+	}
+	if rep.Crashes != 1 || rep.Reelections != 1 || rep.SparesUsed != 1 {
+		t.Fatalf("unexpected recovery stats: %+v", rep)
+	}
+	checkTrace(t, rep, 3)
+}
+
+// Delay faults (stall, spike, starvation, lost wakeups) cost time but
+// must never change which moves happen.
+func TestCleanFTDelayFaultsMovePreserving(t *testing.T) {
+	plan := &faults.Plan{Name: "delays", Seed: 3, Faults: []faults.Fault{
+		{Kind: faults.Stall, Target: faults.TargetSync, At: 3, Delay: 40},
+		{Kind: faults.LatencySpike, Target: faults.TargetAny, At: 5, Until: 15, Delay: 10},
+		{Kind: faults.LockStarve, Target: faults.TargetAny, At: 8, Delay: 30},
+		{Kind: faults.LostWakeup, At: 2, Until: 20},
+	}}
+	faulted, err := RunCleanFT(3, testCfg(3, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunCleanFT(3, testCfg(3, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulted.Result.Ok() {
+		t.Fatalf("faulted run failed: %+v", faulted.Result)
+	}
+	if faulted.Result.TotalMoves != clean.Result.TotalMoves {
+		t.Errorf("delay faults changed the move count: %d vs %d", faulted.Result.TotalMoves, clean.Result.TotalMoves)
+	}
+	if faulted.Crashes != 0 || faulted.SparesUsed != 0 {
+		t.Errorf("delay-only plan triggered recovery: %+v", faulted)
+	}
+	checkTrace(t, faulted, 3)
+}
+
+// Reruns of the same seed and plan must agree on every move count and
+// every recovery statistic — the determinism contract of the harness.
+func TestCleanFTDeterministicReruns(t *testing.T) {
+	plan := &faults.Plan{Name: "mixed", Seed: 5, Faults: []faults.Fault{
+		{Kind: faults.Crash, Target: "order:p0.e0", At: 1},
+		{Kind: faults.Crash, Target: faults.TargetSync, At: 7},
+		{Kind: faults.Stall, Target: faults.TargetAny, At: 11, Delay: 25},
+		{Kind: faults.LatencySpike, Target: faults.TargetAny, At: 4, Until: 9, Delay: 8},
+		{Kind: faults.LostWakeup, At: 3, Until: 12},
+	}}
+	type fingerprint struct {
+		total, agent, sync                        int64
+		crashes, reassigned, reelections, spares int
+	}
+	var runs []fingerprint
+	for i := 0; i < 3; i++ {
+		rep, err := RunCleanFT(3, testCfg(5, plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Result.Ok() {
+			t.Fatalf("run %d failed: %+v", i, rep.Result)
+		}
+		checkTrace(t, rep, 3)
+		runs = append(runs, fingerprint{
+			rep.Result.TotalMoves, rep.Result.AgentMoves, rep.Result.SyncMoves,
+			rep.Crashes, rep.Reassigned, rep.Reelections, rep.SparesUsed,
+		})
+	}
+	for i := 1; i < len(runs); i++ {
+		if runs[i] != runs[0] {
+			t.Fatalf("rerun %d diverged: %+v vs %+v", i, runs[i], runs[0])
+		}
+	}
+}
+
+// Crash plans must be rejected by engines that cannot recover from
+// them, with an error pointing at the crash-tolerant runtime.
+func TestVisibilityFTRejectsCrashPlans(t *testing.T) {
+	plan := &faults.Plan{Seed: 1, Faults: []faults.Fault{
+		{Kind: faults.Crash, Target: faults.TargetSync, At: 1},
+	}}
+	if _, err := RunVisibilityFT(3, testCfg(1, plan)); err == nil {
+		t.Fatal("RunVisibilityFT accepted a crash plan")
+	}
+}
+
+// The visibility runtime under a barrage of lost wakeups must still
+// finish (the re-broadcaster heals liveness) with exactly the plain
+// visibility run's traffic.
+func TestVisibilityFTLostWakeups(t *testing.T) {
+	plan := &faults.Plan{Name: "lost-wakeups", Seed: 9, Faults: []faults.Fault{
+		{Kind: faults.LostWakeup, At: 1, Until: 100},
+	}}
+	rep, err := RunVisibilityFT(3, testCfg(9, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Result.Ok() {
+		t.Fatalf("run failed: %+v", rep.Result)
+	}
+	plain := RunVisibility(3, Config{Seed: 9, MaxLatency: 100 * time.Microsecond})
+	if rep.Result.AgentMoves != plain.AgentMoves {
+		t.Errorf("lost wakeups changed the move count: %d vs %d", rep.Result.AgentMoves, plain.AgentMoves)
+	}
+	checkTrace(t, rep, 3)
+}
+
+// Seed sensitivity: the derived per-agent streams must actually depend
+// on the root seed (a regression guard for the seed plumbing).
+func TestDeriveSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for root := int64(0); root < 8; root++ {
+		for stream := uint64(0); stream < 8; stream++ {
+			s := deriveSeed(root, stream)
+			if seen[s] {
+				t.Fatalf("deriveSeed collision at root=%d stream=%d", root, stream)
+			}
+			seen[s] = true
+		}
+	}
+}

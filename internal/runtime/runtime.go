@@ -14,16 +14,54 @@ import (
 	"time"
 
 	"hypersearch/internal/board"
+	"hypersearch/internal/faults"
 	"hypersearch/internal/heapqueue"
 	"hypersearch/internal/hypercube"
 	"hypersearch/internal/metrics"
 	"hypersearch/internal/whiteboard"
 )
 
-// Config controls a runtime execution.
+// Config controls a runtime execution. Seed is the only source of
+// randomness: every stream (per-agent schedulers, watchdog) is derived
+// from it with deriveSeed, so equal configs replay equal runs.
 type Config struct {
 	Seed       int64         // randomized-scheduler seed
 	MaxLatency time.Duration // per-move sleep is uniform in [0, MaxLatency]
+
+	// Fault-tolerant runs (RunCleanFT / RunVisibilityFT) only:
+
+	Faults *faults.Plan // deterministic fault plan (nil = fault-free)
+	Spares int          // extra agents provisioned for crash recovery (0 = crashes+1)
+	Record bool         // keep a structured trace (logical-clock timestamps)
+
+	HeartbeatEvery time.Duration // lease heartbeat period (0 = 2ms)
+	LeaseTTL       time.Duration // watchdog declares an agent dead after this silence (0 = 250ms)
+	FaultUnit      time.Duration // wall-clock length of one fault delay unit (0 = 100µs)
+}
+
+// Defaults for the fault-tolerant runtime's timing knobs. LeaseTTL is
+// two orders of magnitude above the heartbeat so a live-but-slow agent
+// (GC pause, race-detector overhead) is never fenced spuriously.
+const (
+	defaultHeartbeat = 2 * time.Millisecond
+	defaultLeaseTTL  = 250 * time.Millisecond
+	defaultFaultUnit = 100 * time.Microsecond
+)
+
+// withDefaults fills the zero timing knobs.
+func (c Config) withDefaults() Config {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = defaultHeartbeat
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = defaultLeaseTTL
+	}
+	if c.FaultUnit < 0 {
+		c.FaultUnit = 0
+	} else if c.FaultUnit == 0 {
+		c.FaultUnit = defaultFaultUnit
+	}
+	return c
 }
 
 // world is the shared state of one concurrent run. The board is

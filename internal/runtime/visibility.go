@@ -51,7 +51,7 @@ func RunVisibility(d int, cfg Config) metrics.Result {
 		wg.Add(1)
 		go func(i, id int) {
 			defer wg.Done()
-			agentProgram(w, id, rand.New(rand.NewSource(cfg.Seed+int64(i))), cfg.MaxLatency)
+			agentProgram(w, id, rand.New(rand.NewSource(deriveSeed(cfg.Seed, uint64(i)))), cfg.MaxLatency)
 		}(i, id)
 	}
 	wg.Wait()

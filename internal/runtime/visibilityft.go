@@ -1,0 +1,124 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hypersearch/internal/combin"
+	"hypersearch/internal/faults"
+	"hypersearch/internal/heapqueue"
+	"hypersearch/internal/trace"
+)
+
+// VisibilityFTName identifies the fault-injected visibility run.
+const VisibilityFTName = "visibility-ft-goroutines"
+
+// RunVisibilityFT executes CLEAN WITH VISIBILITY under fault
+// injection: stalls, latency spikes, whiteboard lock starvation, and
+// lost visibility wakeups (healed by the periodic re-broadcaster, the
+// visibility model's watchdog). Crash faults are rejected: the local
+// rule has no order ledger to reconstruct a dead agent's duty from, so
+// crash recovery is the coordinated runtime's province.
+func RunVisibilityFT(d int, cfg Config) (FTReport, error) {
+	cfg = cfg.withDefaults()
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return FTReport{}, err
+		}
+		if cfg.Faults.RequiresRecovery() {
+			return FTReport{}, fmt.Errorf("runtime: crash faults require the coordinated runtime (RunCleanFT); the visibility local rule is not crash-recoverable")
+		}
+		inj = faults.NewInjector(cfg.Faults)
+	}
+	w := newFTWorld(d, cfg, inj)
+	team := int(combin.VisibilityAgents(d))
+	w.initAgents(team, team)
+	w.wb.At(0).Write(fieldAgents, int64(team))
+
+	if d == 0 {
+		w.mu.Lock()
+		w.terminateAllLocked()
+		w.mu.Unlock()
+		return w.report(VisibilityFTName, team, 0), nil
+	}
+
+	quit := make(chan struct{})
+	go w.rebroadcaster(quit)
+	var wg sync.WaitGroup
+	for i := 0; i < team; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w.ftAgentProgram(i, rand.New(rand.NewSource(deriveSeed(cfg.Seed, uint64(i)))))
+		}(i)
+	}
+	wg.Wait()
+	close(quit)
+	for i := 0; i < team; i++ {
+		w.stopHeartbeat(i)
+	}
+	return w.report(VisibilityFTName, team, 0), nil
+}
+
+// rebroadcaster periodically wakes every waiter, so a wakeup swallowed
+// by the fault injector only costs time, never liveness.
+func (w *ftWorld) rebroadcaster(quit chan struct{}) {
+	t := time.NewTicker(w.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		}
+	}
+}
+
+// ftAgentProgram is the visibility local rule of Section 4.2 with
+// fault hooks on every move and broadcast.
+func (w *ftWorld) ftAgentProgram(id int, rng *rand.Rand) {
+	at := 0
+	for {
+		w.mu.Lock()
+		k := w.bt.Type(at)
+		if k == 0 {
+			w.b.Terminate(id, w.step)
+			w.record(trace.Event{Time: w.step, Kind: trace.Terminate, Agent: id, From: at, To: at})
+			w.step++
+			w.exited[id] = true
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			return
+		}
+		required := heapqueue.AgentsRequired(k)
+		for !(w.wb.At(at).Read(fieldPlanned) == 1 ||
+			(w.wb.At(at).Read(fieldAgents) == required && w.smallerReadyLocked(at))) {
+			w.cond.Wait()
+		}
+		target := w.claimSlotLocked(at, k)
+		w.mu.Unlock()
+
+		act := w.action(faults.MoveCtx{Agent: id})
+		w.sleepUnits(act.Delay)
+		sleepLatency(rng, w.cfg.MaxLatency)
+
+		w.mu.Lock()
+		w.wb.At(at).Add(fieldAgents, -1)
+		w.wb.At(target).Add(fieldAgents, 1)
+		w.b.Move(id, target, w.step)
+		w.record(trace.Event{Time: w.step, Kind: trace.Move, Agent: id, From: at, To: target, Role: "cleaner"})
+		w.step++
+		if act.Hold > 0 && w.cfg.FaultUnit > 0 {
+			time.Sleep(time.Duration(act.Hold) * w.cfg.FaultUnit)
+		}
+		w.broadcastLocked()
+		w.mu.Unlock()
+		at = target
+	}
+}

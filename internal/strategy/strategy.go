@@ -12,6 +12,7 @@ import (
 
 	"hypersearch/internal/board"
 	"hypersearch/internal/des"
+	"hypersearch/internal/faults"
 	"hypersearch/internal/heapqueue"
 	"hypersearch/internal/hypercube"
 	"hypersearch/internal/metrics"
@@ -68,6 +69,14 @@ type Options struct {
 	Latency    Latency         // nil means Unit{}
 	Contiguity ContiguityCheck // default CheckFinal
 	Record     bool            // keep a full trace log
+
+	// Faults optionally injects deterministic adversity: stalls,
+	// latency spikes, and lock starvation become extra virtual delay
+	// on the affected moves, and kernel-lag faults are installed as a
+	// DES event interceptor. Crash faults are not supported by the
+	// discrete-event engine (a dead process would wedge the kernel);
+	// they require the crash-tolerant goroutine runtime.
+	Faults *faults.Injector
 }
 
 // Env is the execution environment for one strategy run on H_d.
@@ -104,7 +113,27 @@ func NewEnv(d int, opts Options) *Env {
 	if opts.Record {
 		e.log = &trace.Log{}
 	}
+	if opts.Faults != nil {
+		if ic := opts.Faults.KernelInterceptor(); ic != nil {
+			e.Sim.Intercept(des.Interceptor(ic))
+		}
+	}
 	return e
+}
+
+// faultDelay consults the injector for one move of agent in role and
+// returns the extra virtual delay to impose. Lock starvation has no
+// distinct meaning under the single-threaded kernel, so hold time is
+// folded into the delay.
+func (e *Env) faultDelay(agent int, role string) int64 {
+	if e.opts.Faults == nil {
+		return 0
+	}
+	act := e.opts.Faults.BeforeMove(faults.MoveCtx{Agent: agent, Sync: role == RoleSynchronizer})
+	if act.Crash {
+		panic("strategy: crash faults require the crash-tolerant goroutine runtime (runtime.RunCleanFT)")
+	}
+	return act.Delay + act.Hold
 }
 
 // Log returns the trace log, or nil if recording was off.
@@ -173,7 +202,7 @@ func (e *Env) apply(agent, to int, role string) {
 // source until completion — the standard graph-search action model).
 func (e *Env) Move(p *des.Process, agent, to int, role string) {
 	from, _ := e.B.Position(agent)
-	p.Delay(e.opts.Latency.Draw(from, to))
+	p.Delay(e.opts.Latency.Draw(from, to) + e.faultDelay(agent, role))
 	e.apply(agent, to, role)
 }
 
@@ -185,7 +214,7 @@ func (e *Env) MoveTogether(p *des.Process, agents []int, to int, roles []string)
 		panic("strategy: MoveTogether needs matching agents and roles")
 	}
 	from, _ := e.B.Position(agents[0])
-	p.Delay(e.opts.Latency.Draw(from, to))
+	p.Delay(e.opts.Latency.Draw(from, to) + e.faultDelay(agents[0], roles[0]))
 	for i, a := range agents {
 		e.apply(a, to, roles[i])
 	}

@@ -1,0 +1,148 @@
+package whiteboard
+
+import (
+	"sync"
+	"testing"
+)
+
+// The election primitive of both the startup CAS race and the
+// crash-recovery re-election: under heavy contention exactly one
+// claimant may win each epoch field.
+func TestCompareAndSwapSingleWinner(t *testing.T) {
+	const claimants = 64
+	const epochs = 50
+	s := NewStore(1)
+	for e := 0; e < epochs; e++ {
+		field := "epoch." + string(rune('a'+e%26)) + string(rune('0'+e/26))
+		var wg sync.WaitGroup
+		winners := make(chan int64, claimants)
+		for i := 0; i < claimants; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if s.At(0).CompareAndSwap(field, 0, int64(i)+1) {
+					winners <- int64(i) + 1
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(winners)
+		var won []int64
+		for w := range winners {
+			won = append(won, w)
+		}
+		if len(won) != 1 {
+			t.Fatalf("epoch %d: %d winners, want exactly 1", e, len(won))
+		}
+		if got := s.At(0).Read(field); got != won[0] {
+			t.Fatalf("epoch %d: field holds %d, winner was %d", e, got, won[0])
+		}
+	}
+}
+
+// Concurrent Add calls (the visibility model's agent counters) must
+// never lose an increment.
+func TestAddUnderContention(t *testing.T) {
+	const writers = 32
+	const perWriter = 500
+	s := NewStore(4)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				s.At(j % 4).Add("agents", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for v := 0; v < 4; v++ {
+		total += s.At(v).Read("agents")
+	}
+	if total != writers*perWriter {
+		t.Fatalf("lost increments: %d, want %d", total, writers*perWriter)
+	}
+}
+
+// Update must be atomic read-modify-write even when the function is
+// non-trivial; interleaved lost updates would show as a wrong maximum.
+func TestUpdateAtomicity(t *testing.T) {
+	const writers = 16
+	const perWriter = 200
+	s := NewStore(1)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				v := int64(i*perWriter + j)
+				s.At(0).Update("max", func(cur int64) int64 {
+					if v > cur {
+						return v
+					}
+					return cur
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := s.At(0).Read("max"); got != writers*perWriter-1 {
+		t.Fatalf("max = %d, want %d", got, writers*perWriter-1)
+	}
+}
+
+// Lease counters as the fault-tolerant runtime uses them: one writer
+// heartbeating monotonically per agent, a watchdog reader sampling
+// concurrently. Reads must be monotone per field — a regression here
+// would let the watchdog see time flowing backwards and fence a live
+// agent.
+func TestLeaseMonotoneReads(t *testing.T) {
+	const agents = 8
+	const beats = 2000
+	s := NewStore(1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for a := 0; a < agents; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			field := "lease." + string(rune('0'+a))
+			for n := int64(1); n <= beats; n++ {
+				s.At(0).Write(field, n)
+			}
+		}(a)
+	}
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		last := make([]int64, agents)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for a := 0; a < agents; a++ {
+				field := "lease." + string(rune('0'+a))
+				v := s.At(0).Read(field)
+				if v < last[a] {
+					panic("lease counter went backwards")
+				}
+				last[a] = v
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	for a := 0; a < agents; a++ {
+		field := "lease." + string(rune('0'+a))
+		if got := s.At(0).Read(field); got != beats {
+			t.Fatalf("agent %d: final lease %d, want %d", a, got, beats)
+		}
+	}
+}
