@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci faults fuzz
+.PHONY: all build vet test race ci faults fuzz bench bench-smoke
 
 all: build
 
@@ -21,7 +21,17 @@ race:
 faults:
 	$(GO) run ./cmd/hqfaults -verify
 
-ci: build vet race faults
+# Full machine-readable benchmark report (compare against the
+# committed BENCH_*.json baselines before merging perf changes).
+bench:
+	$(GO) run ./cmd/hqbench -out BENCH.json
+
+# One-iteration pass over every testing.B benchmark: catches bit-rot
+# in the bench harness without paying for stable measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: build vet race faults bench-smoke
 
 # Short real fuzz runs of the fault-plan parser and the engine under
 # fuzzed fault application (regression corpus always runs under `test`).

@@ -19,6 +19,7 @@ import (
 	"hypersearch/internal/isoperimetry"
 	"hypersearch/internal/metrics"
 	"hypersearch/internal/netsim"
+	"hypersearch/internal/sched"
 	"hypersearch/internal/strategy/greedy"
 	"hypersearch/internal/strategy/levelsweep"
 	"hypersearch/internal/strategy/optimal"
@@ -352,11 +353,24 @@ func BenchmarkNetworkEngine(b *testing.B) {
 }
 
 // BenchmarkExperimentReports measures the full harness end to end (a
-// smaller sweep than the CLI default, to keep bench runs bounded).
+// smaller sweep than the CLI default, to keep bench runs bounded),
+// once on the serial path and once fanned across the default worker
+// count — the wall-clock ratio between the two is the scheduler's
+// speedup on this machine.
 func BenchmarkExperimentReports(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if got := len(experiments.All(6, 3)); got != 18 {
-			b.Fatalf("%d reports", got)
-		}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("workers=%d", sched.DefaultWorkers()), sched.DefaultWorkers()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := len(experiments.All(6, 3, bc.workers)); got != 18 {
+					b.Fatalf("%d reports", got)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,276 @@
+// Command hqbench runs the tier-1 benchmark families with stable,
+// fixed iteration counts and emits a machine-readable JSON report, so
+// every PR can record a performance trajectory (BENCH_seed.json,
+// BENCH_pr2.json, ...) and regressions are caught by diffing files
+// rather than re-reading scrollback.
+//
+// Unlike `go test -bench`, which adapts b.N to the machine, hqbench
+// pins the iteration count per family: ns/op moves with the hardware,
+// but allocs/op and the paper's own cost metrics (agents, moves,
+// steps) are exact and comparable across commits.
+//
+// Usage:
+//
+//	hqbench                      # all families -> BENCH.json
+//	hqbench -out BENCH_pr2.json
+//	hqbench -filter 'clean/'     # subset by regexp
+//	hqbench -quick               # 1 iteration per family (CI smoke)
+//	hqbench -list                # print family names and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"time"
+
+	"hypersearch/internal/core"
+	"hypersearch/internal/des"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/netsim"
+	"hypersearch/internal/whiteboard"
+)
+
+// family is one named benchmark: a fixed iteration count and a body
+// returning the paper's cost metrics for the last iteration.
+type family struct {
+	name  string
+	iters int
+	run   func() map[string]float64
+}
+
+// Result is one family's measurement, serialized into the report.
+type Result struct {
+	Name        string             `json:"name"`
+	Iters       int                `json:"iters"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole BENCH.json document.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Families   []Result `json:"families"`
+}
+
+// strategyMetrics extracts the paper's quantities from a run result.
+func strategyMetrics(r metrics.Result) map[string]float64 {
+	return map[string]float64{
+		"agents": float64(r.TeamSize),
+		"moves":  float64(r.TotalMoves),
+		"steps":  float64(r.Makespan),
+	}
+}
+
+// mustRun executes one spec, failing loudly on any invariant violation:
+// a benchmark that lies about correctness is worse than a slow one.
+func mustRun(spec core.Spec) metrics.Result {
+	res, _, err := core.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqbench:", err)
+		os.Exit(1)
+	}
+	if !res.Ok() {
+		fmt.Fprintf(os.Stderr, "hqbench: invariants violated: %s\n", res)
+		os.Exit(1)
+	}
+	return res
+}
+
+// strategyFamily benchmarks one strategy at one dimension.
+func strategyFamily(name string, d, iters int) family {
+	return family{
+		name:  fmt.Sprintf("%s/d=%d", name, d),
+		iters: iters,
+		run:   func() map[string]float64 { return strategyMetrics(mustRun(core.Spec{Strategy: name, Dim: d})) },
+	}
+}
+
+// families returns the full tier-1 suite. Iteration counts shrink with
+// dimension so the whole run stays in CLI territory while every family
+// still averages over several runs.
+func families() []family {
+	iters := func(d int) int {
+		switch {
+		case d <= 4:
+			return 50
+		case d <= 6:
+			return 20
+		case d <= 8:
+			return 8
+		case d <= 10:
+			return 3
+		default:
+			return 2
+		}
+	}
+	var fams []family
+	for _, d := range []int{4, 6, 8, 10, 12} {
+		fams = append(fams, strategyFamily(core.Clean, d, iters(d)))
+	}
+	for _, d := range []int{4, 6, 8, 10, 12} {
+		fams = append(fams, strategyFamily(core.Visibility, d, iters(d)))
+	}
+	fams = append(fams,
+		strategyFamily(core.Cloning, 8, 8),
+		strategyFamily(core.Synchronous, 8, 8),
+		family{
+			name:  "adversarial-clean/d=6",
+			iters: 10,
+			run: func() map[string]float64 {
+				return strategyMetrics(mustRun(core.Spec{
+					Strategy: core.Clean, Dim: 6, AdversarialLatency: 13, Seed: 1,
+				}))
+			},
+		},
+		family{
+			name:  "des-throughput/events=100k",
+			iters: 10,
+			run: func() map[string]float64 {
+				const events = 100_000
+				s := des.New()
+				count := 0
+				var tick func()
+				tick = func() {
+					count++
+					if count < events {
+						s.After(1, tick)
+					}
+				}
+				s.After(1, tick)
+				s.Run()
+				return map[string]float64{"events": events}
+			},
+		},
+		family{
+			name:  "whiteboard-ops/ops=100k",
+			iters: 10,
+			run: func() map[string]float64 {
+				const ops = 100_000
+				st := whiteboard.NewStore(1)
+				agents := st.Field("agents")
+				planned := st.Field("planned")
+				b := st.At(0)
+				for i := 0; i < ops; i++ {
+					b.Add(agents, 1)
+					if b.Read(agents) > 0 {
+						b.Write(planned, 1)
+					}
+				}
+				return map[string]float64{"ops": ops}
+			},
+		},
+		family{
+			name:  "netsim-visibility/d=6",
+			iters: 5,
+			run: func() map[string]float64 {
+				st := netsim.Run(6, netsim.Config{Seed: 1})
+				if !st.Ok() {
+					fmt.Fprintf(os.Stderr, "hqbench: netsim invariants violated: %s\n", st.Result)
+					os.Exit(1)
+				}
+				return map[string]float64{
+					"agents":  float64(st.TeamSize),
+					"beacons": float64(st.BeaconMessages),
+				}
+			},
+		},
+	)
+	return fams
+}
+
+// measure runs one family: a warmup iteration (excluded), then iters
+// timed iterations bracketed by mallocs accounting.
+func measure(f family, quick bool) Result {
+	iters := f.iters
+	if quick {
+		iters = 1
+	}
+	last := f.run() // warmup, excluded from the measurement
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		last = f.run()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return Result{
+		Name:        f.name,
+		Iters:       iters,
+		NsPerOp:     elapsed.Nanoseconds() / n,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+		Metrics:     last,
+	}
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH.json", "output file ('-' for stdout)")
+		filter = flag.String("filter", "", "regexp selecting family names (default: all)")
+		quick  = flag.Bool("quick", false, "1 iteration per family (CI smoke run)")
+		list   = flag.Bool("list", false, "print family names and exit")
+	)
+	flag.Parse()
+
+	fams := families()
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hqbench:", err)
+			os.Exit(2)
+		}
+		kept := fams[:0]
+		for _, f := range fams {
+			if re.MatchString(f.name) {
+				kept = append(kept, f)
+			}
+		}
+		fams = kept
+	}
+	if *list {
+		for _, f := range fams {
+			fmt.Println(f.name)
+		}
+		return
+	}
+
+	rep := Report{
+		Schema:     "hqbench/v1",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, f := range fams {
+		r := measure(f, *quick)
+		fmt.Fprintf(os.Stderr, "%-32s iters=%-3d %12d ns/op %10d allocs/op\n",
+			r.Name, r.Iters, r.NsPerOp, r.AllocsPerOp)
+		rep.Families = append(rep.Families, r)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "hqbench:", err)
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"hypersearch/internal/experiments"
+	"hypersearch/internal/sched"
 )
 
 func main() {
@@ -24,6 +25,7 @@ func main() {
 		maxD    = flag.Int("maxd", 10, "largest hypercube dimension in sweeps")
 		seeds   = flag.Int("seeds", 10, "adversarial seeds for robustness experiments")
 		figures = flag.Bool("figures", false, "render the four figures instead of tables")
+		workers = flag.Int("workers", sched.DefaultWorkers(), "parallel workers for independent runs (1 = serial); output is identical for every value")
 	)
 	flag.Parse()
 
@@ -37,7 +39,7 @@ func main() {
 	var reports []experiments.Report
 	switch *exp {
 	case "all":
-		reports = experiments.All(*maxD, *seeds)
+		reports = experiments.All(*maxD, *seeds, *workers)
 	case "T2":
 		reports = []experiments.Report{experiments.T2(*maxD)}
 	case "T3":
@@ -59,13 +61,13 @@ func main() {
 	case "X2":
 		reports = []experiments.Report{experiments.X2()}
 	case "X3":
-		reports = []experiments.Report{experiments.X3(*seeds)}
+		reports = []experiments.Report{experiments.X3(*seeds, *workers)}
 	case "X4":
 		reports = []experiments.Report{experiments.X4(6)}
 	case "X5":
 		reports = []experiments.Report{experiments.X5(7)}
 	case "X6":
-		reports = []experiments.Report{experiments.XIntruder(6, *seeds)}
+		reports = []experiments.Report{experiments.XIntruder(6, *seeds, *workers)}
 	case "X7":
 		reports = []experiments.Report{experiments.X7(*maxD)}
 	case "X8":
@@ -79,7 +81,7 @@ func main() {
 		if m > 10 {
 			m = 10
 		}
-		reports = []experiments.Report{experiments.X9(m, *seeds)}
+		reports = []experiments.Report{experiments.X9(m, *seeds, *workers)}
 	case "X10":
 		reports = []experiments.Report{experiments.X10()}
 	default:

@@ -28,6 +28,7 @@ import (
 	"hypersearch/internal/invariant"
 	"hypersearch/internal/metrics"
 	"hypersearch/internal/runtime"
+	"hypersearch/internal/sched"
 	"hypersearch/internal/strategy"
 	"hypersearch/internal/strategy/coordinated"
 	"hypersearch/internal/trace"
@@ -35,9 +36,9 @@ import (
 
 // Engines a scenario can run on.
 const (
-	engineCleanFT = "clean-ft"   // crash-tolerant coordinated goroutine runtime
-	engineVisFT   = "vis-ft"     // fault-injected visibility goroutine runtime
-	engineDES     = "des-clean"  // discrete-event CLEAN with kernel interception
+	engineCleanFT = "clean-ft"  // crash-tolerant coordinated goroutine runtime
+	engineVisFT   = "vis-ft"    // fault-injected visibility goroutine runtime
+	engineDES     = "des-clean" // discrete-event CLEAN with kernel interception
 )
 
 // scenario is one named entry of the declarative campaign.
@@ -241,28 +242,41 @@ func report(d int, bases map[string]baseline, outs []outcome) (string, bool) {
 }
 
 // runCampaign executes baselines plus every scenario and returns the
-// canonical report.
-func runCampaign(d int) (string, bool, error) {
-	bases := map[string]baseline{}
-	if rep, err := runFT(d, engineCleanFT, nil); err == nil {
-		bases[engineCleanFT] = baseline{rep.Result.TotalMoves, rep.Log.Makespan()}
-	} else {
-		return "", false, err
-	}
-	if rep, err := runFT(d, engineVisFT, nil); err == nil {
-		bases[engineVisFT] = baseline{rep.Result.TotalMoves, rep.Log.Makespan()}
-	} else {
-		return "", false, err
-	}
-	res, _, err := runDES(d, nil)
+// canonical report. The three fault-free baselines and then the
+// scenarios fan out across workers; every run is internally
+// deterministic and the report is assembled from input-ordered
+// results, so the rendered bytes are identical for any worker count
+// (workers <= 1 is the serial path).
+func runCampaign(d, workers int) (string, bool, error) {
+	engines := []string{engineCleanFT, engineVisFT, engineDES}
+	baseRuns, err := sched.Map(workers, len(engines), func(i int) (baseline, error) {
+		if engines[i] == engineDES {
+			res, _, err := runDES(d, nil)
+			if err != nil {
+				return baseline{}, err
+			}
+			return baseline{res.TotalMoves, res.Makespan}, nil
+		}
+		rep, err := runFT(d, engines[i], nil)
+		if err != nil {
+			return baseline{}, err
+		}
+		return baseline{rep.Result.TotalMoves, rep.Log.Makespan()}, nil
+	})
 	if err != nil {
 		return "", false, err
 	}
-	bases[engineDES] = baseline{res.TotalMoves, res.Makespan}
+	bases := map[string]baseline{}
+	for i, e := range engines {
+		bases[e] = baseRuns[i]
+	}
 
-	var outs []outcome
-	for _, s := range campaign() {
-		outs = append(outs, runScenario(d, s, bases))
+	scenarios := campaign()
+	outs, err := sched.Collect(workers, len(scenarios), func(i int) outcome {
+		return runScenario(d, scenarios[i], bases)
+	})
+	if err != nil {
+		return "", false, err
 	}
 	rep, ok := report(d, bases, outs)
 	return rep, ok, nil
@@ -270,8 +284,9 @@ func runCampaign(d int) (string, bool, error) {
 
 func main() {
 	var (
-		dim    = flag.Int("d", 4, "hypercube dimension (n = 2^d), minimum 2")
-		verify = flag.Bool("verify", false, "run the campaign twice and require byte-identical reports")
+		dim     = flag.Int("d", 4, "hypercube dimension (n = 2^d), minimum 2")
+		verify  = flag.Bool("verify", false, "run the campaign twice and require byte-identical reports")
+		workers = flag.Int("workers", sched.DefaultWorkers(), "parallel workers for baselines and scenarios (1 = serial); output is identical for every value")
 	)
 	flag.Parse()
 	if *dim < 2 {
@@ -279,14 +294,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep, ok, err := runCampaign(*dim)
+	rep, ok, err := runCampaign(*dim, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hqfaults:", err)
 		os.Exit(2)
 	}
 	fmt.Print(rep)
 	if *verify {
-		again, _, err := runCampaign(*dim)
+		again, _, err := runCampaign(*dim, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hqfaults:", err)
 			os.Exit(2)

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// The campaign report is built only from deterministic quantities, so
+// the parallel fan-out must render byte-for-byte what the serial path
+// renders — the scheduler determinism contract on the fault surface.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	const d = 3
+	serial, okS, err := runCampaign(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, okP, err := runCampaign(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okS || !okP {
+		t.Fatalf("campaign failed (serial ok=%v, parallel ok=%v):\n%s", okS, okP, serial)
+	}
+	if serial != parallel {
+		t.Fatalf("parallel campaign diverged from serial.\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}

@@ -18,7 +18,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -40,29 +39,91 @@ type Simulator struct {
 // must eventually stop deferring an event or Run never terminates.
 type Interceptor func(at, seq int64) (delay int64)
 
+// event is one pending dispatch. Exactly one of fn and proc is set:
+// plain events carry a callback, process-step events carry the process
+// to resume directly. Keeping the process pointer in the event (rather
+// than a `func() { p.step() }` closure) removes one heap allocation
+// from every Delay, Spawn and Fire — the kernel's hottest paths.
 type event struct {
-	at  int64
-	seq int64
-	fn  func()
+	at   int64
+	seq  int64
+	fn   func()
+	proc *Process
 }
 
-type eventHeap []event
+// eventHeap is a concrete 4-ary min-heap ordered by (at, seq). The
+// wide fan-out halves tree depth versus a binary heap (fewer compares
+// per pop on the mostly-sorted queues simulations produce), and the
+// typed slice means push/pop move events without `interface{}` boxing:
+// zero allocations per event once capacity is warm. Pops shrink the
+// slice in place, so a deferred event's re-push reuses the freed slot
+// rather than growing a fresh backing array.
+type eventHeap struct {
+	ev []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the dispatch order: time, then scheduling sequence.
+func (h *eventHeap) before(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+// push appends e and sifts it up toward the root.
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.before(h.ev[i], h.ev[parent]) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev[n] = event{} // release fn/proc for the GC
+	h.ev = h.ev[:n]
+	if n > 1 {
+		h.siftDown()
+	}
+	return top
+}
+
+// siftDown restores the heap property from the root.
+func (h *eventHeap) siftDown() {
+	n := len(h.ev)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.before(h.ev[c], h.ev[min]) {
+				min = c
+			}
+		}
+		if !h.before(h.ev[min], h.ev[i]) {
+			return
+		}
+		h.ev[i], h.ev[min] = h.ev[min], h.ev[i]
+		i = min
+	}
 }
 
 // New returns an empty simulator at time 0.
@@ -79,7 +140,17 @@ func (s *Simulator) Schedule(at int64, fn func()) {
 	if at < s.now {
 		panic(fmt.Sprintf("des: scheduling into the past (%d < %d)", at, s.now))
 	}
-	heap.Push(&s.queue, event{at: at, seq: s.seq, fn: fn})
+	s.queue.push(event{at: at, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// scheduleProc schedules a process resumption without allocating a
+// closure: the event carries the process pointer itself.
+func (s *Simulator) scheduleProc(at int64, p *Process) {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling into the past (%d < %d)", at, s.now))
+	}
+	s.queue.push(event{at: at, seq: s.seq, proc: p})
 	s.seq++
 }
 
@@ -95,17 +166,23 @@ func (s *Simulator) After(delay int64, fn func()) {
 // time. It panics if processes remain blocked on signals with no
 // pending event to wake them: a deadlocked simulation.
 func (s *Simulator) Run() int64 {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(event)
+	for s.queue.len() > 0 {
+		e := s.queue.pop()
 		if s.icept != nil {
 			if d := s.icept(e.at, e.seq); d > 0 {
-				heap.Push(&s.queue, event{at: e.at + d, seq: s.seq, fn: e.fn})
+				// Re-push into the slot pop just freed: deferrals reuse
+				// heap capacity instead of growing the backing array.
+				s.queue.push(event{at: e.at + d, seq: s.seq, fn: e.fn, proc: e.proc})
 				s.seq++
 				continue
 			}
 		}
 		s.now = e.at
-		e.fn()
+		if e.proc != nil {
+			e.proc.step()
+		} else {
+			e.fn()
+		}
 	}
 	if s.parked > 0 {
 		panic(fmt.Sprintf("des: deadlock — %d process(es) blocked on signals with no pending events", s.parked))
@@ -132,7 +209,7 @@ func (s *Simulator) Spawn(name string, fn func(p *Process)) {
 		fn(p)
 		p.yield <- struct{}{}
 	}()
-	s.Schedule(s.now, func() { p.step() })
+	s.scheduleProc(s.now, p)
 }
 
 // step hands control to the process goroutine and waits for it to
@@ -159,7 +236,7 @@ func (p *Process) Delay(d int64) {
 	if d < 0 {
 		panic(fmt.Sprintf("des: process %s: negative delay %d", p.name, d))
 	}
-	p.sim.Schedule(p.sim.now+d, func() { p.step() })
+	p.sim.scheduleProc(p.sim.now+d, p)
 	p.block()
 }
 
@@ -168,6 +245,7 @@ func (p *Process) Delay(d int64) {
 // ready to use.
 type Signal struct {
 	waiters []*Process
+	scratch []*Process // recycled backing array; see Fire
 }
 
 // Await blocks the process until the signal next fires. Callers loop:
@@ -181,14 +259,19 @@ func (p *Process) Await(sig *Signal) {
 
 // Fire wakes all waiters at the current time, in arrival order. It may
 // be called from event callbacks or processes.
+//
+// The two slices on the Signal alternate as the live waiter list and
+// the snapshot, so steady-state Await/Fire cycles reuse their backing
+// arrays instead of growing a fresh one per wave.
 func (s *Simulator) Fire(sig *Signal) {
 	waiters := sig.waiters
-	sig.waiters = nil
-	for _, p := range waiters {
+	sig.waiters = sig.scratch[:0]
+	for i, p := range waiters {
 		s.parked--
-		w := p
-		s.Schedule(s.now, func() { w.step() })
+		s.scheduleProc(s.now, p)
+		waiters[i] = nil
 	}
+	sig.scratch = waiters[:0]
 }
 
 // AwaitCond blocks until cond() is true, re-checking every time sig

@@ -1,0 +1,7 @@
+//go:build race
+
+package des
+
+// raceEnabled skips allocation-count assertions under the race
+// detector, whose instrumentation perturbs malloc accounting.
+const raceEnabled = true

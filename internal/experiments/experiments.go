@@ -8,7 +8,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"hypersearch/internal/board"
@@ -20,6 +19,7 @@ import (
 	"hypersearch/internal/isoperimetry"
 	"hypersearch/internal/metrics"
 	"hypersearch/internal/netsim"
+	"hypersearch/internal/sched"
 	"hypersearch/internal/stats"
 	"hypersearch/internal/strategy"
 	"hypersearch/internal/strategy/greedy"
@@ -276,8 +276,11 @@ func X2() Report {
 	}
 }
 
-// X3 stresses both strategies under the asynchronous adversary.
-func X3(seeds int) Report {
+// X3 stresses both strategies under the asynchronous adversary. The
+// seed sweep of each configuration fans out across workers; the
+// reduction below runs over the input-ordered results, so the report
+// is identical for every worker count.
+func X3(seeds, workers int) Report {
 	t := metrics.NewTable("strategy", "engine", "seeds", "captured", "monotone", "contiguous", "recontaminations")
 	type cfg struct {
 		name   string
@@ -288,9 +291,7 @@ func X3(seeds int) Report {
 		{core.Clean, core.EngineDES}, {core.Visibility, core.EngineDES},
 		{core.Clean, core.EngineGoroutines}, {core.Visibility, core.EngineGoroutines},
 	} {
-		captured, monotone, contiguous, recon := 0, 0, 0, int64(0)
-		var spans []int64
-		for s := 0; s < seeds; s++ {
+		results, err := sched.Collect(workers, seeds, func(s int) metrics.Result {
 			res, _, err := core.Run(core.Spec{
 				Strategy: c.name, Dim: 5, Engine: c.engine,
 				Seed: int64(s), AdversarialLatency: 17,
@@ -298,6 +299,14 @@ func X3(seeds int) Report {
 			if err != nil {
 				panic(err)
 			}
+			return res
+		})
+		if err != nil {
+			panic(err)
+		}
+		captured, monotone, contiguous, recon := 0, 0, 0, int64(0)
+		var spans []int64
+		for _, res := range results {
 			if res.Captured {
 				captured++
 			}
@@ -467,19 +476,31 @@ func X10() Report {
 	}
 }
 
+// seedSweep fans one netsim protocol's seed loop across workers and
+// returns the input-ordered per-seed stats.
+func seedSweep(workers, seeds int, run func(s int) netsim.Stats) []netsim.Stats {
+	out, err := sched.Collect(workers, seeds, run)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
 // X9 validates the message-passing realization of the visibility
-// model: one-bit beacons, as Section 4 suggests.
-func X9(maxD, seeds int) Report {
+// model: one-bit beacons, as Section 4 suggests. Seed sweeps fan out
+// across workers; the per-protocol reductions read the input-ordered
+// results, keeping the report worker-count-independent.
+func X9(maxD, seeds, workers int) Report {
 	t := metrics.NewTable("protocol", "d", "n", "agents", "migrations", "beacons/sync hops", "all seeds OK")
 	for d := 2; d <= maxD; d++ {
-		var ref netsim.Stats
+		vis := seedSweep(workers, seeds, func(s int) netsim.Stats {
+			return netsim.Run(d, netsim.Config{Seed: int64(s), MaxLatency: 5 * time.Microsecond})
+		})
+		ref := vis[0]
 		ok := true
-		for s := 0; s < seeds; s++ {
-			st := netsim.Run(d, netsim.Config{Seed: int64(s), MaxLatency: 5 * time.Microsecond})
+		for s, st := range vis {
 			ok = ok && st.Ok() && st.Recontaminations == 0 && st.BeaconBits == st.BeaconMessages
-			if s == 0 {
-				ref = st
-			} else if st.BeaconMessages != ref.BeaconMessages || st.AgentMessages != ref.AgentMessages {
+			if s > 0 && (st.BeaconMessages != ref.BeaconMessages || st.AgentMessages != ref.AgentMessages) {
 				ok = false
 			}
 		}
@@ -487,28 +508,27 @@ func X9(maxD, seeds int) Report {
 		ok = ok && ref.BeaconMessages <= 2*edges
 		t.AddRow("visibility", d, combin.Pow2(d), ref.TeamSize, ref.AgentMessages, ref.BeaconMessages, ok)
 
-		var refc netsim.Stats
+		clean := seedSweep(workers, seeds, func(s int) netsim.Stats {
+			return netsim.RunClean(d, netsim.Config{Seed: int64(s), MaxLatency: 5 * time.Microsecond})
+		})
+		refc := clean[0]
 		okc := true
-		for s := 0; s < seeds; s++ {
-			st := netsim.RunClean(d, netsim.Config{Seed: int64(s), MaxLatency: 5 * time.Microsecond})
+		for s, st := range clean {
 			okc = okc && st.Ok() && st.Recontaminations == 0
-			if s == 0 {
-				refc = st
-			} else if st.SyncMoves != refc.SyncMoves || st.AgentMessages != refc.AgentMessages {
+			if s > 0 && (st.SyncMoves != refc.SyncMoves || st.AgentMessages != refc.AgentMessages) {
 				okc = false
 			}
 		}
 		t.AddRow("clean", d, combin.Pow2(d), refc.TeamSize, refc.AgentMessages, refc.SyncMoves, okc)
 
-		var refk netsim.Stats
+		cloning := seedSweep(workers, seeds, func(s int) netsim.Stats {
+			return netsim.RunCloning(d, netsim.Config{Seed: int64(s), MaxLatency: 5 * time.Microsecond})
+		})
+		refk := cloning[0]
 		okk := true
-		for s := 0; s < seeds; s++ {
-			st := netsim.RunCloning(d, netsim.Config{Seed: int64(s), MaxLatency: 5 * time.Microsecond})
+		for _, st := range cloning {
 			okk = okk && st.Ok() && st.Recontaminations == 0 &&
 				st.AgentMessages == combin.CloningMoves(d)
-			if s == 0 {
-				refk = st
-			}
 		}
 		t.AddRow("cloning", d, combin.Pow2(d), refk.TeamSize, refk.AgentMessages, refk.BeaconMessages, okk)
 	}
@@ -531,20 +551,32 @@ func X9(maxD, seeds int) Report {
 }
 
 // XIntruder demonstrates the concrete randomized intruder against the
-// visibility strategy (the scenario of the paper's introduction).
-func XIntruder(d int, seeds int) Report {
+// visibility strategy (the scenario of the paper's introduction). The
+// recorded schedule is replayed once per seed, each replay on its own
+// worker against a fresh board and intruder token.
+func XIntruder(d, seeds, workers int) Report {
 	t := metrics.NewTable("seed", "intruder relocations", "captured")
 	allCaptured := true
 	_, env, err := core.Run(core.Spec{Strategy: core.Visibility, Dim: d, Record: true})
 	if err != nil {
 		panic(err)
 	}
-	for s := 0; s < seeds; s++ {
+	type pursuit struct {
+		moves  int64
+		caught bool
+	}
+	pursuits, err := sched.Collect(workers, seeds, func(s int) pursuit {
 		// Replay the recorded schedule move by move against a live
 		// intruder token.
 		in := replayWithIntruder(env, int64(s))
-		t.AddRow(s, in.Moves(), in.Caught())
-		allCaptured = allCaptured && in.Caught()
+		return pursuit{in.Moves(), in.Caught()}
+	})
+	if err != nil {
+		panic(err)
+	}
+	for s, p := range pursuits {
+		t.AddRow(s, p.moves, p.caught)
+		allCaptured = allCaptured && p.caught
 	}
 	return Report{
 		ID:         "X6",
@@ -603,9 +635,11 @@ func figureRun(name string) *strategy.Env {
 }
 
 // All runs every experiment at the given sweep size. The experiments
-// are independent, so they run concurrently (one goroutine each),
-// preserving report order.
-func All(maxD, seeds int) []Report {
+// are independent, so they fan out across the scheduler's workers;
+// results land in input-ordered slots, so the report sequence (and
+// every rendered byte) is identical for any worker count. workers <= 1
+// is the legacy serial path on the calling goroutine.
+func All(maxD, seeds, workers int) []Report {
 	x8max := maxD
 	if x8max > 8 {
 		x8max = 8 // the greedy heuristic's frontier scan is O(n^3)
@@ -625,25 +659,19 @@ func All(maxD, seeds int) []Report {
 		func() Report { return V2(maxD) },
 		func() Report { return X1(maxD) },
 		X2,
-		func() Report { return X3(seeds) },
+		func() Report { return X3(seeds, workers) },
 		func() Report { return X4(6) },
 		func() Report { return X5(7) },
-		func() Report { return XIntruder(6, seeds) },
+		func() Report { return XIntruder(6, seeds, workers) },
 		func() Report { return X7(maxD) },
 		func() Report { return X8(x8max) },
-		func() Report { return X9(x9max, seeds) },
+		func() Report { return X9(x9max, seeds, workers) },
 		X10,
 	}
-	out := make([]Report, len(runs))
-	var wg sync.WaitGroup
-	for i, run := range runs {
-		wg.Add(1)
-		go func(i int, run func() Report) {
-			defer wg.Done()
-			out[i] = run()
-		}(i, run)
+	out, err := sched.Collect(workers, len(runs), func(i int) Report { return runs[i]() })
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
 	return out
 }
 

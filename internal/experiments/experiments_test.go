@@ -58,7 +58,7 @@ func TestX2FindsKnownOptima(t *testing.T) {
 }
 
 func TestX3AllSeedsSafe(t *testing.T) {
-	rep := X3(4)
+	rep := X3(4, 1)
 	if !strings.Contains(rep.Verdict, "REPRODUCED") {
 		t.Errorf("X3 verdict = %q", rep.Verdict)
 	}
@@ -88,7 +88,7 @@ func TestX5ShowsChordBreakage(t *testing.T) {
 }
 
 func TestXIntruderCaptures(t *testing.T) {
-	rep := XIntruder(5, 3)
+	rep := XIntruder(5, 3, 1)
 	if rep.Verdict != "REPRODUCED" {
 		t.Errorf("intruder verdict = %q", rep.Verdict)
 	}
@@ -125,7 +125,7 @@ func TestX8GenericStrategies(t *testing.T) {
 }
 
 func TestX9Netsim(t *testing.T) {
-	rep := X9(5, 3)
+	rep := X9(5, 3, 1)
 	if rep.Verdict != "REPRODUCED" {
 		t.Errorf("X9 verdict = %q", rep.Verdict)
 	}
@@ -147,7 +147,7 @@ func TestX10Pareto(t *testing.T) {
 }
 
 func TestAllProducesEveryReport(t *testing.T) {
-	reps := All(5, 2)
+	reps := All(5, 2, 4)
 	if len(reps) != 18 {
 		t.Errorf("All produced %d reports", len(reps))
 	}
@@ -160,5 +160,38 @@ func TestAllProducesEveryReport(t *testing.T) {
 		if r.Verdict == "MISMATCH" {
 			t.Errorf("%s mismatched", r.ID)
 		}
+	}
+}
+
+// The scheduler determinism contract, end to end: the fully rendered
+// report set must be byte-identical between the serial path and a
+// parallel fan-out.
+func TestAllParallelMatchesSerial(t *testing.T) {
+	render := func(reps []Report) string {
+		var sb strings.Builder
+		for _, r := range reps {
+			sb.WriteString(r.Render())
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	serial := render(All(4, 2, 1))
+	parallel := render(All(4, 2, 4))
+	if serial != parallel {
+		t.Fatal("parallel All diverged from the serial rendering")
+	}
+}
+
+// The per-experiment seed sweeps must likewise be worker-count
+// independent.
+func TestSeedSweepsParallelMatchSerial(t *testing.T) {
+	if s, p := X3(3, 1).Render(), X3(3, 4).Render(); s != p {
+		t.Error("X3 parallel rendering diverged from serial")
+	}
+	if s, p := X9(4, 3, 1).Render(), X9(4, 3, 4).Render(); s != p {
+		t.Error("X9 parallel rendering diverged from serial")
+	}
+	if s, p := XIntruder(4, 3, 1).Render(), XIntruder(4, 3, 4).Render(); s != p {
+		t.Error("XIntruder parallel rendering diverged from serial")
 	}
 }

@@ -62,7 +62,7 @@ func RunClean(d int, cfg Config) metrics.Result {
 		go func(i, id int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(deriveSeed(cfg.Seed, uint64(i))))
-			if w.wb.At(0).CompareAndSwap(fieldSync, 0, int64(id)+1) {
+			if w.wb.At(0).CompareAndSwap(w.fSync, 0, int64(id)+1) {
 				elected <- id
 				runSynchronizer(w, id, ids, orderCh, rng, cfg.MaxLatency)
 				return

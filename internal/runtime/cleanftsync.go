@@ -51,12 +51,12 @@ func (w *ftWorld) buildSteps() []ftStep {
 // all, to a spare.
 func (w *ftWorld) syncProgram(id int, rng *rand.Rand) {
 	steps := w.buildSteps()
-	start := int(w.wb.At(0).Read(fieldCk))
+	start := int(w.wb.At(0).Read(w.fCk))
 	for i := start; i < len(steps); i++ {
 		if !w.execStep(id, steps[i], rng) {
 			return
 		}
-		w.wb.At(0).Write(fieldCk, int64(i+1))
+		w.wb.At(0).Write(w.fCk, int64(i+1))
 	}
 	w.mu.Lock()
 	w.doneFlag = true

@@ -11,6 +11,7 @@ import (
 	"hypersearch/internal/faults"
 	"hypersearch/internal/metrics"
 	"hypersearch/internal/trace"
+	"hypersearch/internal/whiteboard"
 )
 
 // CleanFTName identifies the crash-tolerant coordinated run in results.
@@ -28,9 +29,13 @@ const (
 	fieldOrder = "ord."        // per-order destination / completion mirror
 )
 
-func leaseField(id int) string   { return fmt.Sprintf("%s%d", fieldLease, id) }
-func fenceField(id int) string   { return fmt.Sprintf("%s%d", fieldFence, id) }
-func epochField(e int64) string  { return fmt.Sprintf("%s%d", fieldEpoch, e) }
+// Field names for the per-agent and per-order dynamic fields. The
+// per-agent lease/fence fields are interned once in initAgents and the
+// per-order fields once at issue time, so the heartbeat, watchdog and
+// walk loops never hash a field name.
+func leaseField(id int) string      { return fmt.Sprintf("%s%d", fieldLease, id) }
+func fenceField(id int) string      { return fmt.Sprintf("%s%d", fieldFence, id) }
+func epochField(e int64) string     { return fmt.Sprintf("%s%d", fieldEpoch, e) }
 func orderField(k, f string) string { return fieldOrder + k + "." + f }
 
 // ftOrder is one ledger entry: a walk some agent owes the search. The
@@ -44,6 +49,8 @@ type ftOrder struct {
 	dst      int
 	register bool // true: report to at[dst]; false: walk home to the pool
 	done     bool
+
+	doneF whiteboard.Field // interned "ord.<key>.done" mirror field
 }
 
 // FTReport is the outcome of a fault-tolerant run.
@@ -82,6 +89,9 @@ type ftWorld struct {
 	dead   []bool // fenced by the watchdog
 	exited []bool // returned cleanly (lease no longer monitored)
 
+	fLease []whiteboard.Field // per-agent heartbeat fields, interned in initAgents
+	fFence []whiteboard.Field // per-agent fence fields, interned in initAgents
+
 	syncID   int
 	epoch    int64
 	needSync bool
@@ -119,6 +129,12 @@ func (w *ftWorld) initAgents(total, team int) {
 	w.exited = make([]bool, total)
 	w.hbQuit = make([]chan struct{}, total)
 	w.hbOnce = make([]sync.Once, total)
+	w.fLease = make([]whiteboard.Field, total)
+	w.fFence = make([]whiteboard.Field, total)
+	for i := 0; i < total; i++ {
+		w.fLease[i] = w.wb.Field(leaseField(i))
+		w.fFence[i] = w.wb.Field(fenceField(i))
+	}
 	w.mu.Lock()
 	for i := 0; i < total; i++ {
 		id := w.b.Place(w.step)
@@ -245,7 +261,7 @@ func (w *ftWorld) heartbeat(id int) {
 			return
 		case <-t.C:
 			n++
-			w.wb.At(0).Write(leaseField(id), n)
+			w.wb.At(0).Write(w.fLease[id], n)
 		}
 	}
 }
@@ -281,7 +297,7 @@ func (w *ftWorld) watchdog(quit chan struct{}) {
 		}
 		now := time.Now()
 		for id := range seen {
-			v := w.wb.At(0).Read(leaseField(id))
+			v := w.wb.At(0).Read(w.fLease[id])
 			if v != seen[id].val {
 				seen[id] = lease{v, now}
 				continue
@@ -304,7 +320,7 @@ func (w *ftWorld) declareDead(id int) {
 		return
 	}
 	w.dead[id] = true
-	w.wb.At(0).Write(fenceField(id), 1)
+	w.wb.At(0).Write(w.fFence[id], 1)
 	w.inbox[id] = nil
 	if id == w.syncID {
 		w.epoch++
@@ -395,11 +411,12 @@ func (w *ftWorld) popLiveAtLocked(x int) int {
 // leaf agent that stays behind as a permanent guard.
 func (w *ftWorld) issueLocked(key string, assignee, dst int, register bool) *ftOrder {
 	ord := &ftOrder{key: key, assignee: assignee, dst: dst, register: register}
+	ord.doneF = w.wb.Field(orderField(key, "done"))
 	w.ledger[key] = ord
-	w.wb.At(0).Write(orderField(key, "dst"), int64(dst))
+	w.wb.At(0).Write(w.wb.Field(orderField(key, "dst")), int64(dst))
 	if assignee < 0 {
 		ord.done = true
-		w.wb.At(0).Write(orderField(key, "done"), 1)
+		w.wb.At(0).Write(ord.doneF, 1)
 	} else {
 		w.inbox[assignee] = append(w.inbox[assignee], key)
 	}
@@ -443,7 +460,7 @@ func (w *ftWorld) execute(id int, ord *ftOrder, rng *rand.Rand) bool {
 	}
 	w.mu.Lock()
 	ord.done = true
-	w.wb.At(0).Write(orderField(ord.key, "done"), 1)
+	w.wb.At(0).Write(ord.doneF, 1)
 	if ord.register {
 		w.at[ord.dst] = append(w.at[ord.dst], id)
 	} else {
@@ -486,7 +503,7 @@ func (w *ftWorld) workerLoop(id int, spare bool, rng *rand.Rand) {
 		case spare && w.needSync && w.inReserveLocked(id):
 			e := w.epoch
 			w.mu.Unlock()
-			won := w.wb.At(0).CompareAndSwap(epochField(e), 0, int64(id)+1)
+			won := w.wb.At(0).CompareAndSwap(w.wb.Field(epochField(e)), 0, int64(id)+1)
 			w.mu.Lock()
 			if won && w.needSync && w.epoch == e {
 				w.needSync = false
@@ -494,7 +511,7 @@ func (w *ftWorld) workerLoop(id int, spare bool, rng *rand.Rand) {
 				w.removeSpareLocked(id)
 				w.sparesUsed++
 				w.reelections++
-				w.wb.At(0).Write(fieldOwner, int64(id)+1)
+				w.wb.At(0).Write(w.fOwner, int64(id)+1)
 				w.cond.Broadcast()
 				w.mu.Unlock()
 				w.syncProgram(id, rng)
@@ -636,12 +653,12 @@ func RunCleanFT(d int, cfg Config) (FTReport, error) {
 // agentMain races the initial election (workers only — spares stay in
 // reserve) and then runs the won role.
 func (w *ftWorld) agentMain(id int, spare bool, rng *rand.Rand) {
-	if !spare && w.wb.At(0).CompareAndSwap(fieldSync, 0, int64(id)+1) {
+	if !spare && w.wb.At(0).CompareAndSwap(w.fSync, 0, int64(id)+1) {
 		w.mu.Lock()
 		w.syncID = id
 		w.removeFromPoolLocked(id)
 		w.mu.Unlock()
-		w.wb.At(0).Write(fieldOwner, int64(id)+1)
+		w.wb.At(0).Write(w.fOwner, int64(id)+1)
 		w.syncProgram(id, rng)
 		return
 	}

@@ -76,6 +76,16 @@ type world struct {
 	b  *board.Board
 	wb *whiteboard.Store
 
+	// Whiteboard fields are interned once here, at store construction;
+	// the agents' Read/Write/CAS hot paths then index by ID and never
+	// hash a field name again.
+	fSync    whiteboard.Field
+	fOwner   whiteboard.Field
+	fCk      whiteboard.Field
+	fAgents  whiteboard.Field
+	fPlanned whiteboard.Field
+	fQuota   []whiteboard.Field // per broadcast-tree child index
+
 	syncMoves int64
 }
 
@@ -88,6 +98,15 @@ func newWorld(d int) *world {
 		wb: whiteboard.NewStore(h.Order()),
 	}
 	w.cond = sync.NewCond(&w.mu)
+	w.fSync = w.wb.Field(fieldSync)
+	w.fOwner = w.wb.Field(fieldOwner)
+	w.fCk = w.wb.Field(fieldCk)
+	w.fAgents = w.wb.Field(fieldAgents)
+	w.fPlanned = w.wb.Field(fieldPlanned)
+	w.fQuota = make([]whiteboard.Field, d)
+	for i := range w.fQuota {
+		w.fQuota[i] = w.wb.Field(quotaField(i))
+	}
 	return w
 }
 

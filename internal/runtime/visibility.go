@@ -36,7 +36,7 @@ func RunVisibility(d int, cfg Config) metrics.Result {
 	for i := range ids {
 		ids[i] = w.b.Place(0)
 	}
-	w.wb.At(0).Write(fieldAgents, int64(team))
+	w.wb.At(0).Write(w.fAgents, int64(team))
 	w.mu.Unlock()
 
 	if d == 0 {
@@ -78,8 +78,8 @@ func agentProgram(w *world, id int, rng *rand.Rand, maxLat time.Duration) {
 		// members that re-check later (after peers already departed,
 		// shrinking the count) must still pass. "planned" is that
 		// latch.
-		for !(w.wb.At(at).Read(fieldPlanned) == 1 ||
-			(w.wb.At(at).Read(fieldAgents) == required && w.smallerReadyLocked(at))) {
+		for !(w.wb.At(at).Read(w.fPlanned) == 1 ||
+			(w.wb.At(at).Read(w.fAgents) == required && w.smallerReadyLocked(at))) {
 			w.cond.Wait()
 		}
 		target := w.claimSlotLocked(at, k)
@@ -88,8 +88,8 @@ func agentProgram(w *world, id int, rng *rand.Rand, maxLat time.Duration) {
 		sleepLatency(rng, maxLat)
 
 		w.mu.Lock()
-		w.wb.At(at).Add(fieldAgents, -1)
-		w.wb.At(target).Add(fieldAgents, 1)
+		w.wb.At(at).Add(w.fAgents, -1)
+		w.wb.At(target).Add(w.fAgents, 1)
 		w.b.Move(id, target, 0)
 		w.cond.Broadcast()
 		w.mu.Unlock()
@@ -113,20 +113,22 @@ func (w *world) smallerReadyLocked(v int) bool {
 // claimed child. Caller holds w.mu.
 func (w *world) claimSlotLocked(v, k int) int {
 	wb := w.wb.At(v)
-	if wb.Read(fieldPlanned) == 0 {
-		wb.Write(fieldPlanned, 1)
+	if wb.Read(w.fPlanned) == 0 {
+		wb.Write(w.fPlanned, 1)
 		for i, q := range heapqueue.DispatchPlan(k) {
-			wb.Write(quotaField(i), q)
+			wb.Write(w.fQuota[i], q)
 		}
 	}
 	children := w.bt.Children(v)
 	for i, c := range children {
-		if wb.Read(quotaField(i)) > 0 {
-			wb.Add(quotaField(i), -1)
+		if wb.Read(w.fQuota[i]) > 0 {
+			wb.Add(w.fQuota[i], -1)
 			return c
 		}
 	}
 	panic(fmt.Sprintf("runtime: node %d has no free dispatch slot", v))
 }
 
+// quotaField names the per-child dispatch-quota fields; interned once
+// in newWorld.
 func quotaField(i int) string { return fmt.Sprintf("%s%d", fieldQuota, i) }

@@ -36,7 +36,7 @@ func RunVisibilityFT(d int, cfg Config) (FTReport, error) {
 	w := newFTWorld(d, cfg, inj)
 	team := int(combin.VisibilityAgents(d))
 	w.initAgents(team, team)
-	w.wb.At(0).Write(fieldAgents, int64(team))
+	w.wb.At(0).Write(w.fAgents, int64(team))
 
 	if d == 0 {
 		w.mu.Lock()
@@ -97,8 +97,8 @@ func (w *ftWorld) ftAgentProgram(id int, rng *rand.Rand) {
 			return
 		}
 		required := heapqueue.AgentsRequired(k)
-		for !(w.wb.At(at).Read(fieldPlanned) == 1 ||
-			(w.wb.At(at).Read(fieldAgents) == required && w.smallerReadyLocked(at))) {
+		for !(w.wb.At(at).Read(w.fPlanned) == 1 ||
+			(w.wb.At(at).Read(w.fAgents) == required && w.smallerReadyLocked(at))) {
 			w.cond.Wait()
 		}
 		target := w.claimSlotLocked(at, k)
@@ -109,8 +109,8 @@ func (w *ftWorld) ftAgentProgram(id int, rng *rand.Rand) {
 		sleepLatency(rng, w.cfg.MaxLatency)
 
 		w.mu.Lock()
-		w.wb.At(at).Add(fieldAgents, -1)
-		w.wb.At(target).Add(fieldAgents, 1)
+		w.wb.At(at).Add(w.fAgents, -1)
+		w.wb.At(target).Add(w.fAgents, 1)
 		w.b.Move(id, target, w.step)
 		w.record(trace.Event{Time: w.step, Kind: trace.Move, Agent: id, From: at, To: target, Role: "cleaner"})
 		w.step++

@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzMap drives the pool with arbitrary task counts, worker counts
+// and panic patterns: it must never deadlock (the harness's own test
+// timeout would fire), every surviving result must land in its input
+// slot, and every injected panic must surface as a *PanicError rather
+// than vanish or kill the batch.
+func FuzzMap(f *testing.F) {
+	f.Add(10, 4, uint16(0))
+	f.Add(0, 1, uint16(0))
+	f.Add(1, 9, uint16(1))
+	f.Add(100, 3, uint16(0xffff))
+	f.Add(257, 16, uint16(0b1010101010101010))
+	f.Fuzz(func(t *testing.T, n, workers int, panicMask uint16) {
+		if n < 0 || n > 2000 {
+			n = (n%2000 + 2000) % 2000
+		}
+		if workers < -2 || workers > 64 {
+			workers = workers%64 + 1
+		}
+		panics := func(i int) bool { return panicMask&(1<<(uint(i)%16)) != 0 }
+		out, err := Map(workers, n, func(i int) (int, error) {
+			if panics(i) {
+				panic(i)
+			}
+			return i*31 + 7, nil
+		})
+		if len(out) != n {
+			t.Fatalf("len(out) = %d, want %d", len(out), n)
+		}
+		wantErr := false
+		for i := 0; i < n; i++ {
+			if panics(i) {
+				wantErr = true
+				if out[i] != 0 {
+					t.Fatalf("panicked slot %d holds %d", i, out[i])
+				}
+			} else if out[i] != i*31+7 {
+				t.Fatalf("slot %d = %d, want %d", i, out[i], i*31+7)
+			}
+		}
+		if wantErr {
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("panics occurred but error is %v", err)
+			}
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	})
+}

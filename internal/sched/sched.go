@@ -1,0 +1,202 @@
+// Package sched is the batch runner behind every evaluation surface:
+// it fans a slice of independent simulation tasks (experiment reports,
+// per-seed adversarial runs, fault scenarios) across a work-stealing
+// worker pool while keeping the output deterministic.
+//
+// The determinism contract:
+//
+//   - Results are returned in input order, written to a pre-sized
+//     slice slot per task — never through a channel whose arrival
+//     order depends on scheduling.
+//   - Tasks must be self-seeding: any randomness is derived from the
+//     task index (or an explicit per-task seed), never from a shared
+//     RNG, so task i computes the same value no matter which worker
+//     runs it or when.
+//   - workers == 1 is the legacy serial path: every task runs on the
+//     caller's goroutine, in input order, with no pool at all. A
+//     parallel run of deterministic tasks is therefore byte-identical
+//     to the serial run.
+//
+// Work distribution is work-stealing over index ranges: the input
+// [0,n) is split into one contiguous span per worker; each worker
+// drains its own span from the front and, when empty, steals the back
+// half of the largest remaining victim span. Both ends are claimed by
+// CAS on a single packed word, so distribution is lock-free and a
+// panicking task can never strand indices.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the pool size used when a caller passes workers <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// PanicError is the error recorded for a task that panicked: the task
+// index and the recovered value, with the result slot left zero.
+type PanicError struct {
+	Index int
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: task %d panicked: %v", e.Index, e.Value)
+}
+
+// span is one worker's index range [lo, hi), packed into a single
+// atomic word (hi<<32 | lo). The owner takes from lo, thieves steal
+// from hi; both transitions are CAS, so no index is ever run twice or
+// lost.
+type span struct {
+	bounds atomic.Uint64
+	_      [7]uint64 // pad to a cache line: spans sit in one array
+}
+
+func pack(lo, hi int) uint64     { return uint64(hi)<<32 | uint64(lo) }
+func unpack(b uint64) (int, int) { return int(b & 0xffffffff), int(b >> 32) }
+
+func (s *span) store(lo, hi int) { s.bounds.Store(pack(lo, hi)) }
+
+// take claims the front index of the span (owner side).
+func (s *span) take() (int, bool) {
+	for {
+		b := s.bounds.Load()
+		lo, hi := unpack(b)
+		if lo >= hi {
+			return 0, false
+		}
+		if s.bounds.CompareAndSwap(b, pack(lo+1, hi)) {
+			return lo, true
+		}
+	}
+}
+
+// stealHalf claims the back half of the span (thief side), returning
+// the stolen range.
+func (s *span) stealHalf() (int, int, bool) {
+	for {
+		b := s.bounds.Load()
+		lo, hi := unpack(b)
+		n := hi - lo
+		if n <= 0 {
+			return 0, 0, false
+		}
+		mid := hi - (n+1)/2
+		if s.bounds.CompareAndSwap(b, pack(lo, mid)) {
+			return mid, hi, true
+		}
+	}
+}
+
+// size reports the remaining span length (racy, used only to pick the
+// largest victim — correctness never depends on it).
+func (s *span) size() int {
+	lo, hi := unpack(s.bounds.Load())
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Map runs fn(0..n-1) across a work-stealing pool of the given size
+// and returns the n results in input order. workers <= 0 uses
+// DefaultWorkers; workers == 1 runs every task serially on the
+// caller's goroutine (the legacy path). A task that returns an error
+// or panics leaves its result slot zero; all failures are joined (in
+// input order) into the returned error.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sched: negative task count %d", n)
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			runTask(i, fn, out, errs)
+		}
+		return out, errors.Join(errs...)
+	}
+
+	spans := make([]span, workers)
+	chunk := n / workers
+	rem := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		spans[w].store(lo, hi)
+		lo = hi
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				// Drain our own span.
+				for {
+					i, ok := spans[self].take()
+					if !ok {
+						break
+					}
+					runTask(i, fn, out, errs)
+				}
+				// Steal the back half of the largest victim span.
+				victim, best := -1, 0
+				for v := range spans {
+					if v == self {
+						continue
+					}
+					if sz := spans[v].size(); sz > best {
+						victim, best = v, sz
+					}
+				}
+				if victim < 0 {
+					return
+				}
+				slo, shi, ok := spans[victim].stealHalf()
+				if !ok {
+					continue // lost the race; rescan
+				}
+				spans[self].store(slo, shi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// runTask executes one task, converting a panic into a *PanicError so
+// a crashing task costs its own slot, never the batch.
+func runTask[T any](i int, fn func(int) (T, error), out []T, errs []error) {
+	defer func() {
+		if r := recover(); r != nil {
+			errs[i] = &PanicError{Index: i, Value: r}
+		}
+	}()
+	v, err := fn(i)
+	if err != nil {
+		errs[i] = fmt.Errorf("sched: task %d: %w", i, err)
+		return
+	}
+	out[i] = v
+}
+
+// Collect is Map for infallible tasks: panics still surface as errors.
+func Collect[T any](workers, n int, fn func(i int) T) ([]T, error) {
+	return Map(workers, n, func(i int) (T, error) { return fn(i), nil })
+}

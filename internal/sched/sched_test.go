@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapRunsEveryTaskOnce(t *testing.T) {
+	const n = 1000
+	var counts [n]atomic.Int32
+	_, err := Map(7, n, func(i int) (struct{}, error) {
+		counts[i].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestMapMatchesSerial(t *testing.T) {
+	task := func(i int) (string, error) { return fmt.Sprintf("r%d", i*7%13), nil }
+	serial, err := Map(1, 50, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(8, 50, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d: serial %q, parallel %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMapErrorsJoinInInputOrder(t *testing.T) {
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i%3 == 0 {
+			return 0, fmt.Errorf("boom %d", i)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, i := range []int{0, 3, 6, 9} {
+		if out[i] != 0 {
+			t.Errorf("failed slot %d holds %d, want zero", i, out[i])
+		}
+		want := fmt.Sprintf("task %d: boom %d", i, i)
+		if !contains(err.Error(), want) {
+			t.Errorf("joined error missing %q:\n%v", want, err)
+		}
+	}
+	if out[1] != 1 || out[8] != 8 {
+		t.Error("successful slots clobbered")
+	}
+}
+
+func TestMapPanicsBecomeErrors(t *testing.T) {
+	out, err := Map(4, 20, func(i int) (int, error) {
+		if i == 13 {
+			panic("unlucky")
+		}
+		return i + 1, nil
+	})
+	if err == nil {
+		t.Fatal("panic lost")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 13 {
+		t.Fatalf("want PanicError for task 13, got %v", err)
+	}
+	if out[13] != 0 {
+		t.Errorf("panicked slot holds %d", out[13])
+	}
+	if out[12] != 13 || out[14] != 15 {
+		t.Error("neighbouring tasks damaged")
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if out, err := Map(4, 0, func(i int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+		t.Errorf("n=0: out=%v err=%v", out, err)
+	}
+	if _, err := Map(4, -1, func(i int) (int, error) { return 0, nil }); err == nil {
+		t.Error("n=-1 accepted")
+	}
+	// More workers than tasks, and the default pool size.
+	for _, w := range []int{100, 0, -5} {
+		out, err := Map(w, 3, func(i int) (int, error) { return i, nil })
+		if err != nil || len(out) != 3 || out[2] != 2 {
+			t.Errorf("workers=%d: out=%v err=%v", w, out, err)
+		}
+	}
+}
+
+func TestCollect(t *testing.T) {
+	out, err := Collect(3, 5, func(i int) int { return -i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[4] != -4 {
+		t.Errorf("out=%v", out)
+	}
+	if _, err := Collect(3, 5, func(i int) int { panic("x") }); err == nil {
+		t.Error("Collect lost a panic")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

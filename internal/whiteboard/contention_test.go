@@ -13,7 +13,7 @@ func TestCompareAndSwapSingleWinner(t *testing.T) {
 	const epochs = 50
 	s := NewStore(1)
 	for e := 0; e < epochs; e++ {
-		field := "epoch." + string(rune('a'+e%26)) + string(rune('0'+e/26))
+		field := s.Field("epoch." + string(rune('a'+e%26)) + string(rune('0'+e/26)))
 		var wg sync.WaitGroup
 		winners := make(chan int64, claimants)
 		for i := 0; i < claimants; i++ {
@@ -46,20 +46,21 @@ func TestAddUnderContention(t *testing.T) {
 	const writers = 32
 	const perWriter = 500
 	s := NewStore(4)
+	agents := s.Field("agents")
 	var wg sync.WaitGroup
 	for i := 0; i < writers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := 0; j < perWriter; j++ {
-				s.At(j % 4).Add("agents", 1)
+				s.At(j%4).Add(agents, 1)
 			}
 		}()
 	}
 	wg.Wait()
 	var total int64
 	for v := 0; v < 4; v++ {
-		total += s.At(v).Read("agents")
+		total += s.At(v).Read(agents)
 	}
 	if total != writers*perWriter {
 		t.Fatalf("lost increments: %d, want %d", total, writers*perWriter)
@@ -72,6 +73,7 @@ func TestUpdateAtomicity(t *testing.T) {
 	const writers = 16
 	const perWriter = 200
 	s := NewStore(1)
+	max := s.Field("max")
 	var wg sync.WaitGroup
 	for i := 0; i < writers; i++ {
 		wg.Add(1)
@@ -79,7 +81,7 @@ func TestUpdateAtomicity(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < perWriter; j++ {
 				v := int64(i*perWriter + j)
-				s.At(0).Update("max", func(cur int64) int64 {
+				s.At(0).Update(max, func(cur int64) int64 {
 					if v > cur {
 						return v
 					}
@@ -89,7 +91,7 @@ func TestUpdateAtomicity(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	if got := s.At(0).Read("max"); got != writers*perWriter-1 {
+	if got := s.At(0).Read(max); got != writers*perWriter-1 {
 		t.Fatalf("max = %d, want %d", got, writers*perWriter-1)
 	}
 }
@@ -98,20 +100,24 @@ func TestUpdateAtomicity(t *testing.T) {
 // heartbeating monotonically per agent, a watchdog reader sampling
 // concurrently. Reads must be monotone per field — a regression here
 // would let the watchdog see time flowing backwards and fence a live
-// agent.
+// agent. Fields are interned up front, as the runtime does in
+// initAgents, so the hot loops never touch the interner.
 func TestLeaseMonotoneReads(t *testing.T) {
 	const agents = 8
 	const beats = 2000
 	s := NewStore(1)
+	lease := make([]Field, agents)
+	for a := range lease {
+		lease[a] = s.Field("lease." + string(rune('0'+a)))
+	}
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	for a := 0; a < agents; a++ {
 		wg.Add(1)
 		go func(a int) {
 			defer wg.Done()
-			field := "lease." + string(rune('0'+a))
 			for n := int64(1); n <= beats; n++ {
-				s.At(0).Write(field, n)
+				s.At(0).Write(lease[a], n)
 			}
 		}(a)
 	}
@@ -127,8 +133,7 @@ func TestLeaseMonotoneReads(t *testing.T) {
 			default:
 			}
 			for a := 0; a < agents; a++ {
-				field := "lease." + string(rune('0'+a))
-				v := s.At(0).Read(field)
+				v := s.At(0).Read(lease[a])
 				if v < last[a] {
 					panic("lease counter went backwards")
 				}
@@ -140,8 +145,7 @@ func TestLeaseMonotoneReads(t *testing.T) {
 	close(stop)
 	rg.Wait()
 	for a := 0; a < agents; a++ {
-		field := "lease." + string(rune('0'+a))
-		if got := s.At(0).Read(field); got != beats {
+		if got := s.At(0).Read(lease[a]); got != beats {
 			t.Fatalf("agent %d: final lease %d, want %d", a, got, beats)
 		}
 	}

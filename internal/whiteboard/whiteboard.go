@@ -3,6 +3,13 @@
 // O(log n)-bit fields, accessed fairly by the agents residing on (or,
 // in the visibility model, adjacent to) a node.
 //
+// Field names are interned once — typically at store construction or
+// agent startup — into dense integer Field IDs; the Read/Write/Add/
+// CompareAndSwap hot path is then a mutex plus a slice index, with no
+// map lookup and no string hashing. This mirrors the paper's model:
+// field names are program text, only the O(log n)-bit values are
+// stored state.
+//
 // The store tracks a bit budget so tests can assert the paper's space
 // claim: every strategy fits its per-node state in O(log n) bits.
 package whiteboard
@@ -13,25 +20,68 @@ import (
 	"sync"
 )
 
+// Field is an interned field name, valid for the Store that issued it.
+// Obtain Fields from Store.Field.
+type Field int32
+
 // Board is one node's whiteboard. The zero value is unusable; create
 // stores with NewStore.
 type Board struct {
-	mu     sync.Mutex
-	fields map[string]int64
+	mu      sync.Mutex
+	store   *Store
+	vals    []int64 // indexed by Field; grown on first touch past the end
+	written []bool  // tracks fields ever written, for Bits/Dump
 }
 
-// Store is the collection of whiteboards for a topology, one per node.
+// Store is the collection of whiteboards for a topology, one per node,
+// plus the field interner they share.
 type Store struct {
 	boards []Board
+
+	fmu   sync.RWMutex
+	ids   map[string]Field
+	names []string
 }
 
 // NewStore returns whiteboards for n nodes.
 func NewStore(n int) *Store {
-	s := &Store{boards: make([]Board, n)}
+	s := &Store{
+		boards: make([]Board, n),
+		ids:    make(map[string]Field),
+	}
 	for i := range s.boards {
-		s.boards[i].fields = make(map[string]int64)
+		s.boards[i].store = s
 	}
 	return s
+}
+
+// Field interns a field name, returning its dense ID. Interning is
+// idempotent and safe for concurrent use, but it is the slow path:
+// resolve fields once at construction (or when a dynamic key such as
+// a per-order record is created), never per access.
+func (s *Store) Field(name string) Field {
+	s.fmu.RLock()
+	f, ok := s.ids[name]
+	s.fmu.RUnlock()
+	if ok {
+		return f
+	}
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	if f, ok := s.ids[name]; ok {
+		return f
+	}
+	f = Field(len(s.names))
+	s.ids[name] = f
+	s.names = append(s.names, name)
+	return f
+}
+
+// FieldName returns the name a Field was interned under.
+func (s *Store) FieldName(f Field) string {
+	s.fmu.RLock()
+	defer s.fmu.RUnlock()
+	return s.names[f]
 }
 
 // At returns node v's whiteboard.
@@ -40,65 +90,90 @@ func (s *Store) At(v int) *Board { return &s.boards[v] }
 // Len returns the number of whiteboards.
 func (s *Store) Len() int { return len(s.boards) }
 
+// ensure grows the board's value slab to cover f. Caller holds b.mu.
+func (b *Board) ensure(f Field) {
+	if int(f) >= len(b.vals) {
+		vals := make([]int64, f+1)
+		copy(vals, b.vals)
+		b.vals = vals
+		written := make([]bool, f+1)
+		copy(written, b.written)
+		b.written = written
+	}
+}
+
 // Read returns the value of a field (0 if never written), under the
 // board's lock.
-func (b *Board) Read(field string) int64 {
+func (b *Board) Read(f Field) int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.fields[field]
+	if int(f) >= len(b.vals) {
+		return 0
+	}
+	return b.vals[f]
 }
 
 // Write sets a field under the board's lock.
-func (b *Board) Write(field string, v int64) {
+func (b *Board) Write(f Field, v int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.fields[field] = v
+	b.ensure(f)
+	b.vals[f] = v
+	b.written[f] = true
 }
 
 // Add atomically adds delta to a field and returns the new value.
-func (b *Board) Add(field string, delta int64) int64 {
+func (b *Board) Add(f Field, delta int64) int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.fields[field] += delta
-	return b.fields[field]
+	b.ensure(f)
+	b.vals[f] += delta
+	b.written[f] = true
+	return b.vals[f]
 }
 
 // CompareAndSwap atomically sets field to new if it currently equals
 // old, reporting whether the swap happened. Agents use it to elect the
 // synchronizer ("the first that gains access will become the
 // synchronizer").
-func (b *Board) CompareAndSwap(field string, old, new int64) bool {
+func (b *Board) CompareAndSwap(f Field, old, new int64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.fields[field] != old {
+	b.ensure(f)
+	if b.vals[f] != old {
 		return false
 	}
-	b.fields[field] = new
+	b.vals[f] = new
+	b.written[f] = true
 	return true
 }
 
 // Update runs fn on the current value of field under the lock and
 // stores the result, returning it. It generalizes read-modify-write
 // cycles that must be atomic under fair mutual exclusion.
-func (b *Board) Update(field string, fn func(int64) int64) int64 {
+func (b *Board) Update(f Field, fn func(int64) int64) int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	v := fn(b.fields[field])
-	b.fields[field] = v
+	b.ensure(f)
+	v := fn(b.vals[f])
+	b.vals[f] = v
+	b.written[f] = true
 	return v
 }
 
 // Bits returns the total number of bits the board currently stores:
-// for each field, the bits of its value (minimum 1). Field names are
-// program text, not stored state, so they do not count — matching the
-// paper's accounting, where the whiteboard holds a constant number of
-// O(log n)-bit values.
+// for each field ever written, the bits of its value (minimum 1).
+// Field names are program text, not stored state, so they do not count
+// — matching the paper's accounting, where the whiteboard holds a
+// constant number of O(log n)-bit values.
 func (b *Board) Bits() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	total := 0
-	for _, v := range b.fields {
-		total += bitsOf(v)
+	for f, w := range b.written {
+		if w {
+			total += bitsOf(b.vals[f])
+		}
 	}
 	return total
 }
@@ -127,18 +202,25 @@ func (s *Store) MaxBits() int {
 	return max
 }
 
-// Dump renders a board's fields deterministically, for debugging.
+// Dump renders a board's written fields deterministically (sorted by
+// name), for debugging.
 func (b *Board) Dump() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	keys := make([]string, 0, len(b.fields))
-	for k := range b.fields {
-		keys = append(keys, k)
+	type kv struct {
+		k string
+		v int64
 	}
-	sort.Strings(keys)
+	entries := make([]kv, 0, len(b.vals))
+	for f, w := range b.written {
+		if w {
+			entries = append(entries, kv{b.store.FieldName(Field(f)), b.vals[f]})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].k < entries[j].k })
 	out := ""
-	for _, k := range keys {
-		out += fmt.Sprintf("%s=%d ", k, b.fields[k])
+	for _, e := range entries {
+		out += fmt.Sprintf("%s=%d ", e.k, e.v)
 	}
 	return out
 }

@@ -8,15 +8,16 @@ import (
 
 func TestReadWriteAdd(t *testing.T) {
 	s := NewStore(3)
+	agents := s.Field("agents")
 	b := s.At(1)
-	if b.Read("agents") != 0 {
+	if b.Read(agents) != 0 {
 		t.Error("unwritten field should read 0")
 	}
-	b.Write("agents", 5)
-	if b.Read("agents") != 5 {
+	b.Write(agents, 5)
+	if b.Read(agents) != 5 {
 		t.Error("write lost")
 	}
-	if b.Add("agents", -2) != 3 || b.Read("agents") != 3 {
+	if b.Add(agents, -2) != 3 || b.Read(agents) != 3 {
 		t.Error("Add wrong")
 	}
 	if s.Len() != 3 {
@@ -24,34 +25,68 @@ func TestReadWriteAdd(t *testing.T) {
 	}
 }
 
+func TestFieldInterning(t *testing.T) {
+	s := NewStore(1)
+	a := s.Field("alpha")
+	b := s.Field("beta")
+	if a == b {
+		t.Fatal("distinct names interned to the same Field")
+	}
+	if s.Field("alpha") != a {
+		t.Error("re-interning is not idempotent")
+	}
+	if s.FieldName(a) != "alpha" || s.FieldName(b) != "beta" {
+		t.Error("FieldName round trip wrong")
+	}
+}
+
+func TestReadBeyondSlab(t *testing.T) {
+	s := NewStore(1)
+	// Intern many fields but never write them on this board: Read must
+	// report zero without growing anything.
+	var last Field
+	for i := 0; i < 100; i++ {
+		last = s.Field("f" + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+	}
+	if s.At(0).Read(last) != 0 {
+		t.Error("unwritten high field should read 0")
+	}
+	if s.At(0).Bits() != 0 {
+		t.Error("reads must not count toward Bits")
+	}
+}
+
 func TestCompareAndSwapElection(t *testing.T) {
 	s := NewStore(1)
+	elect := s.Field("sync")
 	b := s.At(0)
-	if !b.CompareAndSwap("sync", 0, 7) {
+	if !b.CompareAndSwap(elect, 0, 7) {
 		t.Fatal("first CAS should win")
 	}
-	if b.CompareAndSwap("sync", 0, 9) {
+	if b.CompareAndSwap(elect, 0, 9) {
 		t.Fatal("second CAS should lose")
 	}
-	if b.Read("sync") != 7 {
+	if b.Read(elect) != 7 {
 		t.Error("winner overwritten")
 	}
 }
 
 func TestUpdate(t *testing.T) {
 	s := NewStore(1)
+	x := s.Field("x")
 	b := s.At(0)
-	got := b.Update("x", func(v int64) int64 { return v*2 + 1 })
-	if got != 1 || b.Read("x") != 1 {
+	got := b.Update(x, func(v int64) int64 { return v*2 + 1 })
+	if got != 1 || b.Read(x) != 1 {
 		t.Error("Update wrong")
 	}
-	if b.Update("x", func(v int64) int64 { return v + 9 }) != 10 {
+	if b.Update(x, func(v int64) int64 { return v + 9 }) != 10 {
 		t.Error("second Update wrong")
 	}
 }
 
 func TestConcurrentElectionExactlyOneWinner(t *testing.T) {
 	s := NewStore(1)
+	f := s.Field("sync")
 	b := s.At(0)
 	const workers = 64
 	var wg sync.WaitGroup
@@ -60,7 +95,7 @@ func TestConcurrentElectionExactlyOneWinner(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			if b.CompareAndSwap("sync", 0, int64(id)) {
+			if b.CompareAndSwap(f, 0, int64(id)) {
 				wins <- id
 			}
 		}(i)
@@ -76,13 +111,14 @@ func TestConcurrentElectionExactlyOneWinner(t *testing.T) {
 	if count != 1 {
 		t.Fatalf("%d winners", count)
 	}
-	if b.Read("sync") != int64(winner) {
+	if b.Read(f) != int64(winner) {
 		t.Error("stored winner mismatch")
 	}
 }
 
 func TestConcurrentAdd(t *testing.T) {
 	s := NewStore(1)
+	count := s.Field("count")
 	b := s.At(0)
 	const workers, per = 16, 1000
 	var wg sync.WaitGroup
@@ -91,13 +127,43 @@ func TestConcurrentAdd(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < per; j++ {
-				b.Add("count", 1)
+				b.Add(count, 1)
 			}
 		}()
 	}
 	wg.Wait()
-	if b.Read("count") != workers*per {
-		t.Errorf("count = %d", b.Read("count"))
+	if b.Read(count) != workers*per {
+		t.Errorf("count = %d", b.Read(count))
+	}
+}
+
+// Interning itself must be safe under concurrency: many goroutines
+// racing to intern overlapping name sets must agree on the IDs.
+func TestConcurrentInterning(t *testing.T) {
+	s := NewStore(1)
+	const workers = 32
+	const names = 20
+	results := make([][]Field, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fs := make([]Field, names)
+			for j := 0; j < names; j++ {
+				fs[j] = s.Field("n" + string(rune('a'+j)))
+			}
+			results[i] = fs
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		for j := 0; j < names; j++ {
+			if results[i][j] != results[0][j] {
+				t.Fatalf("worker %d interned %q as %d, worker 0 as %d",
+					i, "n"+string(rune('a'+j)), results[i][j], results[0][j])
+			}
+		}
 	}
 }
 
@@ -107,22 +173,22 @@ func TestBitsAccounting(t *testing.T) {
 	if b.Bits() != 0 {
 		t.Error("empty board should use 0 bits")
 	}
-	b.Write("flag", 1)
+	b.Write(s.Field("flag"), 1)
 	if b.Bits() != 1 {
 		t.Errorf("1-bit value counted as %d", b.Bits())
 	}
-	b.Write("count", 255) // 8 bits
+	b.Write(s.Field("count"), 255) // 8 bits
 	if b.Bits() != 9 {
 		t.Errorf("bits = %d, want 9", b.Bits())
 	}
-	b.Write("neg", -4) // |−4| = 100b -> 3 bits
+	b.Write(s.Field("neg"), -4) // |−4| = 100b -> 3 bits
 	if b.Bits() != 12 {
 		t.Errorf("bits = %d, want 12", b.Bits())
 	}
 	if s.MaxBits() != 12 {
 		t.Errorf("MaxBits = %d", s.MaxBits())
 	}
-	s.At(1).Write("big", 1<<40)
+	s.At(1).Write(s.Field("big"), 1<<40)
 	if s.MaxBits() != 41 {
 		t.Errorf("MaxBits = %d, want 41", s.MaxBits())
 	}
@@ -131,8 +197,8 @@ func TestBitsAccounting(t *testing.T) {
 func TestDumpDeterministic(t *testing.T) {
 	s := NewStore(1)
 	b := s.At(0)
-	b.Write("zeta", 1)
-	b.Write("alpha", 2)
+	b.Write(s.Field("zeta"), 1)
+	b.Write(s.Field("alpha"), 2)
 	d := b.Dump()
 	if !strings.HasPrefix(d, "alpha=2 ") || !strings.Contains(d, "zeta=1") {
 		t.Errorf("Dump = %q", d)
