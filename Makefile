@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet test race ci faults fuzz bench bench-smoke
+.PHONY: all build vet test race ci faults fuzz bench bench-smoke bench-check
+
+# Committed benchmark baseline the regression gate compares against.
+BENCH_BASELINE ?= BENCH_pr3.json
 
 all: build
 
@@ -31,7 +34,13 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: build vet race faults bench-smoke
+# Regression gate: re-measure the hqbench families and fail if any
+# regresses past the committed baseline's tolerance bands (ns/op +25%,
+# allocs/op exact-or-better). Prints the offending families.
+bench-check:
+	$(GO) run ./cmd/hqbench -out /tmp/BENCH_check.json -against $(BENCH_BASELINE)
+
+ci: build vet race faults bench-smoke bench-check
 
 # Short real fuzz runs of the fault-plan parser and the engine under
 # fuzzed fault application (regression corpus always runs under `test`).

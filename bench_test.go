@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"hypersearch/internal/core"
+	"hypersearch/internal/envpool"
 	"hypersearch/internal/experiments"
 	"hypersearch/internal/graph"
 	"hypersearch/internal/heapqueue"
@@ -30,18 +31,24 @@ import (
 // benchDims is the sweep used by the per-theorem benchmarks.
 var benchDims = []int{4, 6, 8, 10, 12}
 
-// runSpec executes one strategy run and fails the benchmark on any
-// invariant violation — a benchmark that lies about correctness is
-// worse than a slow one.
+// benchPool reuses one environment per dimension across the whole
+// suite — benchmarks run serially, so the unsynchronized pool is safe,
+// and allocs/op reflects the pooled steady state that sweeps see.
+var benchPool = envpool.New()
+
+// runSpec executes one strategy run on the shared pool and fails the
+// benchmark on any invariant violation — a benchmark that lies about
+// correctness is worse than a slow one.
 func runSpec(b *testing.B, spec core.Spec) metrics.Result {
 	b.Helper()
-	res, _, err := core.Run(spec)
+	res, env, err := core.RunWith(spec, benchPool)
 	if err != nil {
 		b.Fatal(err)
 	}
 	if !res.Ok() {
 		b.Fatalf("invariants violated: %s", res)
 	}
+	benchPool.Release(env)
 	return res
 }
 
@@ -218,10 +225,11 @@ func BenchmarkNaiveBaseline(b *testing.B) {
 		b.Run(fmt.Sprintf("dfs/d=%d", d), func(b *testing.B) {
 			var last metrics.Result
 			for i := 0; i < b.N; i++ {
-				res, _, err := core.Run(core.Spec{Strategy: core.NaiveDFS, Dim: d})
+				res, env, err := core.RunWith(core.Spec{Strategy: core.NaiveDFS, Dim: d}, benchPool)
 				if err != nil {
 					b.Fatal(err)
 				}
+				benchPool.Release(env)
 				last = res
 			}
 			b.ReportMetric(float64(last.Recontaminations), "recontaminations")

@@ -1,0 +1,114 @@
+// Package benchgate is the benchmark regression gate: it owns the
+// BENCH.json schema written by cmd/hqbench and compares a freshly
+// measured report against a committed baseline under tolerance bands.
+// Wall-clock moves with the hardware, so ns/op gets a wide relative
+// band; allocation counts are deterministic for a pinned workload, so
+// allocs/op must be exact-or-better. `make bench-check` runs the gate
+// in CI and fails listing the offending families.
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Result is one family's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	Iters       int                `json:"iters"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole BENCH.json document.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Families   []Result `json:"families"`
+}
+
+// Load reads a report from disk.
+func Load(path string) (Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("benchgate: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return Report{}, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// DefaultNsTolerance is the relative ns/op regression band: wall-clock
+// readings on shared CI hardware jitter, so only a slowdown beyond 25%
+// of the baseline fails the gate.
+const DefaultNsTolerance = 0.25
+
+// Violation is one family measurement outside its tolerance band.
+type Violation struct {
+	Family string
+	Field  string // "ns/op", "allocs/op" or "missing"
+	Base   int64
+	Got    int64
+	Limit  int64 // largest acceptable value
+}
+
+func (v Violation) String() string {
+	if v.Field == "missing" {
+		return fmt.Sprintf("%s: family present in baseline but not measured", v.Family)
+	}
+	return fmt.Sprintf("%s: %s regressed: baseline %d, limit %d, measured %d",
+		v.Family, v.Field, v.Base, v.Limit, v.Got)
+}
+
+// Compare checks got against base family by family (matched on name)
+// and returns every violation, in baseline order:
+//
+//   - ns/op may grow by at most nsTol relative to the baseline
+//     (nsTol <= 0 selects DefaultNsTolerance);
+//   - allocs/op must be exact-or-better — allocation counts for a
+//     pinned, pooled workload are deterministic, so any extra
+//     allocation is a real regression, not noise;
+//   - a baseline family missing from got is a violation (a silently
+//     dropped benchmark would otherwise pass forever).
+//
+// Families measured in got but absent from base are ignored: new
+// benchmarks land before their baseline is regenerated.
+func Compare(base, got Report, nsTol float64) []Violation {
+	if nsTol <= 0 {
+		nsTol = DefaultNsTolerance
+	}
+	measured := make(map[string]Result, len(got.Families))
+	for _, f := range got.Families {
+		measured[f.Name] = f
+	}
+	var out []Violation
+	for _, b := range base.Families {
+		g, ok := measured[b.Name]
+		if !ok {
+			out = append(out, Violation{Family: b.Name, Field: "missing"})
+			continue
+		}
+		nsLimit := b.NsPerOp + int64(float64(b.NsPerOp)*nsTol)
+		if g.NsPerOp > nsLimit {
+			out = append(out, Violation{
+				Family: b.Name, Field: "ns/op",
+				Base: b.NsPerOp, Got: g.NsPerOp, Limit: nsLimit,
+			})
+		}
+		if g.AllocsPerOp > b.AllocsPerOp {
+			out = append(out, Violation{
+				Family: b.Name, Field: "allocs/op",
+				Base: b.AllocsPerOp, Got: g.AllocsPerOp, Limit: b.AllocsPerOp,
+			})
+		}
+	}
+	return out
+}

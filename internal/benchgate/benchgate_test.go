@@ -1,0 +1,118 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(fams ...Result) Report {
+	return Report{Schema: "hqbench/v1", Families: fams}
+}
+
+func TestCompareWithinBandsPasses(t *testing.T) {
+	base := report(
+		Result{Name: "clean/d=8", NsPerOp: 1000, AllocsPerOp: 300},
+		Result{Name: "visibility/d=8", NsPerOp: 400, AllocsPerOp: 120},
+	)
+	got := report(
+		Result{Name: "clean/d=8", NsPerOp: 1250, AllocsPerOp: 300},    // exactly +25% ns, equal allocs
+		Result{Name: "visibility/d=8", NsPerOp: 380, AllocsPerOp: 90}, // strictly better
+		Result{Name: "brand-new/d=4", NsPerOp: 9999, AllocsPerOp: 9999},
+	)
+	if vs := Compare(base, got, 0); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %v", vs)
+	}
+}
+
+// TestCompareFailsOnAllocsRegression is the gate's reason to exist: a
+// single extra allocation per op over the baseline must fail, even
+// with wall-clock well inside its band.
+func TestCompareFailsOnAllocsRegression(t *testing.T) {
+	base := report(Result{Name: "clean/d=12", NsPerOp: 1000, AllocsPerOp: 4000})
+	got := report(Result{Name: "clean/d=12", NsPerOp: 900, AllocsPerOp: 4001})
+	vs := Compare(base, got, 0)
+	if len(vs) != 1 || vs[0].Field != "allocs/op" {
+		t.Fatalf("want one allocs/op violation, got %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "clean/d=12") {
+		t.Errorf("violation should name the family: %s", vs[0])
+	}
+}
+
+func TestCompareFailsOnNsRegressionBeyondBand(t *testing.T) {
+	base := report(Result{Name: "des-throughput/events=100k", NsPerOp: 1000, AllocsPerOp: 10})
+	got := report(Result{Name: "des-throughput/events=100k", NsPerOp: 1251, AllocsPerOp: 10})
+	vs := Compare(base, got, 0)
+	if len(vs) != 1 || vs[0].Field != "ns/op" {
+		t.Fatalf("want one ns/op violation, got %v", vs)
+	}
+	if vs[0].Limit != 1250 {
+		t.Errorf("limit = %d, want 1250", vs[0].Limit)
+	}
+}
+
+func TestCompareFlagsMissingFamily(t *testing.T) {
+	base := report(
+		Result{Name: "kept", NsPerOp: 10, AllocsPerOp: 1},
+		Result{Name: "dropped", NsPerOp: 10, AllocsPerOp: 1},
+	)
+	got := report(Result{Name: "kept", NsPerOp: 10, AllocsPerOp: 1})
+	vs := Compare(base, got, 0)
+	if len(vs) != 1 || vs[0].Field != "missing" || vs[0].Family != "dropped" {
+		t.Fatalf("want one missing-family violation, got %v", vs)
+	}
+}
+
+func TestCompareCustomTolerance(t *testing.T) {
+	base := report(Result{Name: "f", NsPerOp: 100, AllocsPerOp: 1})
+	got := report(Result{Name: "f", NsPerOp: 190, AllocsPerOp: 1})
+	if vs := Compare(base, got, 1.0); len(vs) != 0 {
+		t.Fatalf("+90%% within a 100%% band should pass: %v", vs)
+	}
+	if vs := Compare(base, got, 0.5); len(vs) != 1 {
+		t.Fatalf("+90%% outside a 50%% band should fail: %v", vs)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	want := Report{
+		Schema: "hqbench/v1", GOOS: "linux", GOARCH: "amd64",
+		GOMAXPROCS: 4, NumCPU: 8,
+		Families: []Result{{
+			Name: "clean/d=8", Iters: 8, NsPerOp: 123, AllocsPerOp: 45,
+			BytesPerOp: 678, Metrics: map[string]float64{"agents": 8},
+		}},
+	}
+	buf, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCPU != 8 || got.GOMAXPROCS != 4 || len(got.Families) != 1 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+	if got.Families[0].Name != "clean/d=8" || got.Families[0].Metrics["agents"] != 8 {
+		t.Fatalf("family mangled: %+v", got.Families[0])
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed JSON should error")
+	}
+}

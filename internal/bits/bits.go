@@ -40,6 +40,16 @@ func Msb(x Node) int {
 	return mathbits.Len32(uint32(x))
 }
 
+// Dim returns d such that n == 2^d: the hypercube dimension recovered
+// from its node count. It panics unless n is a power of two in
+// [1, 2^MaxDim].
+func Dim(n int) int {
+	if n <= 0 || n&(n-1) != 0 || n > 1<<MaxDim {
+		panic(fmt.Sprintf("bits: %d is not a hypercube order", n))
+	}
+	return mathbits.TrailingZeros32(uint32(n))
+}
+
 // Level returns the level of x in the hypercube's level decomposition:
 // the number of 1-bits in its binary string.
 func Level(x Node) int {
@@ -187,6 +197,22 @@ func HammingPath(x, y Node, d int) []Node {
 		}
 	}
 	return path
+}
+
+// NextHopToward returns the neighbour of cur that is the next vertex on
+// HammingPath(cur, dst, d), or cur itself when cur == dst. Stepping
+// this function until arrival visits exactly the vertices HammingPath
+// returns — bits that must be cleared go first, lowest position first,
+// then bits that must be set, lowest first — without allocating the
+// path slice. Walkers use it for incremental routing.
+func NextHopToward(cur, dst Node) Node {
+	if extra := uint32(cur &^ dst); extra != 0 {
+		return cur &^ Node(extra&-extra) // clear the lowest surplus bit
+	}
+	if missing := uint32(dst &^ cur); missing != 0 {
+		return cur | Node(missing&-missing) // set the lowest missing bit
+	}
+	return cur
 }
 
 // String renders x as a d-bit binary string, most significant position

@@ -103,6 +103,26 @@ func New(g graph.Graph, home int) *Board {
 	return b
 }
 
+// Reset returns the board to its initial state — all nodes
+// contaminated except the homebase, no agents, zeroed counters — in
+// O(n), reusing every backing array. Pooled environments reset their
+// board instead of allocating a fresh one per run.
+func (b *Board) Reset() {
+	b.pos = b.pos[:0]
+	for i := range b.count {
+		b.count[i] = 0
+		b.decon[i] = false
+		b.everClean[i] = false
+		b.cleanOrder[i] = -1
+		b.cleanTime[i] = -1
+	}
+	b.away, b.peakAway = 0, 0
+	b.moves, b.recontaminations, b.violations = 0, 0, 0
+	b.cleanSeq = 0
+	b.currentTime = 0
+	b.decon[b.home] = true
+}
+
 // Graph returns the underlying topology.
 func (b *Board) Graph() graph.Graph { return b.g }
 

@@ -75,7 +75,7 @@ func Run(spec Spec) (metrics.Result, *strategy.Env, error) {
 	}
 	switch spec.Engine {
 	case "", EngineDES:
-		return runDES(spec)
+		return runDES(spec, strategy.Fresh{})
 	case EngineGoroutines:
 		return runGoroutines(spec)
 	case EngineNetwork:
@@ -98,7 +98,23 @@ func Run(spec Spec) (metrics.Result, *strategy.Env, error) {
 	}
 }
 
-func runDES(spec Spec) (metrics.Result, *strategy.Env, error) {
+// RunWith is Run with the DES execution environment drawn from src
+// instead of freshly allocated: sweeps pass an envpool.Pool so runs of
+// the same dimension reuse one environment. The returned Env is still
+// owned by src — the caller must hand it back with src.Release once
+// done reading results and traces, and must not touch it afterwards.
+// Non-DES engines ignore src and behave exactly like Run.
+func RunWith(spec Spec, src strategy.Source) (metrics.Result, *strategy.Env, error) {
+	if spec.Engine == "" || spec.Engine == EngineDES {
+		if spec.Dim < 0 {
+			return metrics.Result{}, nil, fmt.Errorf("core: negative dimension %d", spec.Dim)
+		}
+		return runDES(spec, src)
+	}
+	return Run(spec)
+}
+
+func runDES(spec Spec, src strategy.Source) (metrics.Result, *strategy.Env, error) {
 	opts := strategy.Options{Record: spec.Record}
 	if spec.CheckEveryMove {
 		opts.Contiguity = strategy.CheckEveryMove
@@ -106,28 +122,31 @@ func runDES(spec Spec) (metrics.Result, *strategy.Env, error) {
 	if spec.AdversarialLatency > 0 {
 		opts.Latency = strategy.NewAdversarial(spec.Seed, spec.AdversarialLatency)
 	}
-	var (
-		res metrics.Result
-		env *strategy.Env
-	)
+	if spec.Strategy == Synchronous {
+		// The synchronous variant is only defined for unit latency.
+		opts.Latency = strategy.Unit{}
+	}
+	var res metrics.Result
+	env := src.Acquire(spec.Dim, opts)
 	switch spec.Strategy {
 	case Clean:
-		res, env = coordinated.Run(spec.Dim, opts)
+		res = coordinated.RunEnv(env)
 	case Visibility:
-		res, env = visibility.Run(spec.Dim, opts)
+		res = visibility.RunEnv(env)
 	case Cloning:
-		res, env = cloning.Run(spec.Dim, opts)
+		res = cloning.RunEnv(env)
 	case Synchronous:
-		res, env = synchronous.Run(spec.Dim, opts)
+		res = synchronous.RunEnv(env)
 	case NaiveDFS:
-		res, env = naive.RunDFS(spec.Dim, opts)
+		res = naive.RunDFSEnv(env)
 	case NaiveConvoy:
 		team := spec.ConvoyTeam
 		if team < 1 {
 			team = 1
 		}
-		res, env = naive.RunConvoy(spec.Dim, team, opts)
+		res = naive.RunConvoyEnv(env, team)
 	default:
+		src.Release(env)
 		return metrics.Result{}, nil, fmt.Errorf("core: unknown strategy %q", spec.Strategy)
 	}
 	return res, env, nil

@@ -28,6 +28,14 @@ type Simulator struct {
 	queue  eventHeap
 	parked int // processes blocked on signals (not time)
 	icept  Interceptor
+
+	// free holds worker goroutines whose process function has returned;
+	// Spawn reuses them (struct, channels and goroutine) instead of
+	// allocating fresh ones. Unless KeepWorkers(true) was set, Run
+	// retires the pool before returning, so a drained simulator leaves
+	// no goroutines behind — the pre-recycling behaviour.
+	free        []*Process
+	keepWorkers bool
 }
 
 // Interceptor inspects every event as it reaches the head of the queue
@@ -129,6 +137,31 @@ func (h *eventHeap) siftDown() {
 // New returns an empty simulator at time 0.
 func New() *Simulator { return &Simulator{} }
 
+// KeepWorkers controls whether Run retains finished process workers
+// for reuse by later Spawns (including after a Reset). The default,
+// false, retires them when the queue drains, so one-shot simulations
+// leave no goroutines parked. Environment pools set it: a reused
+// simulator then spawns thousands of processes with zero allocations
+// once its worker pool is warm.
+func (s *Simulator) KeepWorkers(keep bool) { s.keepWorkers = keep }
+
+// Reset returns a drained simulator to time zero so it can run a fresh
+// simulation while keeping warmed capacity: the event heap's backing
+// array and (under KeepWorkers) the parked worker goroutines carry
+// over. It panics if processes are still blocked on signals — a
+// simulator abandoned mid-run cannot be safely reused.
+func (s *Simulator) Reset() {
+	if s.parked > 0 {
+		panic(fmt.Sprintf("des: reset with %d process(es) still blocked on signals", s.parked))
+	}
+	for i := range s.queue.ev {
+		s.queue.ev[i] = event{}
+	}
+	s.queue.ev = s.queue.ev[:0]
+	s.now, s.seq = 0, 0
+	s.icept = nil
+}
+
 // Intercept installs (or, with nil, removes) the kernel interceptor.
 func (s *Simulator) Intercept(i Interceptor) { s.icept = i }
 
@@ -180,6 +213,12 @@ func (s *Simulator) Run() int64 {
 		s.now = e.at
 		if e.proc != nil {
 			e.proc.step()
+			if e.proc.done {
+				// The process function returned during this step:
+				// park the worker for the next Spawn to reuse.
+				e.proc.done = false
+				s.free = append(s.free, e.proc)
+			}
 		} else {
 			e.fn()
 		}
@@ -187,7 +226,19 @@ func (s *Simulator) Run() int64 {
 	if s.parked > 0 {
 		panic(fmt.Sprintf("des: deadlock — %d process(es) blocked on signals with no pending events", s.parked))
 	}
+	if !s.keepWorkers {
+		s.retireWorkers()
+	}
 	return s.now
+}
+
+// retireWorkers shuts down every parked worker goroutine.
+func (s *Simulator) retireWorkers() {
+	for _, p := range s.free {
+		p.resume <- struct{}{} // fn == nil: the worker loop exits
+		<-p.yield
+	}
+	s.free = s.free[:0]
 }
 
 // Process is the handle a spawned process uses to interact with
@@ -196,20 +247,49 @@ func (s *Simulator) Run() int64 {
 type Process struct {
 	sim    *Simulator
 	name   string
+	fn     func(*Process) // current program; nil tells the worker loop to exit
+	done   bool           // set by the worker when fn returns, read by the kernel
 	resume chan struct{}
 	yield  chan struct{}
 }
 
 // Spawn starts fn as a simulation process at the current time. The
 // process begins running when the kernel reaches its start event.
+// Finished workers are recycled: when a previously spawned process has
+// already returned, its goroutine, channels and Process struct serve
+// the new program, so steady-state spawning allocates nothing beyond
+// the caller's fn closure.
 func (s *Simulator) Spawn(name string, fn func(p *Process)) {
-	p := &Process{sim: s, name: name, resume: make(chan struct{}), yield: make(chan struct{})}
-	go func() {
-		<-p.resume
-		fn(p)
-		p.yield <- struct{}{}
-	}()
+	var p *Process
+	if n := len(s.free); n > 0 {
+		p = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		p.name, p.fn = name, fn
+	} else {
+		p = &Process{sim: s, name: name, fn: fn, resume: make(chan struct{}), yield: make(chan struct{})}
+		go p.loop()
+	}
 	s.scheduleProc(s.now, p)
+}
+
+// loop is the worker goroutine: it runs one process function per
+// activation and parks between programs. The done flag is written
+// before the yield send and read after the kernel's receive, so the
+// hand-off is properly ordered.
+func (p *Process) loop() {
+	for {
+		<-p.resume
+		fn := p.fn
+		if fn == nil {
+			p.yield <- struct{}{}
+			return // retired by the simulator
+		}
+		fn(p)
+		p.fn = nil
+		p.done = true
+		p.yield <- struct{}{}
+	}
 }
 
 // step hands control to the process goroutine and waits for it to
@@ -246,6 +326,16 @@ func (p *Process) Delay(d int64) {
 type Signal struct {
 	waiters []*Process
 	scratch []*Process // recycled backing array; see Fire
+}
+
+// Reset empties the waiter list while keeping both recycled backing
+// arrays. Only safe when no process is blocked on the signal (a
+// simulator that passed its own Reset guarantees that).
+func (sig *Signal) Reset() {
+	for i := range sig.waiters {
+		sig.waiters[i] = nil
+	}
+	sig.waiters = sig.waiters[:0]
 }
 
 // Await blocks the process until the signal next fires. Callers loop:

@@ -1,0 +1,115 @@
+package des
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestWorkerRecycleReuse: with KeepWorkers, a second wave of spawns
+// reuses the parked workers from the first — spawning allocates only
+// the caller's closure, not goroutines or Process structs.
+func TestWorkerRecycleReuse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	s := New()
+	s.KeepWorkers(true)
+	const procs = 64
+	run := func() {
+		done := 0
+		for i := 0; i < procs; i++ {
+			s.Spawn("w", func(p *Process) {
+				p.Delay(1)
+				done++
+			})
+		}
+		s.Run()
+		if done != procs {
+			t.Fatalf("ran %d processes, want %d", done, procs)
+		}
+		s.Reset()
+	}
+	run() // warm the worker pool
+	allocs := testing.AllocsPerRun(20, run)
+	// One allocation per spawn is the fn closure (captures &done);
+	// anything above that means workers are not being recycled.
+	if allocs > procs+4 {
+		t.Fatalf("reused simulator allocates %.0f per wave, want <= %d", allocs, procs+4)
+	}
+}
+
+// TestRunRetiresWorkersByDefault: without KeepWorkers, Run leaves no
+// goroutines parked — the pre-recycling leak-free behaviour.
+func TestRunRetiresWorkersByDefault(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		s := New()
+		for j := 0; j < 32; j++ {
+			s.Spawn("w", func(p *Process) { p.Delay(1) })
+		}
+		s.Run()
+	}
+	runtime.GC() // give exited goroutines a chance to be reaped
+	after := runtime.NumGoroutine()
+	if after > before+2 {
+		t.Fatalf("goroutines grew %d -> %d; workers not retired", before, after)
+	}
+}
+
+// TestResetReplaysIdentically: a Reset simulator reruns the same
+// program with the same timing and ordering as a fresh one.
+func TestResetReplaysIdentically(t *testing.T) {
+	program := func(s *Simulator) []int64 {
+		var times []int64
+		var sig Signal
+		s.Spawn("a", func(p *Process) {
+			p.Delay(3)
+			times = append(times, p.Now())
+			s.Fire(&sig)
+		})
+		s.Spawn("b", func(p *Process) {
+			p.Await(&sig)
+			p.Delay(2)
+			times = append(times, p.Now())
+		})
+		s.Run()
+		return times
+	}
+	fresh := New()
+	want := program(fresh)
+
+	s := New()
+	s.KeepWorkers(true)
+	program(s)
+	s.Reset()
+	if s.Now() != 0 {
+		t.Fatalf("Now after Reset = %d, want 0", s.Now())
+	}
+	got := program(s)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay times %v, want %v", got, want)
+		}
+	}
+}
+
+// TestResetPanicsWithParkedProcesses: a simulator abandoned with a
+// process still blocked on a signal cannot be reused.
+func TestResetPanicsWithParkedProcesses(t *testing.T) {
+	s := New()
+	var sig Signal
+	s.Spawn("stuck", func(p *Process) { p.Await(&sig) })
+	func() {
+		defer func() { recover() }() // swallow the deadlock panic
+		s.Run()
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset with a parked process should panic")
+		}
+	}()
+	s.Reset()
+}

@@ -13,6 +13,7 @@ import (
 	"hypersearch/internal/board"
 	"hypersearch/internal/combin"
 	"hypersearch/internal/core"
+	"hypersearch/internal/envpool"
 	"hypersearch/internal/heapqueue"
 	"hypersearch/internal/hypercube"
 	"hypersearch/internal/intruder"
@@ -57,21 +58,45 @@ func (r Report) Render() string {
 	return b.String()
 }
 
-// run executes a DES strategy run, panicking on harness misuse (the
-// experiment ids are fixed strings).
-func run(name string, d int) metrics.Result {
-	res, _, err := core.Run(core.Spec{Strategy: name, Dim: d})
+// runSpec executes a DES run on an environment drawn from src and
+// releases it before reporting, so a sweep worker's pool sees every
+// environment again. Panics on harness misuse (the experiment ids are
+// fixed strings).
+func runSpec(src strategy.Source, spec core.Spec) metrics.Result {
+	res, env, err := core.RunWith(spec, src)
 	if err != nil {
 		panic(err)
 	}
+	src.Release(env)
 	return res
 }
 
+func runOn(src strategy.Source, name string, d int) metrics.Result {
+	return runSpec(src, core.Spec{Strategy: name, Dim: d})
+}
+
+// sourcePools builds one environment pool per scheduler worker:
+// sched.CollectW guarantees a worker runs one task at a time, so
+// pools[w] is used without locking, and consecutive tasks on one
+// worker reuse each other's environments.
+func sourcePools(workers int) []strategy.Source {
+	if workers <= 0 {
+		workers = sched.DefaultWorkers()
+	}
+	pools := make([]strategy.Source, workers)
+	for i := range pools {
+		pools[i] = envpool.New()
+	}
+	return pools
+}
+
 // T2 reproduces Theorem 2: the team size of Algorithm CLEAN.
-func T2(maxD int) Report {
+func T2(maxD int) Report { return t2(envpool.New(), maxD) }
+
+func t2(src strategy.Source, maxD int) Report {
 	t := metrics.NewTable("d", "n", "team (measured)", "closed form", "peak away", "n/log n", "n/sqrt(log n)", "team/(n/sqrt log n)")
 	for d := 2; d <= maxD; d++ {
-		r := run(core.Clean, d)
+		r := runOn(src, core.Clean, d)
 		cf := combin.CleanTeamSize(d)
 		t.AddRow(d, r.Nodes, r.TeamSize, cf, r.PeakAway,
 			combin.NOverLogN(d), combin.NOverSqrtLogN(d),
@@ -92,10 +117,12 @@ func T2(maxD int) Report {
 }
 
 // T3 reproduces Theorem 3: total moves of Algorithm CLEAN.
-func T3(maxD int) Report {
+func T3(maxD int) Report { return t3(envpool.New(), maxD) }
+
+func t3(src strategy.Source, maxD int) Report {
 	t := metrics.NewTable("d", "n", "agent moves", "(d+1)2^(d-1) - d", "sync moves", "total", "total/(n log n)")
 	for d := 2; d <= maxD; d++ {
-		r := run(core.Clean, d)
+		r := runOn(src, core.Clean, d)
 		t.AddRow(d, r.Nodes, r.AgentMoves, combin.CleanAgentMoves(d)-int64(d),
 			r.SyncMoves, r.TotalMoves, float64(r.TotalMoves)/combin.NLogN(d))
 	}
@@ -113,10 +140,12 @@ func T3(maxD int) Report {
 }
 
 // T4 reproduces Theorem 4: ideal time of Algorithm CLEAN.
-func T4(maxD int) Report {
+func T4(maxD int) Report { return t4(envpool.New(), maxD) }
+
+func t4(src strategy.Source, maxD int) Report {
 	t := metrics.NewTable("d", "n", "makespan", "sync moves", "makespan/(n log n)")
 	for d := 2; d <= maxD; d++ {
-		r := run(core.Clean, d)
+		r := runOn(src, core.Clean, d)
 		t.AddRow(d, r.Nodes, r.Makespan, r.SyncMoves, float64(r.Makespan)/combin.NLogN(d))
 	}
 	return Report{
@@ -131,11 +160,13 @@ func T4(maxD int) Report {
 }
 
 // T5 reproduces Theorem 5: team size of CLEAN WITH VISIBILITY.
-func T5(maxD int) Report {
+func T5(maxD int) Report { return t5(envpool.New(), maxD) }
+
+func t5(src strategy.Source, maxD int) Report {
 	t := metrics.NewTable("d", "n", "team", "n/2", "exact?")
 	exact := true
 	for d := 1; d <= maxD; d++ {
-		r := run(core.Visibility, d)
+		r := runOn(src, core.Visibility, d)
 		ok := int64(r.TeamSize) == combin.VisibilityAgents(d)
 		exact = exact && ok
 		t.AddRow(d, r.Nodes, r.TeamSize, combin.VisibilityAgents(d), ok)
@@ -151,11 +182,13 @@ func T5(maxD int) Report {
 }
 
 // T7 reproduces Theorem 7: time of CLEAN WITH VISIBILITY.
-func T7(maxD int) Report {
+func T7(maxD int) Report { return t7(envpool.New(), maxD) }
+
+func t7(src strategy.Source, maxD int) Report {
 	t := metrics.NewTable("d", "n", "makespan", "log n", "exact?")
 	exact := true
 	for d := 1; d <= maxD; d++ {
-		r := run(core.Visibility, d)
+		r := runOn(src, core.Visibility, d)
 		ok := r.Makespan == int64(d)
 		exact = exact && ok
 		t.AddRow(d, r.Nodes, r.Makespan, d, ok)
@@ -171,11 +204,13 @@ func T7(maxD int) Report {
 }
 
 // T8 reproduces Theorem 8: moves of CLEAN WITH VISIBILITY.
-func T8(maxD int) Report {
+func T8(maxD int) Report { return t8(envpool.New(), maxD) }
+
+func t8(src strategy.Source, maxD int) Report {
 	t := metrics.NewTable("d", "n", "moves", "(d+1)2^(d-2)", "moves/(n log n)", "exact?")
 	exact := true
 	for d := 2; d <= maxD; d++ {
-		r := run(core.Visibility, d)
+		r := runOn(src, core.Visibility, d)
 		ok := r.TotalMoves == combin.VisibilityMoves(d)
 		exact = exact && ok
 		t.AddRow(d, r.Nodes, r.TotalMoves, combin.VisibilityMoves(d),
@@ -192,11 +227,13 @@ func T8(maxD int) Report {
 }
 
 // V1 reproduces the Section 5 cloning observation.
-func V1(maxD int) Report {
+func V1(maxD int) Report { return v1(envpool.New(), maxD) }
+
+func v1(src strategy.Source, maxD int) Report {
 	t := metrics.NewTable("d", "n", "agents", "n/2", "moves", "n-1", "makespan")
 	exact := true
 	for d := 1; d <= maxD; d++ {
-		r := run(core.Cloning, d)
+		r := runOn(src, core.Cloning, d)
 		exact = exact && int64(r.TeamSize) == combin.VisibilityAgents(d) && r.TotalMoves == combin.CloningMoves(d)
 		t.AddRow(d, r.Nodes, r.TeamSize, combin.VisibilityAgents(d), r.TotalMoves, combin.CloningMoves(d), r.Makespan)
 	}
@@ -211,11 +248,13 @@ func V1(maxD int) Report {
 }
 
 // V2 reproduces the Section 5 synchronous observation.
-func V2(maxD int) Report {
+func V2(maxD int) Report { return v2(envpool.New(), maxD) }
+
+func v2(src strategy.Source, maxD int) Report {
 	t := metrics.NewTable("d", "n", "agents", "moves", "makespan", "recontaminations")
 	exact := true
 	for d := 1; d <= maxD; d++ {
-		r := run(core.Synchronous, d)
+		r := runOn(src, core.Synchronous, d)
 		exact = exact && r.Ok() && r.Recontaminations == 0 &&
 			r.TotalMoves == combin.VisibilityMoves(d) && r.Makespan == int64(d)
 		t.AddRow(d, r.Nodes, r.TeamSize, r.TotalMoves, r.Makespan, r.Recontaminations)
@@ -232,12 +271,14 @@ func V2(maxD int) Report {
 }
 
 // X1 regenerates the headline trade-off comparison of Section 1.3.
-func X1(maxD int) Report {
+func X1(maxD int) Report { return x1(envpool.New(), maxD) }
+
+func x1(src strategy.Source, maxD int) Report {
 	t := metrics.NewTable("d", "n", "clean agents", "vis agents", "clean time", "vis time", "clean moves", "vis moves", "clone moves")
 	for d := 2; d <= maxD; d++ {
-		rc := run(core.Clean, d)
-		rv := run(core.Visibility, d)
-		rk := run(core.Cloning, d)
+		rc := runOn(src, core.Clean, d)
+		rv := runOn(src, core.Visibility, d)
+		rk := runOn(src, core.Cloning, d)
 		t.AddRow(d, rc.Nodes, rc.TeamSize, rv.TeamSize, rc.Makespan, rv.Makespan,
 			rc.TotalMoves, rv.TotalMoves, rk.TotalMoves)
 	}
@@ -277,9 +318,10 @@ func X2() Report {
 }
 
 // X3 stresses both strategies under the asynchronous adversary. The
-// seed sweep of each configuration fans out across workers; the
-// reduction below runs over the input-ordered results, so the report
-// is identical for every worker count.
+// seed sweep of each configuration fans out across workers, each
+// worker reusing its own environment pool across seeds and
+// configurations; the reduction below runs over the input-ordered
+// results, so the report is identical for every worker count.
 func X3(seeds, workers int) Report {
 	t := metrics.NewTable("strategy", "engine", "seeds", "captured", "monotone", "contiguous", "recontaminations")
 	type cfg struct {
@@ -287,18 +329,20 @@ func X3(seeds, workers int) Report {
 		engine string
 	}
 	makespans := map[string]string{}
+	pools := sourcePools(workers)
 	for _, c := range []cfg{
 		{core.Clean, core.EngineDES}, {core.Visibility, core.EngineDES},
 		{core.Clean, core.EngineGoroutines}, {core.Visibility, core.EngineGoroutines},
 	} {
-		results, err := sched.Collect(workers, seeds, func(s int) metrics.Result {
-			res, _, err := core.Run(core.Spec{
+		results, err := sched.CollectW(workers, seeds, func(w, s int) metrics.Result {
+			res, env, err := core.RunWith(core.Spec{
 				Strategy: c.name, Dim: 5, Engine: c.engine,
 				Seed: int64(s), AdversarialLatency: 17,
-			})
+			}, pools[w])
 			if err != nil {
 				panic(err)
 			}
+			pools[w].Release(env)
 			return res
 		})
 		if err != nil {
@@ -341,15 +385,17 @@ func X3(seeds, workers int) Report {
 }
 
 // X4 quantifies why contamination-oblivious sweeps fail.
-func X4(d int) Report {
+func X4(d int) Report { return x4(envpool.New(), d) }
+
+func x4(src strategy.Source, d int) Report {
 	t := metrics.NewTable("baseline", "team", "moves", "captured", "recontaminations", "monotone violations")
-	rd, _ := naive.RunDFS(d, strategy.Options{})
+	rd := runSpec(src, core.Spec{Strategy: core.NaiveDFS, Dim: d})
 	t.AddRow(naive.DFSName, rd.TeamSize, rd.TotalMoves, rd.Captured, rd.Recontaminations, !rd.MonotoneOK)
 	for _, team := range []int{2, 4, 8} {
-		rc, _ := naive.RunConvoy(d, team, strategy.Options{})
+		rc := runSpec(src, core.Spec{Strategy: core.NaiveConvoy, Dim: d, ConvoyTeam: team})
 		t.AddRow(naive.ConvoyName, team, rc.TotalMoves, rc.Captured, rc.Recontaminations, !rc.MonotoneOK)
 	}
-	rv := run(core.Visibility, d)
+	rv := runOn(src, core.Visibility, d)
 	t.AddRow(core.Visibility, rv.TeamSize, rv.TotalMoves, rv.Captured, rv.Recontaminations, !rv.MonotoneOK)
 	return Report{
 		ID:    "X4",
@@ -476,26 +522,38 @@ func X10() Report {
 	}
 }
 
-// seedSweep fans one netsim protocol's seed loop across workers and
-// returns the input-ordered per-seed stats.
-func seedSweep(workers, seeds int, run func(s int) netsim.Stats) []netsim.Stats {
-	out, err := sched.Collect(workers, seeds, run)
+// X9 validates the message-passing realization of the visibility
+// model: one-bit beacons, as Section 4 suggests. Every sweep — all
+// dimensions, all three protocols, all seeds — is flattened into ONE
+// task list handed to the scheduler in a single call, so the few
+// large-d runs overlap with the many small ones instead of each
+// (protocol, d) pair draining behind its own barrier. The reductions
+// read input-ordered slices of the flat result, keeping the report
+// byte-identical for every worker count.
+func X9(maxD, seeds, workers int) Report {
+	t := metrics.NewTable("protocol", "d", "n", "agents", "migrations", "beacons/sync hops", "all seeds OK")
+	protocols := []func(d int, cfg netsim.Config) netsim.Stats{
+		netsim.Run, netsim.RunClean, netsim.RunCloning,
+	}
+	dims := maxD - 1 // d ranges over 2..maxD
+	if dims < 0 {
+		dims = 0
+	}
+	flat, err := sched.Collect(workers, dims*len(protocols)*seeds, func(i int) netsim.Stats {
+		seed := i % seeds
+		proto := i / seeds % len(protocols)
+		d := 2 + i/(seeds*len(protocols))
+		return protocols[proto](d, netsim.Config{Seed: int64(seed), MaxLatency: 5 * time.Microsecond})
+	})
 	if err != nil {
 		panic(err)
 	}
-	return out
-}
-
-// X9 validates the message-passing realization of the visibility
-// model: one-bit beacons, as Section 4 suggests. Seed sweeps fan out
-// across workers; the per-protocol reductions read the input-ordered
-// results, keeping the report worker-count-independent.
-func X9(maxD, seeds, workers int) Report {
-	t := metrics.NewTable("protocol", "d", "n", "agents", "migrations", "beacons/sync hops", "all seeds OK")
+	sweep := func(d, proto int) []netsim.Stats {
+		base := ((d-2)*len(protocols) + proto) * seeds
+		return flat[base : base+seeds]
+	}
 	for d := 2; d <= maxD; d++ {
-		vis := seedSweep(workers, seeds, func(s int) netsim.Stats {
-			return netsim.Run(d, netsim.Config{Seed: int64(s), MaxLatency: 5 * time.Microsecond})
-		})
+		vis := sweep(d, 0)
 		ref := vis[0]
 		ok := true
 		for s, st := range vis {
@@ -508,9 +566,7 @@ func X9(maxD, seeds, workers int) Report {
 		ok = ok && ref.BeaconMessages <= 2*edges
 		t.AddRow("visibility", d, combin.Pow2(d), ref.TeamSize, ref.AgentMessages, ref.BeaconMessages, ok)
 
-		clean := seedSweep(workers, seeds, func(s int) netsim.Stats {
-			return netsim.RunClean(d, netsim.Config{Seed: int64(s), MaxLatency: 5 * time.Microsecond})
-		})
+		clean := sweep(d, 1)
 		refc := clean[0]
 		okc := true
 		for s, st := range clean {
@@ -521,9 +577,7 @@ func X9(maxD, seeds, workers int) Report {
 		}
 		t.AddRow("clean", d, combin.Pow2(d), refc.TeamSize, refc.AgentMessages, refc.SyncMoves, okc)
 
-		cloning := seedSweep(workers, seeds, func(s int) netsim.Stats {
-			return netsim.RunCloning(d, netsim.Config{Seed: int64(s), MaxLatency: 5 * time.Microsecond})
-		})
+		cloning := sweep(d, 2)
 		refk := cloning[0]
 		okk := true
 		for _, st := range cloning {
@@ -554,10 +608,12 @@ func X9(maxD, seeds, workers int) Report {
 // visibility strategy (the scenario of the paper's introduction). The
 // recorded schedule is replayed once per seed, each replay on its own
 // worker against a fresh board and intruder token.
-func XIntruder(d, seeds, workers int) Report {
+func XIntruder(d, seeds, workers int) Report { return xIntruder(envpool.New(), d, seeds, workers) }
+
+func xIntruder(src strategy.Source, d, seeds, workers int) Report {
 	t := metrics.NewTable("seed", "intruder relocations", "captured")
 	allCaptured := true
-	_, env, err := core.Run(core.Spec{Strategy: core.Visibility, Dim: d, Record: true})
+	_, env, err := core.RunWith(core.Spec{Strategy: core.Visibility, Dim: d, Record: true}, src)
 	if err != nil {
 		panic(err)
 	}
@@ -574,6 +630,9 @@ func XIntruder(d, seeds, workers int) Report {
 	if err != nil {
 		panic(err)
 	}
+	// The replays only read env's topology and trace; the environment
+	// goes back to the pool once the sweep has drained.
+	src.Release(env)
 	for s, p := range pursuits {
 		t.AddRow(s, p.moves, p.caught)
 		allCaptured = allCaptured && p.caught
@@ -635,10 +694,12 @@ func figureRun(name string) *strategy.Env {
 }
 
 // All runs every experiment at the given sweep size. The experiments
-// are independent, so they fan out across the scheduler's workers;
-// results land in input-ordered slots, so the report sequence (and
-// every rendered byte) is identical for any worker count. workers <= 1
-// is the legacy serial path on the calling goroutine.
+// are independent, so they fan out across the scheduler's workers,
+// each worker drawing execution environments from its own pool (one
+// task at a time per worker, so no locking); results land in
+// input-ordered slots, so the report sequence (and every rendered
+// byte) is identical for any worker count. workers <= 1 is the legacy
+// serial path on the calling goroutine.
 func All(maxD, seeds, workers int) []Report {
 	x8max := maxD
 	if x8max > 8 {
@@ -648,27 +709,28 @@ func All(maxD, seeds, workers int) []Report {
 	if x9max > 10 {
 		x9max = 10 // real goroutine fan-out beyond n=1024 adds nothing
 	}
-	runs := []func() Report{
-		func() Report { return T2(maxD) },
-		func() Report { return T3(maxD) },
-		func() Report { return T4(maxD) },
-		func() Report { return T5(maxD) },
-		func() Report { return T7(maxD) },
-		func() Report { return T8(maxD) },
-		func() Report { return V1(maxD) },
-		func() Report { return V2(maxD) },
-		func() Report { return X1(maxD) },
-		X2,
-		func() Report { return X3(seeds, workers) },
-		func() Report { return X4(6) },
-		func() Report { return X5(7) },
-		func() Report { return XIntruder(6, seeds, workers) },
-		func() Report { return X7(maxD) },
-		func() Report { return X8(x8max) },
-		func() Report { return X9(x9max, seeds, workers) },
-		X10,
+	runs := []func(src strategy.Source) Report{
+		func(src strategy.Source) Report { return t2(src, maxD) },
+		func(src strategy.Source) Report { return t3(src, maxD) },
+		func(src strategy.Source) Report { return t4(src, maxD) },
+		func(src strategy.Source) Report { return t5(src, maxD) },
+		func(src strategy.Source) Report { return t7(src, maxD) },
+		func(src strategy.Source) Report { return t8(src, maxD) },
+		func(src strategy.Source) Report { return v1(src, maxD) },
+		func(src strategy.Source) Report { return v2(src, maxD) },
+		func(src strategy.Source) Report { return x1(src, maxD) },
+		func(strategy.Source) Report { return X2() },
+		func(strategy.Source) Report { return X3(seeds, workers) },
+		func(src strategy.Source) Report { return x4(src, 6) },
+		func(strategy.Source) Report { return X5(7) },
+		func(src strategy.Source) Report { return xIntruder(src, 6, seeds, workers) },
+		func(strategy.Source) Report { return X7(maxD) },
+		func(strategy.Source) Report { return X8(x8max) },
+		func(strategy.Source) Report { return X9(x9max, seeds, workers) },
+		func(strategy.Source) Report { return X10() },
 	}
-	out, err := sched.Collect(workers, len(runs), func(i int) Report { return runs[i]() })
+	pools := sourcePools(workers)
+	out, err := sched.CollectW(workers, len(runs), func(w, i int) Report { return runs[i](pools[w]) })
 	if err != nil {
 		panic(err)
 	}

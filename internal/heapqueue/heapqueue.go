@@ -120,6 +120,24 @@ func (t *Tree) PathFromRoot(v int) []int {
 	return path
 }
 
+// NextHopDown returns the child of v on the tree path from v down to
+// its descendant x, or v itself when v == x. Iterating it from the
+// root walks exactly PathFromRoot(x) without allocating the slice: the
+// broadcast tree adds the set bits of x lowest position first. It
+// panics if x is not in the subtree of v.
+func (t *Tree) NextHopDown(v, x int) int {
+	rest := uint32(x &^ v)
+	// x descends from v iff v's bits are a subset of x's and every
+	// extra bit of x lies above m(v) — checking the lowest suffices.
+	if x&v != v || (rest != 0 && int(rest&-rest) <= v) {
+		panic(fmt.Sprintf("heapqueue: %d is not a descendant of %d", x, v))
+	}
+	if rest == 0 {
+		return v
+	}
+	return v | int(rest&-rest)
+}
+
 // CountType returns the number of type-T(k) nodes at level l
 // (Property 1), computed from the tree itself; tests compare it with
 // the closed form in internal/combin.

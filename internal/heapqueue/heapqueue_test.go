@@ -244,3 +244,64 @@ func TestFigure1Structure(t *testing.T) {
 		t.Error("T(6) size/leaf counts wrong")
 	}
 }
+
+// TestNextHopDownMatchesPathFromRoot: stepping NextHopDown from the
+// root visits exactly the vertices PathFromRoot returns.
+func TestNextHopDownMatchesPathFromRoot(t *testing.T) {
+	for d := 0; d <= 6; d++ {
+		bt := New(d)
+		for x := 0; x < bt.Order(); x++ {
+			want := bt.PathFromRoot(x)
+			got := []int{0}
+			for cur := 0; cur != x; {
+				next := bt.NextHopDown(cur, x)
+				if next == cur {
+					t.Fatalf("d=%d: NextHopDown stalled at %d short of %d", d, cur, x)
+				}
+				if bt.Parent(next) != cur {
+					t.Fatalf("d=%d: NextHopDown(%d,%d)=%d is not a tree child", d, cur, x, next)
+				}
+				got = append(got, next)
+				cur = next
+			}
+			if len(got) != len(want) {
+				t.Fatalf("d=%d root->%d: stepped %v, want %v", d, x, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("d=%d root->%d: stepped %v, want %v", d, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNextHopDownRejectsNonDescendants: asking for a hop toward a node
+// outside the subtree panics rather than fabricating a non-tree edge.
+func TestNextHopDownRejectsNonDescendants(t *testing.T) {
+	bt := New(3)
+	for _, pair := range [][2]int{{4, 5}, {2, 1}, {6, 7}} {
+		v, x := pair[0], pair[1]
+		// Skip pairs that are genuine ancestor/descendant in this d.
+		if func() (desc bool) {
+			for c := x; ; c = bt.Parent(c) {
+				if c == v {
+					return true
+				}
+				if c == 0 {
+					return false
+				}
+			}
+		}() {
+			continue
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NextHopDown(%d,%d) should panic", v, x)
+				}
+			}()
+			bt.NextHopDown(v, x)
+		}()
+	}
+}

@@ -24,6 +24,16 @@ type Hypercube struct {
 	// For the dimensions this repository simulates the cache is cheap
 	// (n*d ints) and makes the Graph interface allocation-free.
 	neighbours [][]int
+	// smaller and bigger cache the label-partitioned neighbour lists of
+	// Definition 2 (labels <= m(v) and > m(v) respectively). Both views
+	// slice the same flat backing array as neighbours conceptually
+	// splits it, so the strategies' per-node fan-out queries allocate
+	// nothing.
+	smaller [][]int
+	bigger  [][]int
+	// levels caches the level decomposition: levels[l] holds the
+	// level-l vertices in increasing order, flat-backed.
+	levels [][]int
 }
 
 // New returns the hypercube H_d. It panics for d outside [0, bits.MaxDim].
@@ -34,7 +44,12 @@ func New(d int) *Hypercube {
 		panic(fmt.Sprintf("hypercube: dimension %d too large to materialize", d))
 	}
 	n := 1 << d
-	h := &Hypercube{d: d, n: n, neighbours: make([][]int, n)}
+	h := &Hypercube{
+		d: d, n: n,
+		neighbours: make([][]int, n),
+		smaller:    make([][]int, n),
+		bigger:     make([][]int, n),
+	}
 	flat := make([]int, n*d)
 	for v := 0; v < n; v++ {
 		row := flat[v*d : (v+1)*d : (v+1)*d]
@@ -42,6 +57,30 @@ func New(d int) *Hypercube {
 			row[i-1] = int(bits.Flip(bits.Node(v), i))
 		}
 		h.neighbours[v] = row
+		// The row is ordered by label, so the smaller/bigger partition
+		// of Definition 2 is a split of the same backing storage at
+		// m(v): labels 1..m flip set bits (or the msb), labels m+1..d
+		// set higher bits.
+		m := bits.Msb(bits.Node(v))
+		h.smaller[v] = row[:m:m]
+		h.bigger[v] = row[m:]
+	}
+	// Bucket vertices by level into one flat array; ascending vertex
+	// order within a bucket is the increasing lexicographic order the
+	// synchronizer's level walk requires.
+	h.levels = make([][]int, d+1)
+	levelFlat := make([]int, n)
+	offsets := make([]int, d+2)
+	for v := 0; v < n; v++ {
+		offsets[h.Level(v)+1]++
+	}
+	for l := 0; l <= d; l++ {
+		offsets[l+1] += offsets[l]
+		h.levels[l] = levelFlat[offsets[l]:offsets[l]:offsets[l+1]]
+	}
+	for v := 0; v < n; v++ {
+		l := h.Level(v)
+		h.levels[l] = append(h.levels[l], v)
 	}
 	return h
 }
@@ -83,37 +122,19 @@ func (h *Hypercube) Level(v int) int { return bits.Level(bits.Node(v)) }
 func (h *Hypercube) Class(v int) int { return bits.Class(bits.Node(v)) }
 
 // SmallerNeighbours returns the neighbours of v with label <= m(v), as
-// dense indices ordered by label (Definition 2).
-func (h *Hypercube) SmallerNeighbours(v int) []int {
-	ns := bits.SmallerNeighbours(bits.Node(v), h.d)
-	out := make([]int, len(ns))
-	for i, x := range ns {
-		out[i] = int(x)
-	}
-	return out
-}
+// dense indices ordered by label (Definition 2). The slice is a cached
+// view; callers must not modify it.
+func (h *Hypercube) SmallerNeighbours(v int) []int { return h.smaller[v] }
 
 // BiggerNeighbours returns the neighbours of v with label > m(v): the
-// broadcast-tree children of v, as dense indices ordered by label.
-func (h *Hypercube) BiggerNeighbours(v int) []int {
-	ns := bits.BiggerNeighbours(bits.Node(v), h.d)
-	out := make([]int, len(ns))
-	for i, x := range ns {
-		out[i] = int(x)
-	}
-	return out
-}
+// broadcast-tree children of v, as dense indices ordered by label. The
+// slice is a cached view; callers must not modify it.
+func (h *Hypercube) BiggerNeighbours(v int) []int { return h.bigger[v] }
 
 // NodesAtLevel returns the dense indices of the level-l vertices in
-// increasing (lexicographic) order.
-func (h *Hypercube) NodesAtLevel(l int) []int {
-	ns := bits.NodesAtLevel(h.d, l)
-	out := make([]int, len(ns))
-	for i, x := range ns {
-		out[i] = int(x)
-	}
-	return out
-}
+// increasing (lexicographic) order. The slice is a cached view;
+// callers must not modify it.
+func (h *Hypercube) NodesAtLevel(l int) []int { return h.levels[l] }
 
 // NodesInClass returns the dense indices of class C_i in increasing
 // order.
@@ -136,6 +157,14 @@ func (h *Hypercube) ShortestPath(v, w int) []int {
 		out[i] = int(x)
 	}
 	return out
+}
+
+// NextHopToward returns the neighbour of v that is the next vertex on
+// ShortestPath(v, w), or v itself when v == w. Iterating it walks
+// exactly the vertices ShortestPath returns without allocating the
+// path slice; agents use it for step-by-step routing.
+func (h *Hypercube) NextHopToward(v, w int) int {
+	return int(bits.NextHopToward(bits.Node(v), bits.Node(w)))
 }
 
 // Distance returns the hypercube (Hamming) distance between v and w.

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"hypersearch/internal/board"
 	"hypersearch/internal/combin"
 	"hypersearch/internal/heapqueue"
 	"hypersearch/internal/hypercube"
@@ -65,13 +65,13 @@ func RunClean(d int, cfg Config) Stats {
 	bt := heapqueue.New(d)
 	team := int(combin.CleanTeamSize(d))
 
-	val := &validator{b: board.New(h, 0)}
+	val := cfg.makeValidator(h)
 	ids := make([]int, team)
 	for i := range ids {
 		ids[i] = val.place()
 	}
 	if d == 0 {
-		val.terminate(ids[0])
+		val.terminate(ids[0], 0)
 		s := val.stats(team, 0, 0)
 		s.Strategy = CleanName
 		return s
@@ -97,13 +97,13 @@ func RunClean(d int, cfg Config) Stats {
 	}
 
 	// Boot: the synchronizer "arrives" at the root with phase 0 ready.
-	c.boxes[0].in <- cleanMessage{
+	c.boxes[0].Send(cleanMessage{
 		Kind: SyncHop, From: 0, Agent: c.syncID,
 		Sync: &syncState{
 			ID: c.syncID, Phase: 0, Dest: -1, BounceTo: -1,
 			Stop: 0, Escorts: append([]int(nil), bt.Children(0)...),
 		},
-	}
+	})
 	wg.Wait()
 	s := val.stats(team, c.moves.Load(), 0)
 	s.Strategy = CleanName
@@ -119,13 +119,13 @@ type cleanNet struct {
 	h      *hypercube.Hypercube
 	bt     *heapqueue.Tree
 	cfg    Config
-	val    *validator
+	val    validator
 	boxes  []*cleanMailbox
 	syncID int
 	pool   []int // boot-time pool membership (root-local thereafter)
 
-	moves     atomicCounter
-	syncMoves atomicCounter
+	moves     atomic.Int64
+	syncMoves atomic.Int64
 }
 
 // cleanHost is one host's local state.
@@ -143,7 +143,11 @@ func (c *cleanNet) runHost(v int) {
 	if v == 0 {
 		st.pool = append(st.pool, c.pool...)
 	}
-	for m := range c.boxes[v].out {
+	for {
+		m, ok := c.boxes[v].Recv()
+		if !ok {
+			break
+		}
 		switch m.Kind {
 		case CourierHop:
 			c.onCourier(rng, v, st, m)
@@ -162,7 +166,7 @@ func (c *cleanNet) runHost(v int) {
 				}
 			}
 			if st.shutdowns == len(c.h.Neighbours(v)) {
-				close(c.boxes[v].in)
+				c.boxes[v].Close()
 			}
 			continue
 		default:
@@ -391,47 +395,8 @@ func (c *cleanNet) send(rng *rand.Rand, to int, m cleanMessage) {
 		lat = time.Duration(rng.Int63n(int64(c.cfg.MaxLatency) + 1))
 	}
 	if lat == 0 {
-		c.boxes[to].in <- m
+		c.boxes[to].Send(m)
 		return
 	}
-	time.AfterFunc(lat, func() { c.boxes[to].in <- m })
-}
-
-// cleanMailbox is an unbounded mailbox for the coordinated protocol.
-type cleanMailbox struct {
-	in  chan<- cleanMessage
-	out <-chan cleanMessage
-}
-
-func newCleanMailbox() *cleanMailbox {
-	in := make(chan cleanMessage)
-	out := make(chan cleanMessage)
-	go func() {
-		var queue []cleanMessage
-		for {
-			if len(queue) == 0 {
-				m, ok := <-in
-				if !ok {
-					close(out)
-					return
-				}
-				queue = append(queue, m)
-				continue
-			}
-			select {
-			case m, ok := <-in:
-				if !ok {
-					for _, q := range queue {
-						out <- q
-					}
-					close(out)
-					return
-				}
-				queue = append(queue, m)
-			case out <- queue[0]:
-				queue = queue[1:]
-			}
-		}
-	}()
-	return &cleanMailbox{in: in, out: out}
+	time.AfterFunc(lat, func() { c.boxes[to].Send(m) })
 }

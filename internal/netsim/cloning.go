@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"hypersearch/internal/bits"
-	"hypersearch/internal/board"
 	"hypersearch/internal/heapqueue"
 	"hypersearch/internal/hypercube"
 )
@@ -25,10 +24,10 @@ func RunCloning(d int, cfg Config) Stats {
 	h := hypercube.New(d)
 	bt := heapqueue.New(d)
 
-	val := &validator{b: board.New(h, 0)}
+	val := cfg.makeValidator(h)
 	seed := val.place()
 	if d == 0 {
-		val.terminate(seed)
+		val.terminate(seed, 0)
 		s := val.stats(1, 0, 0)
 		s.Strategy = CloningName
 		return s
@@ -50,10 +49,10 @@ func RunCloning(d int, cfg Config) Stats {
 			runCloningHost(net, v)
 		}(v)
 	}
-	net.boxes[0].In <- Message{Kind: AgentArrival, From: 0, Agent: seed}
+	net.boxes[0].Send(Message{Kind: AgentArrival, From: 0, Agent: seed})
 	wg.Wait()
 
-	s := val.stats(val.b.Agents(), net.agentMsgs.Load(), net.beaconMsgs.Load())
+	s := val.stats(val.agents(), net.agentMsgs.Load(), net.beaconMsgs.Load())
 	s.Strategy = CloningName
 	return s
 }
@@ -67,7 +66,11 @@ func runCloningHost(n *network, v int) {
 	incumbent := -1
 	dispatched := false
 
-	for m := range n.boxes[v].Out {
+	for {
+		m, ok := n.boxes[v].Recv()
+		if !ok {
+			break
+		}
 		switch m.Kind {
 		case AgentArrival:
 			n.val.arrive(m.Agent, m.From, v)
@@ -88,8 +91,8 @@ func runCloningHost(n *network, v int) {
 		dispatched = true
 		children := n.bt.Children(v)
 		if len(children) == 0 {
-			n.val.terminate(incumbent)
-			close(n.boxes[v].In)
+			n.val.terminate(incumbent, v)
+			n.boxes[v].Close()
 			continue
 		}
 		// The incumbent continues to the first child; clones take the
@@ -102,13 +105,6 @@ func runCloningHost(n *network, v int) {
 			n.val.depart(movers[i], v)
 			n.send(rng, child, Message{Kind: AgentArrival, From: v, Agent: movers[i]})
 		}
-		close(n.boxes[v].In)
+		n.boxes[v].Close()
 	}
-}
-
-// clone creates an agent on a guarded host (validator-side).
-func (v *validator) clone(at int) int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.b.Clone(at, 0)
 }

@@ -1,46 +1,78 @@
 package netsim
 
-// Mailbox is an unbounded FIFO channel: sends never block, so host
+import "sync"
+
+// queue is an unbounded FIFO mailbox: sends never block, so host
 // goroutines can post to each other without deadlock regardless of
-// topology cycles. A pump goroutine shuttles messages from In to Out;
-// Close(In) drains and then closes Out.
-type Mailbox struct {
-	In  chan<- Message
-	Out <-chan Message
+// topology cycles. It is condition-variable based rather than a
+// channel with a pump goroutine: a d-dimensional network already runs
+// 2^d host goroutines, and doubling that with pumps would blow the
+// race detector's goroutine budget at d=12.
+type queue[T any] struct {
+	mu       sync.Mutex
+	nonEmpty sync.Cond
+	items    []T
+	head     int
+	closed   bool
 }
 
-// NewMailbox starts the pump and returns the endpoints.
-func NewMailbox() *Mailbox {
-	in := make(chan Message)
-	out := make(chan Message)
-	go pump(in, out)
-	return &Mailbox{In: in, Out: out}
+func newQueue[T any]() *queue[T] {
+	q := &queue[T]{}
+	q.nonEmpty.L = &q.mu
+	return q
 }
 
-func pump(in <-chan Message, out chan<- Message) {
-	var queue []Message
-	for {
-		if len(queue) == 0 {
-			m, ok := <-in
-			if !ok {
-				close(out)
-				return
-			}
-			queue = append(queue, m)
-			continue
-		}
-		select {
-		case m, ok := <-in:
-			if !ok {
-				for _, q := range queue {
-					out <- q
-				}
-				close(out)
-				return
-			}
-			queue = append(queue, m)
-		case out <- queue[0]:
-			queue = queue[1:]
-		}
+// Send enqueues m without blocking. Like a channel send, it panics on
+// a closed mailbox — a send after retirement is a protocol bug.
+func (q *queue[T]) Send(m T) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		panic("netsim: send on closed mailbox")
 	}
+	q.items = append(q.items, m)
+	q.nonEmpty.Signal()
+	q.mu.Unlock()
 }
+
+// Recv dequeues the oldest message, blocking while the mailbox is
+// empty and open. It returns ok=false once the mailbox is closed and
+// drained (messages enqueued before Close are still delivered).
+func (q *queue[T]) Recv() (m T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head == len(q.items) && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	if q.head == len(q.items) {
+		return m, false
+	}
+	m = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release payload references
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return m, true
+}
+
+// Close marks the mailbox closed; queued messages remain receivable.
+func (q *queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.nonEmpty.Broadcast()
+	q.mu.Unlock()
+}
+
+// Mailbox is the visibility/cloning protocols' unbounded mailbox.
+type Mailbox = queue[Message]
+
+// NewMailbox returns an empty open mailbox.
+func NewMailbox() *Mailbox { return newQueue[Message]() }
+
+// cleanMailbox is the coordinated protocol's unbounded mailbox.
+type cleanMailbox = queue[cleanMessage]
+
+func newCleanMailbox() *cleanMailbox { return newQueue[cleanMessage]() }

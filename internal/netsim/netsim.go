@@ -17,10 +17,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hypersearch/internal/bits"
-	"hypersearch/internal/board"
 	"hypersearch/internal/combin"
 	"hypersearch/internal/heapqueue"
 	"hypersearch/internal/hypercube"
@@ -53,6 +53,14 @@ type Message struct {
 type Config struct {
 	Seed       int64
 	MaxLatency time.Duration // per-link-delivery latency in [0, MaxLatency]
+
+	// Validator selects the invariant-checker implementation; the
+	// zero value is the sharded (striped) validator.
+	Validator ValidatorMode
+
+	// newValidator lets tests substitute a validator (e.g. the dual
+	// checker comparing both implementations on one run).
+	newValidator func(*hypercube.Hypercube) validator
 }
 
 // Stats extends the cost summary with wire-level accounting.
@@ -70,13 +78,13 @@ func Run(d int, cfg Config) Stats {
 	bt := heapqueue.New(d)
 	team := int(combin.VisibilityAgents(d))
 
-	val := &validator{b: board.New(h, 0)}
+	val := cfg.makeValidator(h)
 	ids := make([]int, team)
 	for i := range ids {
 		ids[i] = val.place()
 	}
 	if d == 0 {
-		val.terminate(ids[0])
+		val.terminate(ids[0], 0)
 		return val.stats(team, 0, 0)
 	}
 
@@ -99,7 +107,7 @@ func Run(d int, cfg Config) Stats {
 
 	// Boot: the homebase host receives the whole team as arrivals.
 	for _, id := range ids {
-		net.boxes[0].In <- Message{Kind: AgentArrival, From: 0, Agent: id}
+		net.boxes[0].Send(Message{Kind: AgentArrival, From: 0, Agent: id})
 	}
 
 	wg.Wait()
@@ -111,11 +119,11 @@ type network struct {
 	h     *hypercube.Hypercube
 	bt    *heapqueue.Tree
 	cfg   Config
-	val   *validator
+	val   validator
 	boxes []*Mailbox
 
-	agentMsgs  atomicCounter
-	beaconMsgs atomicCounter
+	agentMsgs  atomic.Int64
+	beaconMsgs atomic.Int64
 }
 
 // send delivers a message after the link's randomized latency; rng is
@@ -132,10 +140,10 @@ func (n *network) send(rng *rand.Rand, to int, m Message) {
 		n.beaconMsgs.Add(1)
 	}
 	if lat == 0 {
-		n.boxes[to].In <- m
+		n.boxes[to].Send(m)
 		return
 	}
-	time.AfterFunc(lat, func() { n.boxes[to].In <- m })
+	time.AfterFunc(lat, func() { n.boxes[to].Send(m) })
 }
 
 // runHost is one host's event loop: the local program of Section 4.2
@@ -152,7 +160,11 @@ func runHost(n *network, v int) {
 
 	// The root has no smaller neighbours and may dispatch immediately
 	// once its complement arrives; everyone else waits for beacons.
-	for m := range n.boxes[v].Out {
+	for {
+		m, ok := n.boxes[v].Recv()
+		if !ok {
+			break
+		}
 		switch m.Kind {
 		case AgentArrival:
 			n.val.arrive(m.Agent, m.From, v)
@@ -182,8 +194,8 @@ func runHost(n *network, v int) {
 		}
 		dispatched = true
 		if k == 0 {
-			n.val.terminate(gathered[0])
-			close(n.boxes[v].In)
+			n.val.terminate(gathered[0], v)
+			n.boxes[v].Close()
 			continue
 		}
 		// Dispatch the complement down the broadcast tree and retire
@@ -198,7 +210,7 @@ func runHost(n *network, v int) {
 				n.send(rng, child, Message{Kind: AgentArrival, From: v, Agent: a})
 			}
 		}
-		close(n.boxes[v].In)
+		n.boxes[v].Close()
 	}
 }
 
@@ -209,104 +221,4 @@ func allReady(smaller []int, ready map[int]bool) bool {
 		}
 	}
 	return true
-}
-
-// validator applies migrations to a locked board, preserving the
-// atomic-move semantics: an agent departs its host and arrives at the
-// destination when the arrival message is processed; between depart
-// and arrive it is "on the link", which the board models by keeping it
-// on the source until arrival (the departure is recorded and the move
-// applied atomically at arrival).
-type validator struct {
-	mu      sync.Mutex
-	b       *board.Board
-	pending map[int]int // agent -> source host while migrating
-}
-
-func (v *validator) place() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.b.Place(0)
-}
-
-func (v *validator) depart(agent, from int) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.pending == nil {
-		v.pending = make(map[int]int)
-	}
-	v.pending[agent] = from
-}
-
-func (v *validator) arrive(agent, from, to int) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if src, ok := v.pending[agent]; ok {
-		delete(v.pending, agent)
-		if src != from {
-			panic(fmt.Sprintf("netsim: agent %d departed %d but arrived from %d", agent, src, from))
-		}
-		v.b.Move(agent, to, 0)
-		return
-	}
-	// Boot-time arrival at the homebase: the agent is already there.
-	if to != v.b.Home() {
-		panic(fmt.Sprintf("netsim: arrival of non-migrating agent %d at %d", agent, to))
-	}
-}
-
-func (v *validator) terminate(agent int) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.b.Terminate(agent, 0)
-}
-
-func (v *validator) stats(team int, agentMsgs, beaconMsgs int64) Stats {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return Stats{
-		Result: metrics.Result{
-			Strategy:         Name,
-			Dim:              dimOf(v.b.Graph().Order()),
-			Nodes:            v.b.Graph().Order(),
-			TeamSize:         team,
-			PeakAway:         v.b.PeakAway(),
-			AgentMoves:       v.b.Moves(),
-			TotalMoves:       v.b.Moves(),
-			Recontaminations: v.b.Recontaminations(),
-			MonotoneOK:       v.b.MonotoneViolations() == 0,
-			ContiguousOK:     v.b.Contiguous(),
-			Captured:         v.b.AllClean(),
-		},
-		AgentMessages:  agentMsgs,
-		BeaconMessages: beaconMsgs,
-		BeaconBits:     beaconMsgs, // one bit each, by construction
-	}
-}
-
-func dimOf(n int) int {
-	d := 0
-	for 1<<d < n {
-		d++
-	}
-	return d
-}
-
-// atomicCounter is a minimal atomic int64 (avoiding a sync/atomic
-// import spread across the file).
-type atomicCounter struct {
-	mu sync.Mutex
-	v  int64
-}
-
-func (c *atomicCounter) Add(d int64) {
-	c.mu.Lock()
-	c.v += d
-	c.mu.Unlock()
-}
-
-func (c *atomicCounter) Load() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
 }

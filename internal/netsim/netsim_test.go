@@ -82,9 +82,9 @@ func TestMailboxUnboundedFIFO(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		for i := 0; i < n; i++ {
-			mb.In <- Message{Agent: i}
+			mb.Send(Message{Agent: i})
 		}
-		close(mb.In)
+		mb.Close()
 		close(done)
 	}()
 	select {
@@ -92,15 +92,15 @@ func TestMailboxUnboundedFIFO(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("unbounded mailbox blocked")
 	}
-	// Drain in order; Out closes after the queue empties.
+	// Drain in order; messages enqueued before Close still arrive.
 	for i := 0; i < n; i++ {
-		m, ok := <-mb.Out
+		m, ok := mb.Recv()
 		if !ok || m.Agent != i {
 			t.Fatalf("message %d: got %v ok=%v", i, m.Agent, ok)
 		}
 	}
-	if _, ok := <-mb.Out; ok {
-		t.Fatal("Out not closed after drain")
+	if _, ok := mb.Recv(); ok {
+		t.Fatal("Recv should report closed after drain")
 	}
 }
 
@@ -108,15 +108,19 @@ func TestMailboxInterleaved(t *testing.T) {
 	mb := NewMailbox()
 	go func() {
 		for i := 0; i < 100; i++ {
-			mb.In <- Message{Agent: i}
+			mb.Send(Message{Agent: i})
 			if i%7 == 0 {
 				time.Sleep(time.Microsecond)
 			}
 		}
-		close(mb.In)
+		mb.Close()
 	}()
 	prev := -1
-	for m := range mb.Out {
+	for {
+		m, ok := mb.Recv()
+		if !ok {
+			break
+		}
 		if m.Agent != prev+1 {
 			t.Fatalf("out of order: %d after %d", m.Agent, prev)
 		}
@@ -125,4 +129,15 @@ func TestMailboxInterleaved(t *testing.T) {
 	if prev != 99 {
 		t.Fatalf("lost messages, last = %d", prev)
 	}
+}
+
+func TestMailboxSendAfterClosePanics(t *testing.T) {
+	mb := NewMailbox()
+	mb.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send on closed mailbox should panic")
+		}
+	}()
+	mb.Send(Message{})
 }

@@ -1,0 +1,294 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hypersearch/internal/bits"
+	"hypersearch/internal/board"
+	"hypersearch/internal/hypercube"
+	"hypersearch/internal/metrics"
+)
+
+// validator observes every agent lifecycle event of a network run and
+// checks the global invariants (monotonicity, contiguity, capture).
+// The atomic-move semantics are shared by both implementations: an
+// agent departs its host and arrives at the destination when the
+// arrival message is processed; between depart and arrive it is "on
+// the link", which the board models by keeping it on the source until
+// arrival.
+type validator interface {
+	place() int
+	clone(at int) int
+	depart(agent, from int)
+	arrive(agent, from, to int)
+	terminate(agent, at int)
+	agents() int
+	stats(team int, agentMsgs, beaconMsgs int64) Stats
+}
+
+// ValidatorMode selects the validator implementation.
+type ValidatorMode int
+
+// The two validator implementations.
+const (
+	// ValidatorStriped (the default) shards event recording over
+	// power-of-two stripes of the node index: hosts append to a
+	// per-stripe ledger under a per-stripe lock, and the invariants
+	// are checked once, at stats() time, by merging the ledgers in
+	// global sequence order and replaying them onto a fresh board.
+	// Hosts in different stripes never contend, which is what lets
+	// the visibility run complete at d=12 even under the race
+	// detector.
+	ValidatorStriped ValidatorMode = iota
+	// ValidatorLocked is the original single-mutex validator: every
+	// event applies to one shared board immediately, so invariant
+	// violations panic at the offending event instead of at stats().
+	ValidatorLocked
+)
+
+// makeValidator builds the configured validator over H_d.
+func (cfg Config) makeValidator(h *hypercube.Hypercube) validator {
+	if cfg.newValidator != nil {
+		return cfg.newValidator(h)
+	}
+	if cfg.Validator == ValidatorLocked {
+		return newLockedValidator(h)
+	}
+	return newStripedValidator(h)
+}
+
+// buildStats assembles the Stats shared by both validators from a
+// fully-applied board.
+func buildStats(b *board.Board, team int, agentMsgs, beaconMsgs int64) Stats {
+	return Stats{
+		Result: metrics.Result{
+			Strategy:         Name,
+			Dim:              bits.Dim(b.Graph().Order()),
+			Nodes:            b.Graph().Order(),
+			TeamSize:         team,
+			PeakAway:         b.PeakAway(),
+			AgentMoves:       b.Moves(),
+			TotalMoves:       b.Moves(),
+			Recontaminations: b.Recontaminations(),
+			MonotoneOK:       b.MonotoneViolations() == 0,
+			ContiguousOK:     b.Contiguous(),
+			Captured:         b.AllClean(),
+		},
+		AgentMessages:  agentMsgs,
+		BeaconMessages: beaconMsgs,
+		BeaconBits:     beaconMsgs, // one bit each, by construction
+	}
+}
+
+// lockedValidator serializes every event through one mutex onto the
+// shared board.
+type lockedValidator struct {
+	mu      sync.Mutex
+	b       *board.Board
+	pending map[int]int // agent -> source host while migrating
+}
+
+func newLockedValidator(h *hypercube.Hypercube) *lockedValidator {
+	return &lockedValidator{b: board.New(h, 0)}
+}
+
+func (v *lockedValidator) place() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.b.Place(0)
+}
+
+func (v *lockedValidator) clone(at int) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.b.Clone(at, 0)
+}
+
+func (v *lockedValidator) depart(agent, from int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.pending == nil {
+		v.pending = make(map[int]int)
+	}
+	v.pending[agent] = from
+}
+
+func (v *lockedValidator) arrive(agent, from, to int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if src, ok := v.pending[agent]; ok {
+		delete(v.pending, agent)
+		if src != from {
+			panic(fmt.Sprintf("netsim: agent %d departed %d but arrived from %d", agent, src, from))
+		}
+		v.b.Move(agent, to, 0)
+		return
+	}
+	// Boot-time arrival at the homebase: the agent is already there.
+	if to != v.b.Home() {
+		panic(fmt.Sprintf("netsim: arrival of non-migrating agent %d at %d", agent, to))
+	}
+}
+
+func (v *lockedValidator) terminate(agent, _ int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.b.Terminate(agent, 0)
+}
+
+func (v *lockedValidator) agents() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.b.Agents()
+}
+
+func (v *lockedValidator) stats(team int, agentMsgs, beaconMsgs int64) Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return buildStats(v.b, team, agentMsgs, beaconMsgs)
+}
+
+// valOp is one recorded lifecycle event in a stripe ledger.
+type valOp struct {
+	seq   int64
+	kind  opKind
+	agent int
+	from  int
+	to    int
+}
+
+type opKind uint8
+
+const (
+	opPlace opKind = iota
+	opClone
+	opDepart
+	opArrive
+	opTerminate
+)
+
+// stripe is one shard of the striped validator's ledger. Padding keeps
+// neighbouring stripes off one cache line.
+type stripe struct {
+	mu  sync.Mutex
+	ops []valOp
+	_   [40]byte
+}
+
+// maxStripes bounds the stripe count; past this, contention is spread
+// thin enough that more shards only cost memory.
+const maxStripes = 64
+
+// stripedValidator shards event recording by node index. Correctness
+// argument (see ALGORITHMS.md): every event takes a global sequence
+// number from one atomic counter *during* the event — after its
+// preconditions hold on the calling host, before the host acts on its
+// consequences — so the sequence order is a linearization of the run:
+// it respects program order on every host and the happens-before
+// created by each message (depart is sequenced before the matching
+// arrive because the arrival message is only sent after depart
+// returns). stats() merges the per-stripe ledgers in sequence order
+// and replays them onto a fresh board; since the locked validator
+// applies events to its board in *some* linearization of the same run,
+// and the board is deterministic given an event order, the replay
+// checks exactly the invariants the locked validator checks — only
+// deferred to stats() time instead of inline.
+type stripedValidator struct {
+	h       *hypercube.Hypercube
+	seq     atomic.Int64
+	created atomic.Int64 // next agent id (board ids are assigned at replay)
+	mask    int
+	stripes []stripe
+}
+
+func newStripedValidator(h *hypercube.Hypercube) *stripedValidator {
+	n := 1
+	for n < maxStripes && n < h.Order() {
+		n <<= 1
+	}
+	return &stripedValidator{h: h, mask: n - 1, stripes: make([]stripe, n)}
+}
+
+// record stamps the op with the next global sequence number and
+// appends it to node's stripe.
+func (v *stripedValidator) record(node int, op valOp) {
+	op.seq = v.seq.Add(1)
+	st := &v.stripes[node&v.mask]
+	st.mu.Lock()
+	st.ops = append(st.ops, op)
+	st.mu.Unlock()
+}
+
+func (v *stripedValidator) place() int {
+	id := int(v.created.Add(1)) - 1
+	v.record(0, valOp{kind: opPlace, agent: id, to: 0})
+	return id
+}
+
+func (v *stripedValidator) clone(at int) int {
+	id := int(v.created.Add(1)) - 1
+	v.record(at, valOp{kind: opClone, agent: id, to: at})
+	return id
+}
+
+func (v *stripedValidator) depart(agent, from int) {
+	v.record(from, valOp{kind: opDepart, agent: agent, from: from})
+}
+
+func (v *stripedValidator) arrive(agent, from, to int) {
+	v.record(to, valOp{kind: opArrive, agent: agent, from: from, to: to})
+}
+
+func (v *stripedValidator) terminate(agent, at int) {
+	v.record(at, valOp{kind: opTerminate, agent: agent, to: at})
+}
+
+func (v *stripedValidator) agents() int { return int(v.created.Load()) }
+
+// stats merges the ledgers and replays them. Callers must have joined
+// every host goroutine first (the Run functions wg.Wait before stats),
+// so the ledgers are complete; the stripe locks are still taken to
+// keep the harvest well-ordered under the race detector.
+func (v *stripedValidator) stats(team int, agentMsgs, beaconMsgs int64) Stats {
+	var ops []valOp
+	for i := range v.stripes {
+		st := &v.stripes[i]
+		st.mu.Lock()
+		ops = append(ops, st.ops...)
+		st.mu.Unlock()
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].seq < ops[j].seq })
+
+	b := board.New(v.h, 0)
+	ids := make([]int, v.created.Load()) // recorded agent id -> board id
+	pending := map[int]int{}
+	for _, op := range ops {
+		switch op.kind {
+		case opPlace:
+			ids[op.agent] = b.Place(0)
+		case opClone:
+			ids[op.agent] = b.Clone(op.to, 0)
+		case opDepart:
+			pending[op.agent] = op.from
+		case opArrive:
+			if src, ok := pending[op.agent]; ok {
+				delete(pending, op.agent)
+				if src != op.from {
+					panic(fmt.Sprintf("netsim: agent %d departed %d but arrived from %d", op.agent, src, op.from))
+				}
+				b.Move(ids[op.agent], op.to, 0)
+				continue
+			}
+			// Boot-time arrival at the homebase: already there.
+			if op.to != b.Home() {
+				panic(fmt.Sprintf("netsim: arrival of non-migrating agent %d at %d", op.agent, op.to))
+			}
+		case opTerminate:
+			b.Terminate(ids[op.agent], 0)
+		}
+	}
+	return buildStats(b, team, agentMsgs, beaconMsgs)
+}

@@ -110,6 +110,18 @@ func (s *span) size() int {
 // or panics leaves its result slot zero; all failures are joined (in
 // input order) into the returned error.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapW(workers, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapW is Map with the worker identity exposed: fn(w, i) runs task i
+// on worker w, where 0 <= w < effective workers. A worker runs one
+// task at a time and a stolen index runs under the thief's id, so
+// per-worker state — an environment pool, scratch buffers — indexed
+// by w needs no locking. The serial path (workers == 1, or n <= 1)
+// passes w == 0 for every task. Determinism is unchanged: w may vary
+// run to run, so tasks must not let it influence their *result*, only
+// which cache they use.
+func MapW[T any](workers, n int, fn func(w, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("sched: negative task count %d", n)
 	}
@@ -123,7 +135,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			runTask(i, fn, out, errs)
+			runTask(0, i, fn, out, errs)
 		}
 		return out, errors.Join(errs...)
 	}
@@ -153,7 +165,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 					if !ok {
 						break
 					}
-					runTask(i, fn, out, errs)
+					runTask(self, i, fn, out, errs)
 				}
 				// Steal the back half of the largest victim span.
 				victim, best := -1, 0
@@ -182,13 +194,13 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 
 // runTask executes one task, converting a panic into a *PanicError so
 // a crashing task costs its own slot, never the batch.
-func runTask[T any](i int, fn func(int) (T, error), out []T, errs []error) {
+func runTask[T any](w, i int, fn func(int, int) (T, error), out []T, errs []error) {
 	defer func() {
 		if r := recover(); r != nil {
 			errs[i] = &PanicError{Index: i, Value: r}
 		}
 	}()
-	v, err := fn(i)
+	v, err := fn(w, i)
 	if err != nil {
 		errs[i] = fmt.Errorf("sched: task %d: %w", i, err)
 		return
@@ -199,4 +211,9 @@ func runTask[T any](i int, fn func(int) (T, error), out []T, errs []error) {
 // Collect is Map for infallible tasks: panics still surface as errors.
 func Collect[T any](workers, n int, fn func(i int) T) ([]T, error) {
 	return Map(workers, n, func(i int) (T, error) { return fn(i), nil })
+}
+
+// CollectW is MapW for infallible tasks.
+func CollectW[T any](workers, n int, fn func(w, i int) T) ([]T, error) {
+	return MapW(workers, n, func(w, i int) (T, error) { return fn(w, i), nil })
 }

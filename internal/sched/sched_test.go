@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -137,4 +138,68 @@ func contains(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+// TestMapWWorkerExclusive verifies the per-worker contract behind
+// pooled environments: worker ids stay in range, and one worker never
+// runs two tasks concurrently — so state indexed by w needs no locks.
+func TestMapWWorkerExclusive(t *testing.T) {
+	const workers, n = 4, 200
+	var busy [workers]atomic.Int32
+	out, err := MapW(workers, n, func(w, i int) (int, error) {
+		if w < 0 || w >= workers {
+			t.Errorf("task %d: worker id %d out of range", i, w)
+		}
+		if busy[w].Add(1) != 1 {
+			t.Errorf("worker %d ran two tasks at once", w)
+		}
+		runtime.Gosched()
+		busy[w].Add(-1)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestMapWSerialUsesWorkerZero pins the legacy path: a single worker
+// (or a degenerate task count) always reports worker id 0.
+func TestMapWSerialUsesWorkerZero(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		n := 1
+		if workers == 1 {
+			n = 5
+		}
+		if _, err := MapW(workers, n, func(w, i int) (struct{}, error) {
+			if w != 0 {
+				t.Errorf("workers=%d n=%d task %d: worker %d, want 0", workers, n, i, w)
+			}
+			return struct{}{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCollectWMatchesCollect: the worker-aware variant returns the
+// same input-ordered results and converts panics the same way.
+func TestCollectWMatchesCollect(t *testing.T) {
+	want, _ := Collect(3, 20, func(i int) int { return 3 * i })
+	got, err := CollectW(3, 20, func(_, i int) int { return 3 * i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	if _, err := CollectW(3, 5, func(_, i int) int { panic("x") }); err == nil {
+		t.Error("CollectW lost a panic")
+	}
 }

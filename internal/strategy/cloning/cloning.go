@@ -12,8 +12,6 @@
 package cloning
 
 import (
-	"fmt"
-
 	"hypersearch/internal/board"
 	"hypersearch/internal/des"
 	"hypersearch/internal/metrics"
@@ -26,9 +24,16 @@ const Name = "cloning"
 // Run executes the cloning variant on H_d.
 func Run(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
 	env := strategy.NewEnv(d, opts)
-	at := make(map[int]int, env.H.Order()) // node -> agent standing there (-1 none)
+	return RunEnv(env), env
+}
+
+// RunEnv executes the cloning variant on an existing (fresh or reset)
+// environment; pooled sweeps use it to reuse environments.
+func RunEnv(env *strategy.Env) metrics.Result {
+	d := env.H.Dim()
+	at := env.NodeLists() // node -> the (single) agent standing there
 	seed := env.Place(strategy.RoleCleaner)
-	at[0] = seed
+	at[0] = append(at[0], seed)
 
 	if d > 0 {
 		for v := 0; v < env.H.Order(); v++ {
@@ -42,13 +47,13 @@ func Run(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
 			env.Terminate(id)
 		}
 	}
-	return env.Result(Name), env
+	return env.Result(Name)
 }
 
-func spawnNode(env *strategy.Env, at map[int]int, v int) {
-	env.Sim.Spawn(fmt.Sprintf("node-%d", v), func(p *des.Process) {
+func spawnNode(env *strategy.Env, at [][]int, v int) {
+	env.Sim.Spawn("node", func(p *des.Process) {
 		p.AwaitCond(env.Signal(v), func() bool {
-			if _, ok := at[v]; !ok {
+			if len(at[v]) == 0 {
 				return false
 			}
 			for _, w := range env.H.SmallerNeighbours(v) {
@@ -58,7 +63,7 @@ func spawnNode(env *strategy.Env, at map[int]int, v int) {
 			}
 			return true
 		})
-		a := at[v]
+		a := at[v][0]
 		children := env.BT.Children(v)
 		if len(children) == 0 {
 			env.Terminate(a)
@@ -74,7 +79,7 @@ func spawnNode(env *strategy.Env, at map[int]int, v int) {
 			m, child := movers[i], child
 			env.Sim.Spawn("mover", func(q *des.Process) {
 				env.Move(q, m, child, strategy.RoleCleaner)
-				at[child] = m
+				at[child] = append(at[child], m)
 				env.Sim.Fire(env.Signal(child))
 			})
 		}

@@ -46,12 +46,25 @@ const Name = "clean"
 // of the bound.
 func Run(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
 	env := strategy.NewEnv(d, opts)
+	return RunEnv(env), env
+}
+
+// RunEnv executes Algorithm CLEAN on an existing (fresh or reset)
+// environment; pooled sweeps use it to reuse environments across runs.
+func RunEnv(env *strategy.Env) metrics.Result {
+	d := env.H.Dim()
 	team := int(combin.CleanTeamSize(d))
 	c := &cleaner{
 		env:  env,
-		at:   make(map[int][]int),
+		at:   env.NodeLists(),
 		pool: make([]int, 0, team),
 	}
+	// The wait conditions are hoisted here so the synchronizer's level
+	// walk does not allocate a fresh closure per node (the parameters
+	// travel through the cleaner's fields; only the synchronizer
+	// process evaluates them).
+	c.havePool = func() bool { return len(c.pool) > 0 }
+	c.nodeReady = func() bool { return len(c.at[c.waitNode]) >= c.waitK }
 
 	// The synchronizer is elected first (whiteboard access order); the
 	// rest of the team forms the available pool at the root.
@@ -67,7 +80,7 @@ func Run(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
 
 	// Retire every agent in place so clean-order accounting settles.
 	c.terminateAll(team)
-	return env.Result(Name), env
+	return env.Result(Name)
 }
 
 // cleaner carries the run state shared by the synchronizer process and
@@ -76,10 +89,16 @@ type cleaner struct {
 	env  *strategy.Env
 	sync int
 
-	pool     []int         // agent ids available at the root
-	poolSig  des.Signal    // fired when a returner reaches the root
-	at       map[int][]int // node -> cleaner agent ids standing there
-	inFlight int           // couriers and returners on the move
+	pool     []int      // agent ids available at the root
+	poolSig  des.Signal // fired when a returner reaches the root
+	at       [][]int    // node -> cleaner agent ids standing there
+	inFlight int        // couriers and returners on the move
+
+	// Hoisted wait conditions and their parameters (see RunEnv).
+	havePool  func() bool
+	nodeReady func() bool
+	waitNode  int
+	waitK     int
 }
 
 func (c *cleaner) run(p *des.Process) {
@@ -99,7 +118,7 @@ func (c *cleaner) run(p *des.Process) {
 		c.dispatchExtras(p, l)
 		c.walkLevel(p, l)
 		// Back to the root to collect agents for the next phase.
-		env.Walk(p, c.sync, env.H.ShortestPath(c.pos(), 0), strategy.RoleSynchronizer)
+		env.WalkTo(p, c.sync, 0, strategy.RoleSynchronizer)
 	}
 }
 
@@ -121,10 +140,8 @@ func (c *cleaner) dispatchExtras(p *des.Process, l int) {
 // walkLevel implements steps 2.2 and 2.3 for level l.
 func (c *cleaner) walkLevel(p *des.Process, l int) {
 	env := c.env
-	cur := 0
 	for _, x := range env.H.NodesAtLevel(l) {
-		env.Walk(p, c.sync, env.H.ShortestPath(cur, x), strategy.RoleSynchronizer)
-		cur = x
+		env.WalkTo(p, c.sync, x, strategy.RoleSynchronizer)
 		k := env.BT.Type(x)
 		if k == 0 {
 			// 2.3: the leaf agent returns to the pool.
@@ -134,7 +151,8 @@ func (c *cleaner) walkLevel(p *des.Process, l int) {
 		}
 		// Wait for the full complement of k agents (extras may still
 		// be in flight), then escort one down each tree edge.
-		p.AwaitCond(env.Signal(x), func() bool { return len(c.at[x]) >= k })
+		c.waitNode, c.waitK = x, k
+		p.AwaitCond(env.Signal(x), c.nodeReady)
 		if len(c.at[x]) != k {
 			panic(fmt.Sprintf("coordinated: node %d holds %d agents, want %d", x, len(c.at[x]), k))
 		}
@@ -153,7 +171,7 @@ func (c *cleaner) spawnCourier(a, x int) {
 	env := c.env
 	c.inFlight++
 	env.Sim.Spawn("courier", func(p *des.Process) {
-		env.Walk(p, a, env.BT.PathFromRoot(x), strategy.RoleCleaner)
+		env.WalkDown(p, a, x, strategy.RoleCleaner)
 		c.at[x] = append(c.at[x], a)
 		c.inFlight--
 		env.Sim.Fire(env.Signal(x))
@@ -165,7 +183,7 @@ func (c *cleaner) spawnReturner(a, x int) {
 	env := c.env
 	c.inFlight++
 	env.Sim.Spawn("returner", func(p *des.Process) {
-		env.Walk(p, a, env.H.ShortestPath(x, 0), strategy.RoleCleaner)
+		env.WalkTo(p, a, 0, strategy.RoleCleaner)
 		c.pool = append(c.pool, a)
 		c.inFlight--
 		env.Sim.Fire(&c.poolSig)
@@ -175,7 +193,7 @@ func (c *cleaner) spawnReturner(a, x int) {
 // take pops an available agent from the root pool, waiting for a
 // returner when the pool is empty.
 func (c *cleaner) take(p *des.Process) int {
-	p.AwaitCond(&c.poolSig, func() bool { return len(c.pool) > 0 })
+	p.AwaitCond(&c.poolSig, c.havePool)
 	a := c.pool[len(c.pool)-1]
 	c.pool = c.pool[:len(c.pool)-1]
 	return a

@@ -22,6 +22,12 @@ const (
 // it; the result records how badly.
 func RunDFS(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
 	env := strategy.NewEnv(d, opts)
+	return RunDFSEnv(env), env
+}
+
+// RunDFSEnv executes the DFS baseline on an existing environment.
+func RunDFSEnv(env *strategy.Env) metrics.Result {
+	d := env.H.Dim()
 	a := env.Place(strategy.RoleCleaner)
 	if d > 0 {
 		env.Sim.Spawn("dfs", func(p *des.Process) {
@@ -30,7 +36,7 @@ func RunDFS(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
 	}
 	env.Sim.Run()
 	env.Terminate(a)
-	return env.Result(DFSName), env
+	return env.Result(DFSName)
 }
 
 // walkDFS performs an explicit-stack DFS from the homebase, moving the
@@ -57,6 +63,12 @@ func walkDFS(env *strategy.Env, p *des.Process, a int) {
 // the team is large enough to behave like a frontier.
 func RunConvoy(d, team int, opts strategy.Options) (metrics.Result, *strategy.Env) {
 	env := strategy.NewEnv(d, opts)
+	return RunConvoyEnv(env, team), env
+}
+
+// RunConvoyEnv executes the convoy baseline on an existing environment.
+func RunConvoyEnv(env *strategy.Env, team int) metrics.Result {
+	d := env.H.Dim()
 	if team < 1 {
 		team = 1
 	}
@@ -83,7 +95,7 @@ func RunConvoy(d, team int, opts strategy.Options) (metrics.Result, *strategy.En
 	for _, a := range agents {
 		env.Terminate(a)
 	}
-	return env.Result(ConvoyName), env
+	return env.Result(ConvoyName)
 }
 
 // expandWalk turns the DFS of the hypercube into a legal edge walk

@@ -90,35 +90,100 @@ type Env struct {
 	log          *trace.Log
 	sigs         []des.Signal
 	contiguousOK bool
+	completed    bool
 	roleMoves    map[string]int64
+	// lists is per-run scratch for strategies that track agents per
+	// node (one []int per node, emptied by NodeLists); reusing it
+	// across pooled runs avoids rebuilding per-node maps.
+	lists [][]int
 }
 
 // NewEnv builds an environment for dimension d with all nodes
 // contaminated except the homebase 0.
 func NewEnv(d int, opts Options) *Env {
+	return NewEnvOn(hypercube.New(d), heapqueue.New(d), opts)
+}
+
+// NewEnvOn builds an environment over an existing hypercube and
+// broadcast tree (which must share the same dimension). The topology
+// structures are read-only to the environment, so one pair can back
+// any number of environments concurrently — the basis of envpool's
+// per-dimension sharing.
+func NewEnvOn(h *hypercube.Hypercube, bt *heapqueue.Tree, opts Options) *Env {
+	if h.Dim() != bt.Dim() {
+		panic(fmt.Sprintf("strategy: hypercube H_%d paired with tree T(%d)", h.Dim(), bt.Dim()))
+	}
+	e := &Env{
+		H:         h,
+		BT:        bt,
+		Sim:       des.New(),
+		B:         board.New(h, 0),
+		sigs:      make([]des.Signal, h.Order()),
+		roleMoves: map[string]int64{},
+		lists:     make([][]int, h.Order()),
+	}
+	e.applyOptions(opts)
+	return e
+}
+
+// applyOptions installs a run's options onto a clean environment.
+func (e *Env) applyOptions(opts Options) {
 	if opts.Latency == nil {
 		opts.Latency = Unit{}
 	}
-	h := hypercube.New(d)
-	e := &Env{
-		H:            h,
-		BT:           heapqueue.New(d),
-		Sim:          des.New(),
-		B:            board.New(h, 0),
-		opts:         opts,
-		sigs:         make([]des.Signal, h.Order()),
-		contiguousOK: true,
-		roleMoves:    map[string]int64{},
-	}
+	e.opts = opts
+	e.contiguousOK = true
+	e.completed = false
 	if opts.Record {
-		e.log = &trace.Log{}
+		if e.log == nil {
+			e.log = &trace.Log{}
+		}
+	} else {
+		e.log = nil
 	}
 	if opts.Faults != nil {
 		if ic := opts.Faults.KernelInterceptor(); ic != nil {
 			e.Sim.Intercept(des.Interceptor(ic))
 		}
 	}
-	return e
+}
+
+// Reset prepares the environment for a fresh run under new options,
+// reusing every allocation from the previous run: the board, trace
+// log, signals, role counters and scratch lists are cleared in O(n),
+// and the simulator keeps its warmed event heap (plus, under
+// KeepWorkers, its parked process goroutines). It panics — via
+// Sim.Reset — if the previous run was abandoned with blocked
+// processes; such poisoned environments must be discarded, not reset.
+func (e *Env) Reset(opts Options) {
+	e.Sim.Reset()
+	e.B.Reset()
+	for i := range e.sigs {
+		e.sigs[i].Reset()
+	}
+	for k := range e.roleMoves {
+		delete(e.roleMoves, k)
+	}
+	if e.log != nil {
+		e.log.Reset()
+	}
+	e.applyOptions(opts)
+}
+
+// Completed reports whether Result has been called since the last
+// Reset: the run finished and its summary was taken. Pools use it to
+// reject environments whose run panicked mid-simulation.
+func (e *Env) Completed() bool { return e.completed }
+
+// NodeLists returns one empty []int per node, reusing backing arrays
+// across calls and runs. Strategies use it as per-node agent
+// registries instead of allocating map[int][]int every run. The
+// environment owns the storage; only one caller may use it at a time.
+func (e *Env) NodeLists() [][]int {
+	for i := range e.lists {
+		e.lists[i] = e.lists[i][:0]
+	}
+	return e.lists
 }
 
 // faultDelay consults the injector for one move of agent in role and
@@ -233,12 +298,36 @@ func (e *Env) Walk(p *des.Process, agent int, path []int, role string) {
 	}
 }
 
+// WalkTo moves an agent from its current node to dst along the
+// canonical shortest hypercube path (the same vertices H.ShortestPath
+// returns), stepping via NextHopToward so no path slice is allocated.
+func (e *Env) WalkTo(p *des.Process, agent, dst int, role string) {
+	at, _ := e.B.Position(agent)
+	for at != dst {
+		at = e.H.NextHopToward(at, dst)
+		e.Move(p, agent, at, role)
+	}
+}
+
+// WalkDown moves an agent from its current node down the broadcast
+// tree to its descendant dst (the same vertices BT.PathFromRoot visits
+// below the current node), without allocating the path slice.
+func (e *Env) WalkDown(p *des.Process, agent, dst int, role string) {
+	at, _ := e.B.Position(agent)
+	for at != dst {
+		at = e.BT.NextHopDown(at, dst)
+		e.Move(p, agent, at, role)
+	}
+}
+
 // RoleMoves returns the number of moves recorded for a role.
 func (e *Env) RoleMoves(role string) int64 { return e.roleMoves[role] }
 
 // Result assembles the run's cost and correctness summary. Call it
-// after Sim.Run has returned.
+// after Sim.Run has returned; it also marks the environment's run as
+// completed, which is what allows a pooled environment to be reused.
 func (e *Env) Result(name string) metrics.Result {
+	e.completed = true
 	ok := e.contiguousOK
 	if e.opts.Contiguity != CheckNever {
 		ok = ok && e.B.Contiguous()
@@ -273,3 +362,22 @@ const (
 	RoleSynchronizer = "synchronizer"
 	RoleCleaner      = "cleaner"
 )
+
+// Source hands out execution environments. Fresh allocates per call;
+// envpool.Pool reuses them. Callers must Release every Acquired
+// environment when done with it (after taking Result) and must not
+// touch it afterwards.
+type Source interface {
+	Acquire(d int, opts Options) *Env
+	Release(*Env)
+}
+
+// Fresh is the non-pooling Source: every Acquire builds a new
+// environment and Release discards it.
+type Fresh struct{}
+
+// Acquire implements Source.
+func (Fresh) Acquire(d int, opts Options) *Env { return NewEnv(d, opts) }
+
+// Release implements Source.
+func (Fresh) Release(*Env) {}

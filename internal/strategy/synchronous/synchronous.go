@@ -30,8 +30,16 @@ const Name = "synchronous"
 func Run(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
 	opts.Latency = strategy.Unit{}
 	env := strategy.NewEnv(d, opts)
+	return RunEnv(env), env
+}
+
+// RunEnv executes the synchronous variant on an existing environment,
+// whose options must already force unit latency (the variant is only
+// defined for synchronous systems; Run and core.Run arrange this).
+func RunEnv(env *strategy.Env) metrics.Result {
+	d := env.H.Dim()
 	team := int(combin.VisibilityAgents(d))
-	at := make(map[int][]int, env.H.Order())
+	at := env.NodeLists()
 	for i := 0; i < team; i++ {
 		at[0] = append(at[0], env.Place(strategy.RoleCleaner))
 	}
@@ -48,14 +56,14 @@ func Run(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
 			env.Terminate(id)
 		}
 	}
-	return env.Result(Name), env
+	return env.Result(Name)
 }
 
-func spawnNode(env *strategy.Env, at map[int][]int, v int) {
+func spawnNode(env *strategy.Env, at [][]int, v int) {
 	k := env.BT.Type(v)
 	required := int(heapqueue.AgentsRequired(k))
 	moveAt := int64(env.H.Class(v)) // t = m(x)
-	env.Sim.Spawn(fmt.Sprintf("node-%d", v), func(p *des.Process) {
+	env.Sim.Spawn("node", func(p *des.Process) {
 		p.Delay(moveAt)
 		// Re-yield once so that arrivals scheduled for this same round
 		// (from t = m(x)-1) apply first: in continuous time an arrival

@@ -34,8 +34,15 @@ const Name = "visibility"
 // of n/2 agents and returns the run summary and environment.
 func Run(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
 	env := strategy.NewEnv(d, opts)
+	return RunEnv(env), env
+}
+
+// RunEnv executes the visibility strategy on an existing (fresh or
+// reset) environment; pooled sweeps use it to reuse environments.
+func RunEnv(env *strategy.Env) metrics.Result {
+	d := env.H.Dim()
 	team := int(combin.VisibilityAgents(d))
-	at := make(map[int][]int, env.H.Order())
+	at := env.NodeLists()
 	for i := 0; i < team; i++ {
 		at[0] = append(at[0], env.Place(strategy.RoleCleaner))
 	}
@@ -52,16 +59,16 @@ func Run(d int, opts strategy.Options) (metrics.Result, *strategy.Env) {
 			env.Terminate(id)
 		}
 	}
-	return env.Result(Name), env
+	return env.Result(Name)
 }
 
 // spawnNode starts the local rule for node v: one process per node,
 // standing in for the identical local programs of the agents gathered
 // there (which one moves where is settled on the node's whiteboard).
-func spawnNode(env *strategy.Env, at map[int][]int, v int) {
+func spawnNode(env *strategy.Env, at [][]int, v int) {
 	k := env.BT.Type(v)
 	required := int(heapqueue.AgentsRequired(k))
-	env.Sim.Spawn(fmt.Sprintf("node-%d", v), func(p *des.Process) {
+	env.Sim.Spawn("node", func(p *des.Process) {
 		p.AwaitCond(env.Signal(v), func() bool {
 			return len(at[v]) >= required && smallerNeighboursReady(env, v)
 		})
@@ -92,7 +99,7 @@ func smallerNeighboursReady(env *strategy.Env, v int) bool {
 // dispatch sends the gathered complement onward: plan[i] agents to the
 // i-th broadcast-tree child. Each agent moves as its own concurrent
 // process (asynchronous arrivals).
-func dispatch(env *strategy.Env, at map[int][]int, v int) {
+func dispatch(env *strategy.Env, at [][]int, v int) {
 	children := env.BT.Children(v)
 	plan := heapqueue.DispatchPlan(env.BT.Type(v))
 	for i, child := range children {

@@ -46,6 +46,10 @@ func (l *Log) Append(e Event) {
 	l.events = append(l.events, e)
 }
 
+// Reset empties the log, keeping the backing array for reuse by pooled
+// environments.
+func (l *Log) Reset() { l.events = l.events[:0] }
+
 // Events returns the recorded events; callers must not modify them.
 func (l *Log) Events() []Event { return l.events }
 
