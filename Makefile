@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci faults fuzz bench bench-smoke bench-check
+.PHONY: all build vet test race ci faults faults-netsim fuzz bench bench-smoke bench-check
 
 # Committed benchmark baseline the regression gate compares against.
 BENCH_BASELINE ?= BENCH_pr3.json
@@ -24,6 +24,14 @@ race:
 faults:
 	$(GO) run ./cmd/hqfaults -verify
 
+# Wire-fault smoke: the small-d netsim scenario campaign under the
+# race detector, plus a byte-identical -verify replay of the netsim
+# scenario family. Full-depth coverage lives in
+# TestFaultedRunsTerminateClean (d<=8, plain `test`/`race`).
+faults-netsim:
+	$(GO) test -race -run 'Faulted|DualValidatorUnderLinkFaults' ./internal/netsim/...
+	$(GO) run ./cmd/hqfaults -d 3 -family netsim -verify
+
 # Full machine-readable benchmark report (compare against the
 # committed BENCH_*.json baselines before merging perf changes).
 bench:
@@ -40,7 +48,7 @@ bench-smoke:
 bench-check:
 	$(GO) run ./cmd/hqbench -out /tmp/BENCH_check.json -against $(BENCH_BASELINE)
 
-ci: build vet race faults bench-smoke bench-check
+ci: build vet race faults faults-netsim bench-smoke bench-check
 
 # Short real fuzz runs of the fault-plan parser and the engine under
 # fuzzed fault application (regression corpus always runs under `test`).

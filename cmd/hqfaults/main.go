@@ -1,18 +1,22 @@
-// Command hqfaults runs the deterministic fault-injection campaign: a
-// declarative set of named fault scenarios executed against the
-// crash-tolerant goroutine runtimes and the discrete-event engine,
-// each checked by the trace-replay invariant verifier and compared
-// against its fault-free baseline.
+// Command hqfaults runs the deterministic fault-injection campaign:
+// declarative named fault scenarios executed against the
+// crash-tolerant goroutine runtimes, the discrete-event engine, and —
+// with wire-level link faults — the message-passing netsim engine,
+// each checked against its fault-free baseline (runtime scenarios by
+// the trace-replay invariant verifier; netsim scenarios by both the
+// striped and locked validators, which must agree field-for-field).
 //
 // Usage:
 //
-//	hqfaults            # run the campaign on H_4
-//	hqfaults -d 5       # bigger cube
-//	hqfaults -verify    # run twice, require byte-identical reports
+//	hqfaults                  # run both families on H_4
+//	hqfaults -d 5             # bigger cube
+//	hqfaults -family netsim   # only the wire-fault scenarios
+//	hqfaults -verify          # run twice, require byte-identical reports
 //
 // The report is deliberately built only from deterministic quantities
-// (move counts, logical/virtual times, recovery statistics), so two
-// runs of the same campaign produce byte-identical output; -verify
+// (move counts, logical/virtual times, recovery statistics, and the
+// wire layer's frame/drop/retransmit/dup/crash counters), so two runs
+// of the same campaign produce byte-identical output; -verify
 // enforces that.
 package main
 
@@ -24,14 +28,23 @@ import (
 	"time"
 
 	"hypersearch/internal/faults"
+	"hypersearch/internal/heapqueue"
 	"hypersearch/internal/hypercube"
 	"hypersearch/internal/invariant"
 	"hypersearch/internal/metrics"
+	"hypersearch/internal/netsim"
 	"hypersearch/internal/runtime"
 	"hypersearch/internal/sched"
 	"hypersearch/internal/strategy"
 	"hypersearch/internal/strategy/coordinated"
 	"hypersearch/internal/trace"
+)
+
+// Scenario families selectable with -family.
+const (
+	familyAll     = "all"
+	familyRuntime = "runtime"
+	familyNetsim  = "netsim"
 )
 
 // Engines a scenario can run on.
@@ -241,6 +254,221 @@ func report(d int, bases map[string]baseline, outs []outcome) (string, bool) {
 	return sb.String(), allPass
 }
 
+// Netsim engines a wire-fault scenario can run on.
+const (
+	engineNetsimVis   = "netsim-vis"   // visibility: full complements down the broadcast tree
+	engineNetsimClone = "netsim-clone" // cloning: one agent per tree edge
+)
+
+// netScenario is one wire-fault entry of the campaign.
+type netScenario struct {
+	name   string
+	engine string
+	plan   func(d int) *faults.Plan
+}
+
+// netsimCampaign returns the wire-fault scenarios, expressed against
+// the concrete broadcast-tree links of H_d. Frame numbering per link
+// is fixed by the host program order: on a parent->child tree link
+// the guarded beacon is frame 1 and agent dispatches follow; on a
+// pure dependency link the beacon is the only frame. Triggers count
+// those sequence numbers, so every plan is deterministic by
+// construction.
+func netsimCampaign() []netScenario {
+	return []netScenario{
+		{"lossy-links", engineNetsimVis, func(d int) *faults.Plan {
+			bt := heapqueue.New(d)
+			c0 := bt.Children(0)[0]
+			p := &faults.Plan{Name: "lossy-links", Seed: 201, Faults: []faults.Fault{
+				{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, c0), At: 1, Until: 8, Times: 2},
+			}}
+			if gcs := bt.Children(c0); len(gcs) > 0 {
+				p.Faults = append(p.Faults, faults.Fault{
+					Kind: faults.LinkDrop, Target: faults.LinkTarget(c0, gcs[0]), At: 1, Until: 4, Times: 1,
+				})
+			}
+			return p
+		}},
+		{"dup-storm", engineNetsimVis, func(d int) *faults.Plan {
+			bt := heapqueue.New(d)
+			c0 := bt.Children(0)[0]
+			p := &faults.Plan{Name: "dup-storm", Seed: 202, Faults: []faults.Fault{
+				{Kind: faults.LinkDup, Target: faults.LinkTarget(0, c0), At: 1, Until: 16},
+				{Kind: faults.LinkDelay, Target: faults.LinkTarget(0, c0), At: 2, Until: 5, Delay: 400},
+			}}
+			if gcs := bt.Children(c0); len(gcs) > 0 {
+				p.Faults = append(p.Faults, faults.Fault{
+					Kind: faults.LinkDup, Target: faults.LinkTarget(c0, gcs[0]), At: 1, Until: 8,
+				})
+			}
+			return p
+		}},
+		{"beacon-blackout", engineNetsimVis, func(d int) *faults.Plan {
+			// All of the last node's neighbours are smaller, so every
+			// link into it opens with a beacon: swallow them all and
+			// let the ARQ re-deliver the bits.
+			h := hypercube.New(d)
+			p := &faults.Plan{Name: "beacon-blackout", Seed: 203}
+			last := h.Order() - 1
+			for _, u := range h.SmallerNeighbours(last) {
+				p.Faults = append(p.Faults, faults.Fault{
+					Kind: faults.LinkDrop, Target: faults.LinkTarget(u, last), At: 1, Times: 3,
+				})
+			}
+			return p
+		}},
+		{"host-crash", engineNetsimVis, func(d int) *faults.Plan {
+			// Frame 2 on the root's first tree link is the first agent
+			// dispatch: the child crashes mid-gather, loses its soft
+			// state, and rebuilds from the order-ledger replay.
+			bt := heapqueue.New(d)
+			c0 := bt.Children(0)[0]
+			return &faults.Plan{Name: "host-crash", Seed: 204, Faults: []faults.Fault{
+				{Kind: faults.HostCrash, Target: faults.LinkTarget(0, c0), At: 2},
+			}}
+		}},
+		{"clone-mixed", engineNetsimClone, func(d int) *faults.Plan {
+			bt := heapqueue.New(d)
+			c0 := bt.Children(0)[0]
+			return &faults.Plan{Name: "clone-mixed", Seed: 205, Faults: []faults.Fault{
+				{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, c0), At: 1, Until: 2, Times: 2},
+				{Kind: faults.LinkDup, Target: faults.LinkTarget(0, c0), At: 1, Until: 2},
+				{Kind: faults.HostCrash, Target: faults.LinkTarget(0, c0), At: 2},
+			}}
+		}},
+	}
+}
+
+// netOutcome collects the deterministic facts of one wire-fault run.
+type netOutcome struct {
+	name, engine string
+
+	moves, dMoves         int64
+	agentMsgs, beaconMsgs int64
+	frames, drops         int64
+	retransmits, dups     int64
+	crashes               int64
+
+	check string // "ok" or the first failed check
+	pass  bool
+}
+
+// netBaseline is a netsim engine's fault-free reference run.
+type netBaseline struct {
+	moves, agentMsgs, beaconMsgs int64
+}
+
+func netsimConfig(plan *faults.Plan, mode netsim.ValidatorMode) netsim.Config {
+	return netsim.Config{
+		Seed:       7,
+		MaxLatency: 300 * time.Microsecond,
+		Validator:  mode,
+		Faults:     plan,
+	}
+}
+
+func runNetsim(d int, engine string, plan *faults.Plan, mode netsim.ValidatorMode) netsim.Stats {
+	if engine == engineNetsimClone {
+		return netsim.RunCloning(d, netsimConfig(plan, mode))
+	}
+	return netsim.Run(d, netsimConfig(plan, mode))
+}
+
+// runNetScenario executes one wire-fault scenario under both validator
+// implementations: the run must terminate monotone, contiguous and
+// all-clean with zero recontaminations on both, with field-identical
+// stats, and recovery must leave the logical run unchanged against
+// the fault-free baseline.
+func runNetScenario(d int, s netScenario, bases map[string]netBaseline) netOutcome {
+	o := netOutcome{name: s.name, engine: s.engine}
+	plan := s.plan(d)
+	striped := runNetsim(d, s.engine, plan, netsim.ValidatorStriped)
+	locked := runNetsim(d, s.engine, plan, netsim.ValidatorLocked)
+
+	o.moves = striped.TotalMoves
+	o.agentMsgs, o.beaconMsgs = striped.AgentMessages, striped.BeaconMessages
+	o.frames, o.drops = striped.Link.Frames, striped.Link.Drops
+	o.retransmits, o.dups = striped.Link.Retransmits, striped.Link.Dups
+	o.crashes = striped.Link.Crashes
+
+	o.check = "ok"
+	switch b := bases[s.engine]; {
+	case striped != locked:
+		o.check = "validator stats diverge"
+	case !striped.Captured || !striped.MonotoneOK || !striped.ContiguousOK:
+		o.check = fmt.Sprintf("not clean: captured=%v monotone=%v contiguous=%v",
+			striped.Captured, striped.MonotoneOK, striped.ContiguousOK)
+	case striped.Recontaminations != 0:
+		o.check = fmt.Sprintf("%d recontaminations", striped.Recontaminations)
+	case striped.AgentMessages != b.agentMsgs || striped.BeaconMessages != b.beaconMsgs:
+		o.check = fmt.Sprintf("recovery changed the wire: agents %d->%d beacons %d->%d",
+			b.agentMsgs, striped.AgentMessages, b.beaconMsgs, striped.BeaconMessages)
+	}
+	o.dMoves = o.moves - bases[s.engine].moves
+	o.pass = o.check == "ok"
+	return o
+}
+
+// netReport renders the wire-fault section deterministically.
+func netReport(bases map[string]netBaseline, outs []netOutcome) (string, bool) {
+	var sb strings.Builder
+	sb.WriteString("netsim wire-fault scenarios (striped + locked validators)\n\n")
+	fmt.Fprintf(&sb, "baselines (fault-free): ")
+	for _, e := range []string{engineNetsimVis, engineNetsimClone} {
+		b := bases[e]
+		fmt.Fprintf(&sb, "%s moves=%d agents=%d beacons=%d  ", e, b.moves, b.agentMsgs, b.beaconMsgs)
+	}
+	sb.WriteString("\n\n")
+
+	t := metrics.NewTable("scenario", "engine", "moves", "Δmoves", "agentMsgs", "beaconMsgs",
+		"frames", "drops", "retransmits", "dups", "crashes", "checks", "verdict")
+	allPass := true
+	for _, o := range outs {
+		verdict := "PASS"
+		if !o.pass {
+			verdict = "FAIL"
+			allPass = false
+		}
+		t.AddRow(o.name, o.engine, o.moves, fmt.Sprintf("%+d", o.dMoves), o.agentMsgs,
+			o.beaconMsgs, o.frames, o.drops, o.retransmits, o.dups, o.crashes, o.check, verdict)
+	}
+	sb.WriteString(t.Markdown())
+	if allPass {
+		fmt.Fprintf(&sb, "\nall %d wire-fault scenarios passed\n", len(outs))
+	} else {
+		sb.WriteString("\nWIRE-FAULT CAMPAIGN FAILED\n")
+	}
+	return sb.String(), allPass
+}
+
+// runNetsimCampaign executes the wire-fault baselines and scenarios
+// with the same worker fan-out and input-ordered assembly as the
+// runtime campaign.
+func runNetsimCampaign(d, workers int) (string, bool, error) {
+	engines := []string{engineNetsimVis, engineNetsimClone}
+	baseRuns, err := sched.Collect(workers, len(engines), func(i int) netBaseline {
+		s := runNetsim(d, engines[i], nil, netsim.ValidatorStriped)
+		return netBaseline{s.TotalMoves, s.AgentMessages, s.BeaconMessages}
+	})
+	if err != nil {
+		return "", false, err
+	}
+	bases := map[string]netBaseline{}
+	for i, e := range engines {
+		bases[e] = baseRuns[i]
+	}
+
+	scenarios := netsimCampaign()
+	outs, err := sched.Collect(workers, len(scenarios), func(i int) netOutcome {
+		return runNetScenario(d, scenarios[i], bases)
+	})
+	if err != nil {
+		return "", false, err
+	}
+	rep, ok := netReport(bases, outs)
+	return rep, ok, nil
+}
+
 // runCampaign executes baselines plus every scenario and returns the
 // canonical report. The three fault-free baselines and then the
 // scenarios fan out across workers; every run is internally
@@ -282,26 +510,60 @@ func runCampaign(d, workers int) (string, bool, error) {
 	return rep, ok, nil
 }
 
+// runFamilies runs the selected scenario families and concatenates
+// their deterministic reports.
+func runFamilies(d, workers int, family string) (string, bool, error) {
+	var sb strings.Builder
+	ok := true
+	if family == familyAll || family == familyRuntime {
+		rep, pass, err := runCampaign(d, workers)
+		if err != nil {
+			return "", false, err
+		}
+		sb.WriteString(rep)
+		ok = ok && pass
+	}
+	if family == familyAll || family == familyNetsim {
+		if sb.Len() > 0 {
+			sb.WriteString("\n")
+		}
+		rep, pass, err := runNetsimCampaign(d, workers)
+		if err != nil {
+			return "", false, err
+		}
+		sb.WriteString(rep)
+		ok = ok && pass
+	}
+	return sb.String(), ok, nil
+}
+
 func main() {
 	var (
 		dim     = flag.Int("d", 4, "hypercube dimension (n = 2^d), minimum 2")
 		verify  = flag.Bool("verify", false, "run the campaign twice and require byte-identical reports")
 		workers = flag.Int("workers", sched.DefaultWorkers(), "parallel workers for baselines and scenarios (1 = serial); output is identical for every value")
+		family  = flag.String("family", familyAll, "scenario family to run: all, runtime, or netsim")
 	)
 	flag.Parse()
 	if *dim < 2 {
 		fmt.Fprintln(os.Stderr, "hqfaults: need -d >= 2 (the campaign's crash orders exist from d=2)")
 		os.Exit(2)
 	}
+	switch *family {
+	case familyAll, familyRuntime, familyNetsim:
+	default:
+		fmt.Fprintf(os.Stderr, "hqfaults: unknown -family %q (want all, runtime, or netsim)\n", *family)
+		os.Exit(2)
+	}
 
-	rep, ok, err := runCampaign(*dim, *workers)
+	rep, ok, err := runFamilies(*dim, *workers, *family)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hqfaults:", err)
 		os.Exit(2)
 	}
 	fmt.Print(rep)
 	if *verify {
-		again, _, err := runCampaign(*dim, *workers)
+		again, _, err := runFamilies(*dim, *workers, *family)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hqfaults:", err)
 			os.Exit(2)

@@ -5,13 +5,14 @@ import "testing"
 // The campaign report is built only from deterministic quantities, so
 // the parallel fan-out must render byte-for-byte what the serial path
 // renders — the scheduler determinism contract on the fault surface.
+// Both families are under the contract.
 func TestCampaignParallelMatchesSerial(t *testing.T) {
 	const d = 3
-	serial, okS, err := runCampaign(d, 1)
+	serial, okS, err := runFamilies(d, 1, familyAll)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, okP, err := runCampaign(d, 4)
+	parallel, okP, err := runFamilies(d, 4, familyAll)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,5 +21,25 @@ func TestCampaignParallelMatchesSerial(t *testing.T) {
 	}
 	if serial != parallel {
 		t.Fatalf("parallel campaign diverged from serial.\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// The netsim family alone must also replay byte-identically — the
+// property `-verify` enforces on the CLI.
+func TestNetsimFamilyVerifyReplay(t *testing.T) {
+	const d = 4
+	first, ok, err := runFamilies(d, 2, familyNetsim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("netsim campaign failed:\n%s", first)
+	}
+	again, _, err := runFamilies(d, 2, familyNetsim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("netsim campaign rerun diverged.\nfirst:\n%s\nagain:\n%s", first, again)
 	}
 }

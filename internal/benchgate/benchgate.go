@@ -11,6 +11,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 )
 
 // Result is one family's measurement.
@@ -54,15 +56,24 @@ const DefaultNsTolerance = 0.25
 // Violation is one family measurement outside its tolerance band.
 type Violation struct {
 	Family string
-	Field  string // "ns/op", "allocs/op" or "missing"
+	Field  string // "ns/op", "allocs/op", "missing" or "metrics[<key>]"
 	Base   int64
 	Got    int64
 	Limit  int64 // largest acceptable value
+
+	// BaseF/GotF carry the values for metrics[<key>] violations; the
+	// paper metrics are recorded as float64 in the schema.
+	BaseF float64
+	GotF  float64
 }
 
 func (v Violation) String() string {
 	if v.Field == "missing" {
 		return fmt.Sprintf("%s: family present in baseline but not measured", v.Family)
+	}
+	if strings.HasPrefix(v.Field, "metrics[") {
+		return fmt.Sprintf("%s: %s diverged: baseline %v, measured %v — paper metrics are deterministic, so this is a correctness regression, not noise",
+			v.Family, v.Field, v.BaseF, v.GotF)
 	}
 	return fmt.Sprintf("%s: %s regressed: baseline %d, limit %d, measured %d",
 		v.Family, v.Field, v.Base, v.Limit, v.Got)
@@ -76,6 +87,10 @@ func (v Violation) String() string {
 //   - allocs/op must be exact-or-better — allocation counts for a
 //     pinned, pooled workload are deterministic, so any extra
 //     allocation is a real regression, not noise;
+//   - every paper metric in the baseline (agents, moves, steps …)
+//     must match exactly — the workloads are seeded and deterministic,
+//     so a metrics drift means the computation changed, turning the
+//     perf gate into a correctness diff as well;
 //   - a baseline family missing from got is a violation (a silently
 //     dropped benchmark would otherwise pass forever).
 //
@@ -108,6 +123,19 @@ func Compare(base, got Report, nsTol float64) []Violation {
 				Family: b.Name, Field: "allocs/op",
 				Base: b.AllocsPerOp, Got: g.AllocsPerOp, Limit: b.AllocsPerOp,
 			})
+		}
+		keys := make([]string, 0, len(b.Metrics))
+		for k := range b.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if gv := g.Metrics[k]; gv != b.Metrics[k] {
+				out = append(out, Violation{
+					Family: b.Name, Field: "metrics[" + k + "]",
+					BaseF: b.Metrics[k], GotF: gv,
+				})
+			}
 		}
 	}
 	return out

@@ -66,6 +66,50 @@ func TestCompareFlagsMissingFamily(t *testing.T) {
 	}
 }
 
+// TestCompareFailsOnMetricsDrift makes the gate a correctness diff:
+// the paper metrics are deterministic for a seeded workload, so any
+// drift — even with perf inside every band — must fail.
+func TestCompareFailsOnMetricsDrift(t *testing.T) {
+	base := report(Result{
+		Name: "visibility/d=8", NsPerOp: 1000, AllocsPerOp: 100,
+		Metrics: map[string]float64{"agents": 128, "moves": 1024, "steps": 17},
+	})
+	got := report(Result{
+		Name: "visibility/d=8", NsPerOp: 1000, AllocsPerOp: 100,
+		Metrics: map[string]float64{"agents": 128, "moves": 1025, "steps": 17},
+	})
+	vs := Compare(base, got, 0)
+	if len(vs) != 1 || vs[0].Field != "metrics[moves]" {
+		t.Fatalf("want one metrics[moves] violation, got %v", vs)
+	}
+	if vs[0].BaseF != 1024 || vs[0].GotF != 1025 {
+		t.Errorf("violation values = %v/%v, want 1024/1025", vs[0].BaseF, vs[0].GotF)
+	}
+	if !strings.Contains(vs[0].String(), "correctness") {
+		t.Errorf("metrics violation should say it is a correctness regression: %s", vs[0])
+	}
+}
+
+func TestCompareMetricsExactEqualityPasses(t *testing.T) {
+	m := map[string]float64{"agents": 8, "moves": 20, "steps": 5}
+	base := report(Result{Name: "f", NsPerOp: 100, AllocsPerOp: 10, Metrics: m})
+	got := report(Result{Name: "f", NsPerOp: 110, AllocsPerOp: 9,
+		Metrics: map[string]float64{"agents": 8, "moves": 20, "steps": 5, "extra": 1}})
+	if vs := Compare(base, got, 0); len(vs) != 0 {
+		t.Fatalf("identical baseline metrics must pass (extra measured keys ignored): %v", vs)
+	}
+}
+
+func TestCompareFailsOnMissingMetric(t *testing.T) {
+	base := report(Result{Name: "f", NsPerOp: 100, AllocsPerOp: 10,
+		Metrics: map[string]float64{"moves": 20}})
+	got := report(Result{Name: "f", NsPerOp: 100, AllocsPerOp: 10})
+	vs := Compare(base, got, 0)
+	if len(vs) != 1 || vs[0].Field != "metrics[moves]" || vs[0].GotF != 0 {
+		t.Fatalf("a baseline metric that vanished must fail the gate, got %v", vs)
+	}
+}
+
 func TestCompareCustomTolerance(t *testing.T) {
 	base := report(Result{Name: "f", NsPerOp: 100, AllocsPerOp: 1})
 	got := report(Result{Name: "f", NsPerOp: 190, AllocsPerOp: 1})

@@ -134,6 +134,34 @@ func TestX9Netsim(t *testing.T) {
 	}
 }
 
+func TestX9CeilingAdaptsToCores(t *testing.T) {
+	cases := []struct{ cpus, want int }{
+		{1, 10}, // historical cap on a single core
+		{2, 11},
+		{3, 11},
+		{4, 12},
+		{8, 12}, // saturates at the proven d=12 sweep
+		{64, 12},
+	}
+	for _, c := range cases {
+		if got := x9Ceiling(c.cpus); got != c.want {
+			t.Errorf("x9Ceiling(%d) = %d, want %d", c.cpus, got, c.want)
+		}
+	}
+}
+
+// The adaptive ceiling must not disturb the determinism contract: the
+// X9 sweep renders byte-identically on the serial and parallel paths
+// at any capped dimension.
+func TestX9SerialRenderingPinned(t *testing.T) {
+	serial := X9(4, 2, 1)
+	parallel := X9(4, 2, 4)
+	if serial.Table.Markdown() != parallel.Table.Markdown() {
+		t.Fatalf("X9 rendering diverges between serial and parallel:\n%s\nvs\n%s",
+			serial.Table.Markdown(), parallel.Table.Markdown())
+	}
+}
+
 func TestX10Pareto(t *testing.T) {
 	rep := X10()
 	md := rep.Table.Markdown()

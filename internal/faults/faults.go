@@ -1,18 +1,25 @@
 // Package faults defines seeded, fully deterministic fault plans for
-// the agent runtimes and the discrete-event engine: agent crashes at a
-// given step, stalls, move-latency spikes, whiteboard lock starvation,
-// and lost visibility wakeups. A Plan is declarative data; an Injector
-// compiles it into the hooks the engines consult on every move,
-// broadcast, and (for the DES kernel) every dispatched event.
+// the agent runtimes, the discrete-event engine, and the netsim wire:
+// agent crashes at a given step, stalls, move-latency spikes,
+// whiteboard lock starvation, lost visibility wakeups, and — for the
+// message-passing engine — per-link frame drops, duplications, delays
+// and host crashes. A Plan is declarative data; an Injector compiles
+// it into the hooks the engines consult on every move, broadcast, and
+// (for the DES kernel) every dispatched event, while
+// netsim/faultlink compiles the same plan's link faults into its wire
+// hooks — one JSON grammar drives every engine.
 //
 // Determinism contract: triggers count deterministic quantities — a
 // role's move sequence ("sync"), an order's edge sequence
-// ("order:<key>"), an agent's own moves ("agent:<id>") — so the same
-// plan always fires at the same point of the computation regardless of
-// OS scheduling. Crash faults are restricted to the "sync" and
-// "order:" targets because only those have schedule-independent move
-// sequences; delay-only faults (stall, spike, starve, lost wakeups)
-// may use any target since they never change which moves happen, only
+// ("order:<key>"), an agent's own moves ("agent:<id>"), a directed
+// link's logical frame sequence ("link:<u>-<v>") — so the same plan
+// always fires at the same point of the computation regardless of OS
+// scheduling. Crash faults are restricted to the "sync" and "order:"
+// targets because only those have schedule-independent move
+// sequences; host-crash faults are restricted to "link:" targets
+// because a link's frame sequence is fixed by the sender's program
+// order; delay-only faults (stall, spike, starve, lost wakeups) may
+// use any target since they never change which moves happen, only
 // when.
 package faults
 
@@ -34,6 +41,15 @@ const (
 	LockStarve   Kind = "lock-starve"   // target holds the engine lock Delay units during its At-th move
 	LostWakeup   Kind = "lost-wakeup"   // broadcasts At..Until are dropped (watchdog must heal)
 	KernelLag    Kind = "kernel-lag"    // DES kernel: events in virtual window [From,To) are deferred to To
+
+	// Link-fault kinds, consumed by the netsim wire layer
+	// (internal/netsim/faultlink); the move/broadcast/kernel hooks of
+	// this package's Injector ignore them. All four trigger on the
+	// target link's logical frame sequence numbers, never wall-clock.
+	LinkDrop  Kind = "link-drop"  // frames At..Until each lose their first Times transmissions (ack/retransmit heals)
+	LinkDup   Kind = "link-dup"   // frames At..Until are delivered twice (receiver dedup discards the copy)
+	LinkDelay Kind = "link-delay" // frames At..Until take +Delay units in flight (reordering past successors)
+	HostCrash Kind = "host-crash" // receiving host loses its soft state at delivery of frame At (ledger replay heals)
 )
 
 // Target sentinels. "agent:<id>" and "order:<key>" are parameterized.
@@ -46,18 +62,37 @@ const (
 // an engine for unbounded wall time.
 const MaxDelay = 1 << 20
 
+// MaxLinkRetransmits bounds the transmissions of one wire frame: a
+// link-drop fault may swallow at most MaxLinkRetransmits-2 attempts,
+// so every frame still delivers within the budget and the wire layer
+// can treat budget exhaustion as a plan bug rather than a live state.
+const MaxLinkRetransmits = 8
+
 // Fault is one injected adversity.
 type Fault struct {
 	Kind Kind `json:"kind"`
 	// Target selects whose counter triggers the fault: "sync",
-	// "any", "agent:<id>", or "order:<key>". Ignored by lost-wakeup
-	// (global broadcast counter) and kernel-lag (virtual time).
+	// "any", "agent:<id>", "order:<key>", or — for the link kinds —
+	// "link:<u>-<v>" (the directed link from host u to host v).
+	// Ignored by lost-wakeup (global broadcast counter) and
+	// kernel-lag (virtual time).
 	Target string `json:"target,omitempty"`
 	At     int    `json:"at,omitempty"`    // 1-based trigger count
-	Until  int    `json:"until,omitempty"` // window end for spikes / lost wakeups (default At)
+	Until  int    `json:"until,omitempty"` // window end for spikes / lost wakeups / link windows (default At)
 	Delay  int64  `json:"delay,omitempty"` // delay in engine units
+	Times  int    `json:"times,omitempty"` // link-drop: transmissions lost per matching frame (default 1)
 	From   int64  `json:"from,omitempty"`  // kernel-lag: virtual window start
 	To     int64  `json:"to,omitempty"`    // kernel-lag: virtual window end
+}
+
+// IsLink reports whether the fault is consumed by the wire layer
+// rather than the move/broadcast/kernel hooks.
+func (f Fault) IsLink() bool {
+	switch f.Kind {
+	case LinkDrop, LinkDup, LinkDelay, HostCrash:
+		return true
+	}
+	return false
 }
 
 // Plan is a named, seeded fault campaign for one run.
@@ -82,6 +117,35 @@ func (p *Plan) Crashes() int {
 // RequiresRecovery reports whether the plan kills agents, i.e. whether
 // it can only run on the crash-tolerant runtime.
 func (p *Plan) RequiresRecovery() bool { return p.Crashes() > 0 }
+
+// LinkFaults returns the faults consumed by the netsim wire layer.
+// Safe on a nil plan.
+func (p *Plan) LinkFaults() []Fault {
+	if p == nil {
+		return nil
+	}
+	var out []Fault
+	for _, f := range p.Faults {
+		if f.IsLink() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// HasLinkFaults reports whether the plan carries any wire-level fault.
+// Safe on a nil plan, so engines can gate on it directly.
+func (p *Plan) HasLinkFaults() bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.Faults {
+		if f.IsLink() {
+			return true
+		}
+	}
+	return false
+}
 
 // Validate checks the plan's structural rules; an Injector may only be
 // built from a valid plan.
@@ -144,11 +208,56 @@ func (f Fault) validate() error {
 		if f.From < 0 || f.To <= f.From {
 			return fmt.Errorf("kernel-lag window [%d,%d) invalid", f.From, f.To)
 		}
+	case LinkDrop, LinkDup, LinkDelay, HostCrash:
+		if _, _, err := ParseLinkTarget(f.Target); err != nil {
+			return err
+		}
+		if f.At < 1 || (f.Until != 0 && f.Until < f.At) {
+			return fmt.Errorf("%s window [%d,%d] invalid", f.Kind, f.At, f.Until)
+		}
+		switch f.Kind {
+		case LinkDrop:
+			if f.Times < 0 || f.Times > MaxLinkRetransmits-2 {
+				return fmt.Errorf("link-drop times %d outside [0,%d]", f.Times, MaxLinkRetransmits-2)
+			}
+		case LinkDelay:
+			if f.Delay < 1 {
+				return fmt.Errorf("link-delay needs a positive delay")
+			}
+		case HostCrash:
+			if f.Until != 0 && f.Until != f.At {
+				return fmt.Errorf("host-crash is one-shot; until %d must equal at %d (or be omitted)", f.Until, f.At)
+			}
+		}
 	default:
 		return fmt.Errorf("unknown kind %q", f.Kind)
 	}
 	return nil
 }
+
+// ParseLinkTarget decodes a "link:<u>-<v>" target into the directed
+// link's endpoints.
+func ParseLinkTarget(t string) (from, to int, err error) {
+	rest, ok := strings.CutPrefix(t, "link:")
+	if !ok {
+		return 0, 0, fmt.Errorf("link fault needs a \"link:<u>-<v>\" target, got %q", t)
+	}
+	a, b, ok := strings.Cut(rest, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad link target %q", t)
+	}
+	from, err = strconv.Atoi(a)
+	if err == nil {
+		to, err = strconv.Atoi(b)
+	}
+	if err != nil || from < 0 || to < 0 || from == to {
+		return 0, 0, fmt.Errorf("bad link target %q", t)
+	}
+	return from, to, nil
+}
+
+// LinkTarget renders the canonical target string for a directed link.
+func LinkTarget(from, to int) string { return fmt.Sprintf("link:%d-%d", from, to) }
 
 func validTarget(t string) error {
 	switch {

@@ -28,6 +28,17 @@ func TestValidateRejects(t *testing.T) {
 		{"oversized delay", Fault{Kind: Stall, Target: TargetAny, At: 1, Delay: MaxDelay + 1}},
 		{"empty order key", Fault{Kind: Crash, Target: "order:", At: 1}},
 		{"bad agent id", Fault{Kind: Stall, Target: "agent:xyz", At: 1, Delay: 5}},
+		{"link-drop non-link target", Fault{Kind: LinkDrop, Target: TargetAny, At: 1}},
+		{"link-drop self loop", Fault{Kind: LinkDrop, Target: "link:2-2", At: 1}},
+		{"link-drop negative host", Fault{Kind: LinkDrop, Target: "link:-1-2", At: 1}},
+		{"link-drop without at", Fault{Kind: LinkDrop, Target: "link:0-1"}},
+		{"link-drop inverted window", Fault{Kind: LinkDrop, Target: "link:0-1", At: 5, Until: 2}},
+		{"link-drop over retransmit budget", Fault{Kind: LinkDrop, Target: "link:0-1", At: 1, Times: MaxLinkRetransmits - 1}},
+		{"link-drop negative times", Fault{Kind: LinkDrop, Target: "link:0-1", At: 1, Times: -1}},
+		{"link-delay without delay", Fault{Kind: LinkDelay, Target: "link:0-1", At: 1}},
+		{"link-dup malformed target", Fault{Kind: LinkDup, Target: "link:01", At: 1}},
+		{"host-crash window", Fault{Kind: HostCrash, Target: "link:0-1", At: 2, Until: 5}},
+		{"host-crash sync target", Fault{Kind: HostCrash, Target: TargetSync, At: 1}},
 	}
 	for _, c := range cases {
 		p := &Plan{Seed: 1, Faults: []Fault{c.fault}}
@@ -44,6 +55,54 @@ func TestValidateRejects(t *testing.T) {
 	}
 	if err := (*Plan)(nil).Validate(); err == nil {
 		t.Error("nil plan validated")
+	}
+}
+
+func TestLinkFaultGrammar(t *testing.T) {
+	plan := &Plan{Seed: 3, Faults: []Fault{
+		{Kind: LinkDrop, Target: "link:0-5", At: 1, Until: 8, Times: 2},
+		{Kind: LinkDup, Target: "link:5-0", At: 2},
+		{Kind: LinkDelay, Target: "link:1-3", At: 1, Delay: 400},
+		{Kind: HostCrash, Target: "link:0-5", At: 3},
+		{Kind: Stall, Target: TargetAny, At: 1, Delay: 5},
+	}}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("valid link plan rejected: %v", err)
+	}
+	if !plan.HasLinkFaults() {
+		t.Error("HasLinkFaults false on a plan with four link faults")
+	}
+	if got := len(plan.LinkFaults()); got != 4 {
+		t.Errorf("LinkFaults returned %d faults, want 4", got)
+	}
+	if (*Plan)(nil).HasLinkFaults() {
+		t.Error("nil plan reports link faults")
+	}
+	if (*Plan)(nil).LinkFaults() != nil {
+		t.Error("nil plan returns link faults")
+	}
+
+	from, to, err := ParseLinkTarget(LinkTarget(12, 7))
+	if err != nil || from != 12 || to != 7 {
+		t.Errorf("ParseLinkTarget(LinkTarget(12,7)) = %d,%d,%v", from, to, err)
+	}
+	for _, bad := range []string{"", "link:", "link:3", "link:a-b", "link:1-1", "sync"} {
+		if _, _, err := ParseLinkTarget(bad); err == nil {
+			t.Errorf("ParseLinkTarget(%q) accepted", bad)
+		}
+	}
+
+	// The move-hook injector must treat link faults as inert: they
+	// belong to the wire layer, not the move counters.
+	in := NewInjector(plan)
+	for i := 0; i < 16; i++ {
+		act := in.BeforeMove(MoveCtx{Agent: i, Sync: true})
+		if act.Crash {
+			t.Fatal("link fault crashed a move-hook agent")
+		}
+	}
+	if plan.RequiresRecovery() {
+		t.Error("link faults must not force the crash-tolerant runtime")
 	}
 }
 

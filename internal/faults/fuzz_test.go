@@ -23,6 +23,13 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{"seed":7,"faults":[{"kind":"crash","target":"any","at":1}]}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"seed":1,"faults":[{"kind":"stall","target":"any","at":1,"delay":99999999999}]}`))
+	f.Add([]byte(`{"seed":8,"faults":[{"kind":"link-drop","target":"link:0-1","at":1,"until":8,"times":2}]}`))
+	f.Add([]byte(`{"seed":9,"faults":[{"kind":"link-dup","target":"link:3-7","at":2,"until":5}]}`))
+	f.Add([]byte(`{"seed":10,"faults":[{"kind":"link-delay","target":"link:1-0","at":1,"delay":500}]}`))
+	f.Add([]byte(`{"seed":11,"faults":[{"kind":"host-crash","target":"link:0-4","at":2}]}`))
+	f.Add([]byte(`{"seed":12,"faults":[{"kind":"link-drop","target":"link:1-1","at":1}]}`))
+	f.Add([]byte(`{"seed":13,"faults":[{"kind":"link-drop","target":"link:0-1","at":1,"times":99}]}`))
+	f.Add([]byte(`{"seed":14,"faults":[{"kind":"host-crash","target":"sync","at":1}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := Parse(bytes.NewReader(data))

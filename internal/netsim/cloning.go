@@ -40,6 +40,7 @@ func RunCloning(d int, cfg Config) Stats {
 	for v := range net.boxes {
 		net.boxes[v] = NewMailbox()
 	}
+	net.wireFaults()
 
 	var wg sync.WaitGroup
 	for v := 0; v < h.Order(); v++ {
@@ -53,6 +54,9 @@ func RunCloning(d int, cfg Config) Stats {
 	wg.Wait()
 
 	s := val.stats(val.agents(), net.agentMsgs.Load(), net.beaconMsgs.Load())
+	if net.fl != nil {
+		s.Link = net.fl.SummaryStats()
+	}
 	s.Strategy = CloningName
 	return s
 }
@@ -71,9 +75,16 @@ func runCloningHost(n *network, v int) {
 		if !ok {
 			break
 		}
+		if dispatched {
+			// Retired: only crash markers and replays can trail the
+			// dispatch trigger in the drain.
+			continue
+		}
 		switch m.Kind {
 		case AgentArrival:
-			n.val.arrive(m.Agent, m.From, v)
+			if !m.Replay {
+				n.val.arrive(m.Agent, m.From, v)
+			}
 			incumbent = m.Agent
 			for i, w := range n.h.Neighbours(v) {
 				if i+1 <= bits.Msb(bits.Node(w)) {
@@ -82,10 +93,17 @@ func runCloningHost(n *network, v int) {
 			}
 		case GuardedBeacon:
 			ready[m.From] = true
+		case HostRestart:
+			// Amnesia crash: the ledger replay behind this marker
+			// rebuilds incumbent/ready; re-beacons collapse in the
+			// idempotent sender.
+			incumbent = -1
+			clear(ready)
+			continue
 		default:
 			panic(fmt.Sprintf("netsim: cloning host %d got message kind %d", v, m.Kind))
 		}
-		if dispatched || incumbent < 0 || !allReady(smaller, ready) {
+		if incumbent < 0 || !allReady(smaller, ready) {
 			continue
 		}
 		dispatched = true

@@ -1,0 +1,186 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hypersearch/internal/faults"
+	"hypersearch/internal/heapqueue"
+	"hypersearch/internal/hypercube"
+)
+
+// netsimFaultPlans builds the canonical link-fault campaign for H_d:
+// the same four scenario shapes cmd/hqfaults runs, expressed against
+// the concrete broadcast-tree links of this dimension. Frame numbering
+// per link is fixed by the host program: on a parent->child tree link
+// the guarded beacon (sent when the parent gathers its complement) is
+// frame 1 and agent dispatches follow from frame 2; on a pure
+// dependency link the beacon is the only frame.
+func netsimFaultPlans(d int) []*faults.Plan {
+	bt := heapqueue.New(d)
+	h := hypercube.New(d)
+	c0 := bt.Children(0)[0]
+
+	lossy := &faults.Plan{Name: "lossy-links", Seed: 11, Faults: []faults.Fault{
+		{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, c0), At: 1, Until: 8, Times: 2},
+	}}
+	dup := &faults.Plan{Name: "dup-storm", Seed: 12, Faults: []faults.Fault{
+		{Kind: faults.LinkDup, Target: faults.LinkTarget(0, c0), At: 1, Until: 16},
+		{Kind: faults.LinkDelay, Target: faults.LinkTarget(0, c0), At: 2, Until: 5, Delay: 400},
+	}}
+	if gcs := bt.Children(c0); len(gcs) > 0 {
+		lossy.Faults = append(lossy.Faults, faults.Fault{
+			Kind: faults.LinkDrop, Target: faults.LinkTarget(c0, gcs[0]), At: 1, Until: 4, Times: 1,
+		})
+		dup.Faults = append(dup.Faults, faults.Fault{
+			Kind: faults.LinkDup, Target: faults.LinkTarget(c0, gcs[0]), At: 1, Until: 8,
+		})
+	}
+
+	// All of the last node's neighbours are smaller, so every link
+	// into it carries a beacon as frame 1: swallow them all.
+	blackout := &faults.Plan{Name: "beacon-blackout", Seed: 13}
+	last := h.Order() - 1
+	for _, u := range h.SmallerNeighbours(last) {
+		blackout.Faults = append(blackout.Faults, faults.Fault{
+			Kind: faults.LinkDrop, Target: faults.LinkTarget(u, last), At: 1, Times: 3,
+		})
+	}
+
+	crash := &faults.Plan{Name: "host-crash", Seed: 14, Faults: []faults.Fault{
+		// Frame 2 on the root's first tree link is the first agent
+		// dispatch: the child crashes mid-gather and must rebuild.
+		{Kind: faults.HostCrash, Target: faults.LinkTarget(0, c0), At: 2},
+	}}
+
+	mixed := &faults.Plan{Name: "mixed", Seed: 15}
+	mixed.Faults = append(mixed.Faults, lossy.Faults...)
+	mixed.Faults = append(mixed.Faults, dup.Faults...)
+	mixed.Faults = append(mixed.Faults, crash.Faults...)
+
+	return []*faults.Plan{lossy, dup, blackout, crash, mixed}
+}
+
+// checkFaultedStats asserts the non-negotiables of a faulted run: it
+// terminated with all nodes clean, monotone and contiguous, with zero
+// recontaminations.
+func checkFaultedStats(t *testing.T, s Stats, plan string) {
+	t.Helper()
+	if !s.Captured || !s.MonotoneOK || !s.ContiguousOK {
+		t.Errorf("%s: faulted run not clean: captured=%v monotone=%v contiguous=%v",
+			plan, s.Captured, s.MonotoneOK, s.ContiguousOK)
+	}
+	if s.Recontaminations != 0 {
+		t.Errorf("%s: %d recontaminations under faults", plan, s.Recontaminations)
+	}
+}
+
+// TestFaultedRunsTerminateClean drives both engines through every
+// scenario with both validator implementations and asserts the run is
+// indistinguishable from a clean one at the protocol level: same
+// moves, same message counts, all nodes clean.
+func TestFaultedRunsTerminateClean(t *testing.T) {
+	for d := 2; d <= 8; d++ {
+		if testing.Short() && d > 5 {
+			continue
+		}
+		for _, mode := range []ValidatorMode{ValidatorStriped, ValidatorLocked} {
+			base := Config{Seed: int64(31*d + 7), MaxLatency: 300 * time.Microsecond, Validator: mode}
+			cleanVis := Run(d, base)
+			cleanClone := RunCloning(d, base)
+			for _, plan := range netsimFaultPlans(d) {
+				cfg := base
+				cfg.Faults = plan
+				name := fmt.Sprintf("d=%d mode=%d plan=%s", d, mode, plan.Name)
+
+				s := Run(d, cfg)
+				checkFaultedStats(t, s, name+" visibility")
+				if s.AgentMoves != cleanVis.AgentMoves || s.AgentMessages != cleanVis.AgentMessages ||
+					s.BeaconMessages != cleanVis.BeaconMessages || s.TeamSize != cleanVis.TeamSize {
+					t.Errorf("%s: recovery changed the logical run: faulted {moves=%d agents=%d beacons=%d team=%d} clean {%d %d %d %d}",
+						name, s.AgentMoves, s.AgentMessages, s.BeaconMessages, s.TeamSize,
+						cleanVis.AgentMoves, cleanVis.AgentMessages, cleanVis.BeaconMessages, cleanVis.TeamSize)
+				}
+
+				c := RunCloning(d, cfg)
+				checkFaultedStats(t, c, name+" cloning")
+				if c.AgentMoves != cleanClone.AgentMoves || c.AgentMessages != cleanClone.AgentMessages ||
+					c.BeaconMessages != cleanClone.BeaconMessages {
+					t.Errorf("%s cloning: recovery changed the logical run", name)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultedStatsDeterministic reruns every faulted scenario and
+// requires byte-identical Stats — including the wire Summary — which
+// is what hqfaults' -verify replay rests on.
+func TestFaultedStatsDeterministic(t *testing.T) {
+	for _, d := range []int{3, 6} {
+		if testing.Short() && d > 5 {
+			continue
+		}
+		for _, plan := range netsimFaultPlans(d) {
+			cfg := Config{Seed: int64(d) * 97, MaxLatency: 250 * time.Microsecond, Faults: plan}
+			a, b := Run(d, cfg), Run(d, cfg)
+			if a != b {
+				t.Errorf("d=%d plan=%s: visibility stats differ across reruns:\n%+v\n%+v", d, plan.Name, a, b)
+			}
+			ca, cb := RunCloning(d, cfg), RunCloning(d, cfg)
+			if ca != cb {
+				t.Errorf("d=%d plan=%s: cloning stats differ across reruns:\n%+v\n%+v", d, plan.Name, ca, cb)
+			}
+		}
+	}
+}
+
+// TestFaultedWireAccounting pins the deterministic wire counters of
+// two scenarios whose schedules are easy to derive by hand.
+func TestFaultedWireAccounting(t *testing.T) {
+	d := 4
+	plans := netsimFaultPlans(d)
+
+	crash := plans[3]
+	s := Run(d, Config{Seed: 5, Faults: crash})
+	if s.Link.Crashes != 1 {
+		t.Errorf("host-crash plan fired %d crashes, want 1 (%+v)", s.Link.Crashes, s.Link)
+	}
+
+	blackout := plans[2]
+	s = Run(d, Config{Seed: 5, Faults: blackout})
+	wantDrops := int64(3 * d) // d beacon links into the last node, 3 attempts swallowed each
+	if s.Link.Drops != wantDrops || s.Link.Retransmits != wantDrops {
+		t.Errorf("beacon-blackout: drops=%d retransmits=%d, want %d each", s.Link.Drops, s.Link.Retransmits, wantDrops)
+	}
+	if s.Link.Frames == 0 {
+		t.Error("beacon-blackout: no frames crossed the wire layer")
+	}
+}
+
+// TestDualValidatorUnderLinkFaults runs every scenario with the dual
+// validator, which t.Errors on any field divergence between the
+// locked and striped implementations while both observe the faulted
+// event stream.
+func TestDualValidatorUnderLinkFaults(t *testing.T) {
+	for d := 2; d <= 8; d++ {
+		if testing.Short() && d > 5 {
+			continue
+		}
+		for _, plan := range netsimFaultPlans(d) {
+			cfg := Config{
+				Seed:       int64(13*d + 3),
+				MaxLatency: 200 * time.Microsecond,
+				Faults:     plan,
+				newValidator: func(h *hypercube.Hypercube) validator {
+					return newDualValidator(t, h)
+				},
+			}
+			s := Run(d, cfg)
+			checkFaultedStats(t, s, fmt.Sprintf("dual d=%d plan=%s visibility", d, plan.Name))
+			c := RunCloning(d, cfg)
+			checkFaultedStats(t, c, fmt.Sprintf("dual d=%d plan=%s cloning", d, plan.Name))
+		}
+	}
+}

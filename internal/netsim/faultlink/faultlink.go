@@ -1,0 +1,407 @@
+// Package faultlink is the netsim wire-fault layer: it sits between a
+// sender host and the receiver's mailbox and applies the link faults of
+// an internal/faults Plan — frame drops, duplications, delays, and
+// receiver host crashes — while running the recovery machinery that
+// makes the protocols survive them.
+//
+// # Sequence numbers and the ARQ protocol
+//
+// Every directed link (u,v) numbers its logical frames 1,2,3,... in the
+// sender's program order. Because each link has exactly one sending
+// host, the assignment is deterministic: frame k on a link is always
+// the same protocol message, regardless of OS scheduling. Fault
+// triggers count these sequence numbers, never wall-clock, which is
+// what lets one seeded JSON plan drive identical fault schedules on
+// every run.
+//
+// Loss recovery is a sender-side ARQ (automatic repeat request): each
+// transmission attempt of a frame carries (seq, attempt), the receiver
+// acknowledges admission, and an unacknowledged attempt is resent after
+// a deterministic exponential backoff (RetransmitBase << attempt). The
+// implementation collapses the ack round-trip: the only loss in the
+// system is injected, so the layer knows at send time whether attempt
+// n of frame k is dropped, and schedules the retransmission exactly
+// then. The observable schedule — which attempts exist, when they fire
+// relative to each other — is identical to a real timeout-driven ARQ
+// whose timer equals the backoff, with no nondeterministic timer races.
+// A link-drop fault may swallow at most MaxLinkRetransmits-2 attempts
+// per frame (enforced by Plan.Validate), so delivery always succeeds
+// within the budget; exceeding it panics as a plan bug.
+//
+// # In-order release, duplicates
+//
+// The receiver side of each link admits frames in sequence order:
+// out-of-order frames (reordered past successors by link-delay) are
+// held in a reorder buffer and released when the gap closes, and
+// duplicate copies (link-dup, or a retransmission racing a late ack in
+// a real ARQ) are discarded by sequence number. Hosts therefore see
+// each logical frame exactly once, in per-link order — the same
+// delivery contract the fault-free mailbox gives them.
+//
+// # Host crashes and the order ledger
+//
+// A host-crash fault fires when frame At of its link is admitted: the
+// receiving host loses its soft protocol state (amnesia), while the
+// layer's per-host order ledger — every frame the host has been
+// delivered, in admission order — survives, exactly like the
+// whiteboard order ledger that runtime.RunCleanFT replays after an
+// agent crash. The layer invokes the crash callback and then redelivers
+// the full ledger with replay=true; the host rebuilds its state from
+// the replay, and engines skip validator/accounting effects for
+// replayed frames so no agent move or beacon is double-counted.
+// Re-sends the rebuilt host issues (beacons it already sent before the
+// crash) are collapsed by SendIdempotent, so recovery adds zero logical
+// frames: the wire schedule downstream of a crash is identical to the
+// crash-free one.
+//
+// # Determinism contract
+//
+// Of the wire counters, Frames, Drops, Retransmits, Dups and Crashes
+// are pure functions of the plan and the protocol (Summary returns
+// exactly these); Held, DupsDiscarded, Deduped and Replays depend on
+// physical arrival interleavings and are exposed for diagnostics only.
+package faultlink
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypersearch/internal/faults"
+)
+
+// Options tunes the wall-clock side of the layer. The zero value picks
+// defaults that keep small-d test campaigns fast.
+type Options struct {
+	// RetransmitBase is the ARQ backoff base: attempt n of a frame is
+	// resent RetransmitBase << (n-1) after the drop. Default 50µs.
+	RetransmitBase time.Duration
+	// DelayUnit converts a link-delay fault's Delay (engine units)
+	// into wall time. Default 1µs.
+	DelayUnit time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.RetransmitBase <= 0 {
+		o.RetransmitBase = 50 * time.Microsecond
+	}
+	if o.DelayUnit <= 0 {
+		o.DelayUnit = time.Microsecond
+	}
+	return o
+}
+
+// Summary is the schedule-independent subset of the wire counters: the
+// fields byte-identical across reruns of the same seeded plan. It is
+// comparable with == so engines can embed it in comparable stats.
+type Summary struct {
+	Frames      int64 // logical frames admitted to the wire
+	Drops       int64 // transmission attempts swallowed by link-drop
+	Retransmits int64 // ARQ resends (one per drop, by construction)
+	Dups        int64 // duplicate copies injected by link-dup
+	Crashes     int64 // host-crash faults fired
+}
+
+// WireStats is the full wire accounting: Summary plus the
+// schedule-dependent diagnostic counters.
+type WireStats struct {
+	Summary
+	Transmissions int64 // attempts put on the wire (= Frames + Drops)
+	Deduped       int64 // idempotent sends collapsed at the sender
+	DupsDiscarded int64 // copies discarded by receiver dedup
+	Held          int64 // frames buffered out of order
+	Replays       int64 // ledger entries redelivered after crashes
+}
+
+// wireFault is the compiled form of one link fault.
+type wireFault struct {
+	kind     faults.Kind
+	from, to int
+	at       int64
+	until    int64
+	times    int   // link-drop: attempts swallowed per matching frame
+	delay    int64 // link-delay: extra flight units
+}
+
+// Layer applies a plan's link faults to a message-passing engine whose
+// payloads are T. deliver hands an admitted frame to the receiving
+// host (replay=true for ledger redeliveries after a crash); crash
+// tells host `to` it has lost its soft state, and is always followed
+// by the full-ledger replay before any newer frame is admitted.
+type Layer[T any] struct {
+	opts    Options
+	deliver func(to, from int, replay bool, payload T)
+	crash   func(to int)
+	faults  []wireFault
+
+	mu    sync.Mutex
+	links map[int64]*link[T]
+
+	hosts []hostState[T]
+
+	frames        atomic.Int64
+	transmissions atomic.Int64
+	drops         atomic.Int64
+	retransmits   atomic.Int64
+	dups          atomic.Int64
+	crashes       atomic.Int64
+	deduped       atomic.Int64
+	dupsDiscarded atomic.Int64
+	held          atomic.Int64
+	replays       atomic.Int64
+}
+
+// link is the per-directed-link state. Lock order: Layer.mu > link.mu
+// > hostState.mu; the deliver callback runs under link.mu+hostState.mu
+// and must not call back into the layer.
+type link[T any] struct {
+	mu       sync.Mutex
+	from, to int
+	nextSeq  int64            // last assigned frame number
+	once     map[string]int64 // idempotency key -> admitted frame
+	expect   int64            // next frame to release in order
+	held     map[int64]T      // reorder buffer: frame -> payload
+}
+
+// hostState is the receiver-side order ledger of one host.
+type hostState[T any] struct {
+	mu     sync.Mutex
+	ledger []ledgerEntry[T]
+}
+
+type ledgerEntry[T any] struct {
+	from    int
+	payload T
+}
+
+// New compiles the plan's link faults into a layer over `hosts` hosts.
+// A nil plan (or one without link faults) yields a pass-through layer.
+// It panics on an invalid plan, mirroring faults.NewInjector, so
+// engines can assume wire hooks never fail.
+func New[T any](plan *faults.Plan, hosts int, opts Options,
+	deliver func(to, from int, replay bool, payload T), crash func(to int)) *Layer[T] {
+	l := &Layer[T]{
+		opts:    opts.withDefaults(),
+		deliver: deliver,
+		crash:   crash,
+		links:   make(map[int64]*link[T]),
+		hosts:   make([]hostState[T], hosts),
+	}
+	if plan == nil {
+		return l
+	}
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	for _, f := range plan.LinkFaults() {
+		from, to, err := faults.ParseLinkTarget(f.Target)
+		if err != nil {
+			panic(err) // unreachable: Validate parsed it already
+		}
+		wf := wireFault{
+			kind: f.Kind, from: from, to: to,
+			at: int64(f.At), until: int64(f.Until),
+			times: f.Times, delay: f.Delay,
+		}
+		if wf.until == 0 {
+			wf.until = wf.at
+		}
+		if wf.kind == faults.LinkDrop && wf.times == 0 {
+			wf.times = 1
+		}
+		l.faults = append(l.faults, wf)
+	}
+	return l
+}
+
+// Send admits one logical frame from -> to and transmits it with the
+// given base latency plus whatever the plan injects.
+func (l *Layer[T]) Send(from, to int, latency time.Duration, payload T) {
+	lk := l.linkFor(from, to)
+	lk.mu.Lock()
+	lk.nextSeq++
+	seq := lk.nextSeq
+	lk.mu.Unlock()
+	l.frames.Add(1)
+	l.transmit(lk, seq, 1, latency, payload)
+}
+
+// SendIdempotent admits the frame only if no frame with the same key
+// was already admitted on this link; it reports whether the frame was
+// admitted, so callers can keep their message accounting in step (a
+// collapsed re-send is not a message). This is the re-beacon path:
+// after a crash a rebuilt host blindly re-sends its beacons, and the
+// sender-side dedup makes recovery add zero wire frames.
+func (l *Layer[T]) SendIdempotent(from, to int, key string, latency time.Duration, payload T) bool {
+	lk := l.linkFor(from, to)
+	lk.mu.Lock()
+	if _, sent := lk.once[key]; sent {
+		lk.mu.Unlock()
+		l.deduped.Add(1)
+		return false
+	}
+	lk.nextSeq++
+	seq := lk.nextSeq
+	if lk.once == nil {
+		lk.once = make(map[string]int64)
+	}
+	lk.once[key] = seq
+	lk.mu.Unlock()
+	l.frames.Add(1)
+	l.transmit(lk, seq, 1, latency, payload)
+	return true
+}
+
+// Stats snapshots the wire counters.
+func (l *Layer[T]) Stats() WireStats {
+	return WireStats{
+		Summary: Summary{
+			Frames:      l.frames.Load(),
+			Drops:       l.drops.Load(),
+			Retransmits: l.retransmits.Load(),
+			Dups:        l.dups.Load(),
+			Crashes:     l.crashes.Load(),
+		},
+		Transmissions: l.transmissions.Load(),
+		Deduped:       l.deduped.Load(),
+		DupsDiscarded: l.dupsDiscarded.Load(),
+		Held:          l.held.Load(),
+		Replays:       l.replays.Load(),
+	}
+}
+
+// SummaryStats snapshots only the deterministic counters.
+func (l *Layer[T]) SummaryStats() Summary { return l.Stats().Summary }
+
+func (l *Layer[T]) linkFor(from, to int) *link[T] {
+	key := int64(from)<<32 | int64(to)
+	l.mu.Lock()
+	lk := l.links[key]
+	if lk == nil {
+		lk = &link[T]{from: from, to: to, expect: 1}
+		l.links[key] = lk
+	}
+	l.mu.Unlock()
+	return lk
+}
+
+// verdict folds every matching fault over one transmission attempt:
+// whether it is dropped, whether a duplicate copy is injected, and how
+// many extra flight units it carries. It is a pure function of
+// (link, seq, attempt), which is what keeps the fault schedule
+// deterministic.
+func (l *Layer[T]) verdict(lk *link[T], seq int64, attempt int) (drop, dup bool, delay int64) {
+	for _, f := range l.faults {
+		if f.from != lk.from || f.to != lk.to || seq < f.at || seq > f.until {
+			continue
+		}
+		switch f.kind {
+		case faults.LinkDrop:
+			if attempt <= f.times {
+				drop = true
+			}
+		case faults.LinkDup:
+			dup = true
+		case faults.LinkDelay:
+			delay += f.delay
+		}
+	}
+	return drop, dup, delay
+}
+
+// crashAt reports whether admitting frame seq on lk fires a host-crash
+// fault. No fired flag is needed: each (link, seq) is admitted exactly
+// once, so a one-shot trigger cannot re-fire.
+func (l *Layer[T]) crashAt(lk *link[T], seq int64) bool {
+	for _, f := range l.faults {
+		if f.kind == faults.HostCrash && f.from == lk.from && f.to == lk.to && f.at == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// transmit puts attempt n of frame seq on the wire.
+func (l *Layer[T]) transmit(lk *link[T], seq int64, attempt int, latency time.Duration, payload T) {
+	if attempt > faults.MaxLinkRetransmits {
+		panic(fmt.Sprintf("faultlink: frame %d on link %d-%d exceeded %d transmissions — plan validation should have bounded this",
+			seq, lk.from, lk.to, faults.MaxLinkRetransmits))
+	}
+	l.transmissions.Add(1)
+	drop, dup, delay := l.verdict(lk, seq, attempt)
+	if drop {
+		l.drops.Add(1)
+		l.retransmits.Add(1)
+		backoff := l.opts.RetransmitBase << (attempt - 1)
+		time.AfterFunc(backoff, func() { l.transmit(lk, seq, attempt+1, latency, payload) })
+		return
+	}
+	flight := latency + time.Duration(delay)*l.opts.DelayUnit
+	if flight == 0 {
+		l.receive(lk, seq, payload)
+	} else {
+		time.AfterFunc(flight, func() { l.receive(lk, seq, payload) })
+	}
+	if dup {
+		l.dups.Add(1)
+		// The copy flies the same route a beat behind the original;
+		// whichever lands first is admitted, the other discarded.
+		time.AfterFunc(flight+l.opts.DelayUnit, func() { l.receive(lk, seq, payload) })
+	}
+}
+
+// receive is the receiver side of the link: dedup by sequence number,
+// hold out-of-order frames, and release in-order runs.
+func (l *Layer[T]) receive(lk *link[T], seq int64, payload T) {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if seq < lk.expect {
+		l.dupsDiscarded.Add(1)
+		return
+	}
+	if seq > lk.expect {
+		if _, holding := lk.held[seq]; holding {
+			l.dupsDiscarded.Add(1)
+			return
+		}
+		if lk.held == nil {
+			lk.held = make(map[int64]T)
+		}
+		lk.held[seq] = payload
+		l.held.Add(1)
+		return
+	}
+	// In order: admit it, then drain any consecutive held successors.
+	for {
+		l.admit(lk, lk.expect, payload)
+		lk.expect++
+		next, ok := lk.held[lk.expect]
+		if !ok {
+			return
+		}
+		delete(lk.held, lk.expect)
+		payload = next
+	}
+}
+
+// admit delivers frame seq to the receiving host: ledger append, the
+// deliver callback, and — if a host-crash fault fires here — the crash
+// callback followed by the full-ledger replay. Holding hostState.mu
+// across the whole sequence makes crash + replay atomic with respect
+// to admissions from the host's other links.
+func (l *Layer[T]) admit(lk *link[T], seq int64, payload T) {
+	h := &l.hosts[lk.to]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ledger = append(h.ledger, ledgerEntry[T]{from: lk.from, payload: payload})
+	l.deliver(lk.to, lk.from, false, payload)
+	if l.crashAt(lk, seq) {
+		l.crashes.Add(1)
+		l.crash(lk.to)
+		for _, e := range h.ledger {
+			l.replays.Add(1)
+			l.deliver(lk.to, e.from, true, e.payload)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package faultlink
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hypersearch/internal/faults"
+)
+
+// recorder collects delivered frames and crash notices in order.
+type recorder struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (r *recorder) deliver(to, from int, replay bool, payload int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tag := "deliver"
+	if replay {
+		tag = "replay"
+	}
+	r.events = append(r.events, fmt.Sprintf("%s %d->%d:%d", tag, from, to, payload))
+}
+
+func (r *recorder) crash(to int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, fmt.Sprintf("crash %d", to))
+}
+
+func (r *recorder) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.events...)
+}
+
+// waitFor polls until the recorder has n events or the deadline hits.
+func (r *recorder) waitFor(t *testing.T, n int) []string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evs := r.snapshot()
+		if len(evs) >= n {
+			return evs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d events, have %v", n, evs)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func newTestLayer(plan *faults.Plan, hosts int) (*Layer[int], *recorder) {
+	r := &recorder{}
+	l := New(plan, hosts, Options{}, r.deliver, r.crash)
+	return l, r
+}
+
+func TestPassThroughDeliversInOrder(t *testing.T) {
+	l, r := newTestLayer(nil, 4)
+	for i := 1; i <= 5; i++ {
+		l.Send(0, 1, 0, i)
+	}
+	got := r.waitFor(t, 5)
+	for i, want := range []string{
+		"deliver 0->1:1", "deliver 0->1:2", "deliver 0->1:3",
+		"deliver 0->1:4", "deliver 0->1:5",
+	} {
+		if got[i] != want {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, got[i], want, got)
+		}
+	}
+	s := l.Stats()
+	if s.Frames != 5 || s.Transmissions != 5 || s.Drops != 0 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestDropHealsByRetransmit(t *testing.T) {
+	plan := &faults.Plan{Seed: 1, Faults: []faults.Fault{
+		{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, 1), At: 1, Times: 2},
+	}}
+	l, r := newTestLayer(plan, 2)
+	l.Send(0, 1, 0, 42)
+	got := r.waitFor(t, 1)
+	if got[0] != "deliver 0->1:42" {
+		t.Fatalf("got %v", got)
+	}
+	s := l.Stats()
+	if s.Frames != 1 || s.Drops != 2 || s.Retransmits != 2 || s.Transmissions != 3 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestDropDefaultSwallowsOneAttempt(t *testing.T) {
+	plan := &faults.Plan{Seed: 1, Faults: []faults.Fault{
+		{Kind: faults.LinkDrop, Target: faults.LinkTarget(3, 1), At: 2, Until: 3},
+	}}
+	l, r := newTestLayer(plan, 4)
+	for i := 1; i <= 4; i++ {
+		l.Send(3, 1, 0, i)
+	}
+	got := r.waitFor(t, 4)
+	// Frames 2 and 3 each lose one attempt but still deliver in order.
+	want := []string{"deliver 3->1:1", "deliver 3->1:2", "deliver 3->1:3", "deliver 3->1:4"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if s := l.Stats(); s.Drops != 2 || s.Retransmits != 2 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestDuplicateIsDiscardedByReceiver(t *testing.T) {
+	plan := &faults.Plan{Seed: 1, Faults: []faults.Fault{
+		{Kind: faults.LinkDup, Target: faults.LinkTarget(0, 1), At: 1},
+	}}
+	l, r := newTestLayer(plan, 2)
+	l.Send(0, 1, 0, 7)
+	// Both copies must land: the original plus its discarded twin.
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().DupsDiscarded < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("duplicate never discarded: %+v, events %v", l.Stats(), r.snapshot())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	got := r.snapshot()
+	if len(got) != 1 || got[0] != "deliver 0->1:7" {
+		t.Fatalf("host saw %v, want exactly one delivery", got)
+	}
+	if s := l.Stats(); s.Dups != 1 || s.Frames != 1 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestDelayReordersButReleaseIsInOrder(t *testing.T) {
+	plan := &faults.Plan{Seed: 1, Faults: []faults.Fault{
+		{Kind: faults.LinkDelay, Target: faults.LinkTarget(0, 1), At: 1, Delay: 3000},
+	}}
+	l, r := newTestLayer(plan, 2)
+	l.Send(0, 1, 0, 1) // delayed 3ms
+	l.Send(0, 1, 0, 2) // lands first, must be held
+	got := r.waitFor(t, 2)
+	if got[0] != "deliver 0->1:1" || got[1] != "deliver 0->1:2" {
+		t.Fatalf("release order %v, want frame 1 before frame 2", got)
+	}
+	if s := l.Stats(); s.Held != 1 {
+		t.Fatalf("expected the second frame to be held: %+v", s)
+	}
+}
+
+func TestHostCrashReplaysLedgerInOrder(t *testing.T) {
+	plan := &faults.Plan{Seed: 1, Faults: []faults.Fault{
+		{Kind: faults.HostCrash, Target: faults.LinkTarget(1, 2), At: 2},
+	}}
+	l, r := newTestLayer(plan, 3)
+	l.Send(0, 2, 0, 10) // from another link: must appear in the replay
+	l.Send(1, 2, 0, 20)
+	l.Send(1, 2, 0, 21) // frame 2 on 1->2: fires the crash
+	got := r.waitFor(t, 7)
+	want := []string{
+		"deliver 0->2:10",
+		"deliver 1->2:20",
+		"deliver 1->2:21",
+		"crash 2",
+		"replay 0->2:10",
+		"replay 1->2:20",
+		"replay 1->2:21",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if s := l.Stats(); s.Crashes != 1 || s.Replays != 3 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestSendIdempotentCollapsesResends(t *testing.T) {
+	l, r := newTestLayer(nil, 2)
+	if !l.SendIdempotent(0, 1, "beacon", 0, 1) {
+		t.Fatal("first idempotent send must be admitted")
+	}
+	if l.SendIdempotent(0, 1, "beacon", 0, 1) {
+		t.Fatal("second idempotent send with the same key must collapse")
+	}
+	if !l.SendIdempotent(1, 0, "beacon", 0, 2) {
+		t.Fatal("same key on a different link is a different frame")
+	}
+	got := r.waitFor(t, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if s := l.Stats(); s.Frames != 2 || s.Deduped != 1 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestSummaryIsDeterministicAcrossRuns(t *testing.T) {
+	plan := &faults.Plan{Seed: 9, Faults: []faults.Fault{
+		{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, 1), At: 1, Until: 4, Times: 3},
+		{Kind: faults.LinkDup, Target: faults.LinkTarget(0, 1), At: 2, Until: 3},
+		{Kind: faults.LinkDelay, Target: faults.LinkTarget(0, 1), At: 1, Delay: 500},
+		{Kind: faults.HostCrash, Target: faults.LinkTarget(0, 1), At: 3},
+	}}
+	run := func() Summary {
+		l, r := newTestLayer(plan, 2)
+		for i := 1; i <= 6; i++ {
+			l.Send(0, 1, 0, i)
+		}
+		// 6 deliveries + crash + 3 replays.
+		r.waitFor(t, 10)
+		return l.SummaryStats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("summaries differ across identical runs: %+v vs %+v", a, b)
+	}
+	if a.Frames != 6 || a.Drops != 4*3 || a.Retransmits != a.Drops || a.Dups != 2 || a.Crashes != 1 {
+		t.Fatalf("unexpected summary %+v", a)
+	}
+}
+
+func TestNewPanicsOnInvalidPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid plan")
+		}
+	}()
+	New(&faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.LinkDrop, Target: "link:1-1", At: 1},
+	}}, 2, Options{}, func(int, int, bool, int) {}, func(int) {})
+}

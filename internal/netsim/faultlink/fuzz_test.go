@@ -1,0 +1,116 @@
+package faultlink
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hypersearch/internal/faults"
+)
+
+// FuzzWirePlan is the netsim half of the fuzzed-plans contract: any
+// JSON plan the grammar accepts must drive the wire layer without
+// panics, deliver every admitted frame exactly once, and release each
+// link's frames strictly in order — no matter which drop/dup/delay/
+// crash combination the plan throws at it.
+func FuzzWirePlan(f *testing.F) {
+	f.Add([]byte(`{"seed":1,"faults":[{"kind":"link-drop","target":"link:0-1","at":1,"until":6,"times":2}]}`))
+	f.Add([]byte(`{"seed":2,"faults":[{"kind":"link-dup","target":"link:2-5","at":1,"until":9}]}`))
+	f.Add([]byte(`{"seed":3,"faults":[{"kind":"link-delay","target":"link:4-1","at":2,"until":4,"delay":300}]}`))
+	f.Add([]byte(`{"seed":4,"faults":[{"kind":"host-crash","target":"link:0-3","at":3}]}`))
+	f.Add([]byte(`{"seed":5,"faults":[` +
+		`{"kind":"link-drop","target":"link:0-1","at":1,"until":12,"times":4},` +
+		`{"kind":"link-dup","target":"link:0-1","at":3,"until":8},` +
+		`{"kind":"link-delay","target":"link:0-1","at":5,"delay":900},` +
+		`{"kind":"host-crash","target":"link:0-1","at":7}]}`))
+	f.Add([]byte(`{"seed":6,"faults":[{"kind":"link-drop","target":"link:9-9","at":1}]}`))
+
+	const (
+		hosts   = 64
+		perLink = 12
+	)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := faults.Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		lfs := p.LinkFaults()
+		if len(lfs) == 0 {
+			return
+		}
+		type lnk struct{ from, to int }
+		links := map[lnk]bool{}
+		var totalDelay int64
+		for _, lf := range lfs {
+			from, to, err := faults.ParseLinkTarget(lf.Target)
+			if err != nil {
+				t.Fatalf("validated plan has unparseable target %q: %v", lf.Target, err)
+			}
+			if from >= hosts || to >= hosts {
+				return // layer only spans `hosts` hosts
+			}
+			links[lnk{from, to}] = true
+			if lf.Kind == faults.LinkDelay {
+				totalDelay += lf.Delay * perLink
+			}
+		}
+		if totalDelay > 50_000_000 { // 50ms of injected flight at 1ns/unit: keep iterations fast
+			return
+		}
+
+		var (
+			mu        sync.Mutex
+			last      = map[lnk]int{}
+			delivered int
+			violation string
+		)
+		l := New(p, hosts, Options{RetransmitBase: time.Nanosecond, DelayUnit: time.Nanosecond},
+			func(to, from int, replay bool, seq int) {
+				if replay {
+					return
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				k := lnk{from, to}
+				if seq != last[k]+1 && violation == "" {
+					violation = fmt.Sprintf("link %d-%d released frame %d after %d", from, to, seq, last[k])
+				}
+				last[k] = seq
+				delivered++
+			},
+			func(to int) {})
+
+		sent := 0
+		for k := range links {
+			for i := 1; i <= perLink; i++ {
+				l.Send(k.from, k.to, 0, i)
+				sent++
+			}
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			mu.Lock()
+			n, v := delivered, violation
+			mu.Unlock()
+			if v != "" {
+				t.Fatal(v)
+			}
+			if n == sent {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("only %d of %d frames delivered: %+v", n, sent, l.Stats())
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		s := l.Stats()
+		if s.Frames != int64(sent) {
+			t.Fatalf("Frames=%d, want %d (%+v)", s.Frames, sent, s)
+		}
+		if s.Drops != s.Retransmits {
+			t.Fatalf("every drop must schedule exactly one retransmit: %+v", s)
+		}
+	})
+}

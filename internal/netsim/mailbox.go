@@ -35,6 +35,23 @@ func (q *queue[T]) Send(m T) {
 	q.mu.Unlock()
 }
 
+// TrySend enqueues m unless the mailbox is closed, reporting whether
+// it was accepted. The wire-fault layer delivers through it: a crash
+// marker or ledger replay aimed at a host that has dispatched and
+// retired is meaningless, and dropping it mirrors a real network's
+// indifference to traffic at a decommissioned node.
+func (q *queue[T]) TrySend(m T) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, m)
+	q.nonEmpty.Signal()
+	q.mu.Unlock()
+	return true
+}
+
 // Recv dequeues the oldest message, blocking while the mailbox is
 // empty and open. It returns ok=false once the mailbox is closed and
 // drained (messages enqueued before Close are still delivered).

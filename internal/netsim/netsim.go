@@ -11,6 +11,18 @@
 // message-passing (the per-host whiteboard is host-local state). A
 // locked board validates the global invariants as moves land, as in
 // the goroutine runtime.
+//
+// When Config.Faults carries link faults, every message crosses the
+// wire-fault layer (internal/netsim/faultlink): frames can be dropped
+// (healed by the layer's sequence-numbered ack/retransmit ARQ),
+// duplicated (discarded by receiver dedup), delayed past successors
+// (held and released in order), and a receiving host can crash — it
+// loses its soft protocol state and rebuilds it from the layer's
+// order ledger, with Replay-marked messages that skip validator and
+// accounting effects and re-sent beacons collapsed by the idempotent
+// sender. Boot injections to the homebase bypass the layer: host 0's
+// console is the one reliable component, exactly like the initial
+// placement in the runtime engines.
 package netsim
 
 import (
@@ -22,9 +34,11 @@ import (
 
 	"hypersearch/internal/bits"
 	"hypersearch/internal/combin"
+	"hypersearch/internal/faults"
 	"hypersearch/internal/heapqueue"
 	"hypersearch/internal/hypercube"
 	"hypersearch/internal/metrics"
+	"hypersearch/internal/netsim/faultlink"
 )
 
 // Name identifies the engine in results.
@@ -40,19 +54,29 @@ const (
 	// GuardedBeacon is the paper's single bit: "my node is guarded
 	// (and will be clean when I leave)". One per (host, neighbour).
 	GuardedBeacon
+	// HostRestart is the wire-fault layer's crash marker: the host
+	// drops its soft protocol state and rebuilds it from the
+	// Replay-marked ledger redeliveries that follow immediately.
+	HostRestart
 )
 
 // Message is what travels on a link.
 type Message struct {
-	Kind  MessageKind
-	From  int // sending host
-	Agent int // AgentArrival: the migrating agent's id
+	Kind   MessageKind
+	Replay bool // ledger redelivery after a crash: skip validator/accounting effects
+	From   int  // sending host
+	Agent  int  // AgentArrival: the migrating agent's id
 }
 
 // Config controls a network execution.
 type Config struct {
 	Seed       int64
 	MaxLatency time.Duration // per-link-delivery latency in [0, MaxLatency]
+
+	// Faults, when it carries link faults, routes every message
+	// through the wire-fault layer. Non-link faults in the plan are
+	// ignored by this engine (they drive the DES/runtime injector).
+	Faults *faults.Plan
 
 	// Validator selects the invariant-checker implementation; the
 	// zero value is the sharded (striped) validator.
@@ -69,6 +93,11 @@ type Stats struct {
 	AgentMessages  int64 // migrations (equals moves)
 	BeaconMessages int64 // single-bit notifications
 	BeaconBits     int64 // payload bits carried by beacons (1 each)
+
+	// Link is the wire-fault accounting; zero without link faults.
+	// Only faultlink's deterministic counters appear here, so Stats
+	// stays comparable and byte-identical across reruns.
+	Link faultlink.Summary
 }
 
 // Run executes CLEAN WITH VISIBILITY on H_d as a message-passing
@@ -95,6 +124,7 @@ func Run(d int, cfg Config) Stats {
 	for v := range net.boxes {
 		net.boxes[v] = NewMailbox()
 	}
+	net.wireFaults()
 
 	var wg sync.WaitGroup
 	for v := 0; v < h.Order(); v++ {
@@ -106,12 +136,18 @@ func Run(d int, cfg Config) Stats {
 	}
 
 	// Boot: the homebase host receives the whole team as arrivals.
+	// Boot injections bypass the fault layer: there is no link into
+	// host 0's console, so the initial placement is reliable.
 	for _, id := range ids {
 		net.boxes[0].Send(Message{Kind: AgentArrival, From: 0, Agent: id})
 	}
 
 	wg.Wait()
-	return val.stats(team, net.agentMsgs.Load(), net.beaconMsgs.Load())
+	s := val.stats(team, net.agentMsgs.Load(), net.beaconMsgs.Load())
+	if net.fl != nil {
+		s.Link = net.fl.SummaryStats()
+	}
+	return s
 }
 
 // network is the shared wiring (hosts otherwise share nothing).
@@ -121,9 +157,28 @@ type network struct {
 	cfg   Config
 	val   validator
 	boxes []*Mailbox
+	fl    *faultlink.Layer[Message] // nil on the fault-free path
 
 	agentMsgs  atomic.Int64
 	beaconMsgs atomic.Int64
+}
+
+// wireFaults interposes the wire-fault layer when the plan asks for
+// it. Deliveries and crash markers use TrySend: a retired host has
+// closed its mailbox, and traffic at a decommissioned node is simply
+// dropped, never a protocol bug.
+func (n *network) wireFaults() {
+	if !n.cfg.Faults.HasLinkFaults() {
+		return
+	}
+	n.fl = faultlink.New(n.cfg.Faults, n.h.Order(), faultlink.Options{},
+		func(to, _ int, replay bool, m Message) {
+			m.Replay = replay
+			n.boxes[to].TrySend(m)
+		},
+		func(to int) {
+			n.boxes[to].TrySend(Message{Kind: HostRestart, From: to})
+		})
 }
 
 // send delivers a message after the link's randomized latency; rng is
@@ -132,6 +187,10 @@ func (n *network) send(rng *rand.Rand, to int, m Message) {
 	lat := time.Duration(0)
 	if n.cfg.MaxLatency > 0 {
 		lat = time.Duration(rng.Int63n(int64(n.cfg.MaxLatency) + 1))
+	}
+	if n.fl != nil {
+		n.sendFaulted(lat, to, m)
+		return
 	}
 	switch m.Kind {
 	case AgentArrival:
@@ -144,6 +203,24 @@ func (n *network) send(rng *rand.Rand, to int, m Message) {
 		return
 	}
 	time.AfterFunc(lat, func() { n.boxes[to].Send(m) })
+}
+
+// sendFaulted routes the message through the wire-fault layer.
+// Beacons take the idempotent path: a host rebuilt after a crash
+// blindly re-sends the beacons it already sent, the sender collapses
+// them, and only admitted frames count as messages. Agent dispatches
+// are always first sends — a host crash happens before its dispatch,
+// and the rebuilt host dispatches exactly once — so they use the
+// plain path.
+func (n *network) sendFaulted(lat time.Duration, to int, m Message) {
+	if m.Kind == GuardedBeacon {
+		if n.fl.SendIdempotent(m.From, to, "beacon", lat, m) {
+			n.beaconMsgs.Add(1)
+		}
+		return
+	}
+	n.agentMsgs.Add(1)
+	n.fl.Send(m.From, to, lat, m)
 }
 
 // runHost is one host's event loop: the local program of Section 4.2
@@ -165,9 +242,17 @@ func runHost(n *network, v int) {
 		if !ok {
 			break
 		}
+		if dispatched {
+			// Retired: only a crash marker or ledger replays can trail
+			// the dispatch-triggering message in the drain; the host's
+			// protocol obligations are already discharged.
+			continue
+		}
 		switch m.Kind {
 		case AgentArrival:
-			n.val.arrive(m.Agent, m.From, v)
+			if !m.Replay {
+				n.val.arrive(m.Agent, m.From, v)
+			}
 			gathered = append(gathered, m.Agent)
 			if len(gathered) == required {
 				// Guarded with the full complement: one bit to every
@@ -183,10 +268,19 @@ func runHost(n *network, v int) {
 			}
 		case GuardedBeacon:
 			ready[m.From] = true
+		case HostRestart:
+			// Amnesia crash: lose the soft protocol state. The wire
+			// layer replays every delivered frame right behind this
+			// marker; replays rebuild gathered/ready without touching
+			// the validator, and any re-sent beacons collapse in the
+			// idempotent sender.
+			gathered = gathered[:0]
+			clear(ready)
+			continue
 		default:
 			panic(fmt.Sprintf("netsim: host %d got unknown message kind %d", v, m.Kind))
 		}
-		if dispatched || len(gathered) < required {
+		if len(gathered) < required {
 			continue
 		}
 		if !allReady(smaller, ready) {

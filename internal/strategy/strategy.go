@@ -88,6 +88,7 @@ type Env struct {
 
 	opts         Options
 	log          *trace.Log
+	logStash     *trace.Log // trace retired by a Record:false flip, kept for its capacity
 	sigs         []des.Signal
 	contiguousOK bool
 	completed    bool
@@ -136,9 +137,21 @@ func (e *Env) applyOptions(opts Options) {
 	e.completed = false
 	if opts.Record {
 		if e.log == nil {
-			e.log = &trace.Log{}
+			// A Record:false -> true flip reuses the trace retired by
+			// the last recorded run of this environment (and thus this
+			// dimension), so the log is pre-sized instead of regrowing
+			// from scratch.
+			if e.logStash != nil {
+				e.log, e.logStash = e.logStash, nil
+			} else {
+				e.log = &trace.Log{}
+			}
 		}
 	} else {
+		if e.log != nil {
+			e.log.Reset()
+			e.logStash = e.log
+		}
 		e.log = nil
 	}
 	if opts.Faults != nil {

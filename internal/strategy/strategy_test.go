@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hypersearch/internal/des"
+	"hypersearch/internal/trace"
 )
 
 func TestUnitLatency(t *testing.T) {
@@ -157,5 +158,41 @@ func TestContiguityViolationDetected(t *testing.T) {
 	}
 	if r.Captured {
 		t.Error("this walk cannot capture")
+	}
+}
+
+// A Record:false -> true flip must hand back the trace retired by the
+// last recorded run, pre-sized, instead of regrowing a fresh log
+// (ROADMAP: trace-capacity reuse across option flips).
+func TestResetReusesTraceCapacityAcrossRecordFlips(t *testing.T) {
+	env := NewEnv(3, Options{Record: true})
+	for i := 0; i < 512; i++ {
+		env.Log().Append(trace.Event{Kind: trace.Move, Agent: 1, From: 0, To: 1})
+	}
+	warmed := env.Log().Cap()
+	if warmed < 512 {
+		t.Fatalf("log capacity %d after 512 appends", warmed)
+	}
+
+	env.Reset(Options{Record: false})
+	if env.Log() != nil {
+		t.Fatal("Record:false must expose no log")
+	}
+
+	env.Reset(Options{Record: true})
+	if env.Log() == nil {
+		t.Fatal("Record:true must expose a log again")
+	}
+	if got := env.Log().Cap(); got < warmed {
+		t.Errorf("flip regrew the trace: capacity %d, want the warmed %d", got, warmed)
+	}
+	if env.Log().Len() != 0 {
+		t.Errorf("reused log must start empty, has %d events", env.Log().Len())
+	}
+
+	// A straight Record:true -> Record:true reset also keeps capacity.
+	env.Reset(Options{Record: true})
+	if got := env.Log().Cap(); got < warmed {
+		t.Errorf("plain reset regrew the trace: capacity %d, want %d", got, warmed)
 	}
 }

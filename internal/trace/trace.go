@@ -50,6 +50,11 @@ func (l *Log) Append(e Event) {
 // environments.
 func (l *Log) Reset() { l.events = l.events[:0] }
 
+// Cap returns the capacity of the backing event array. Reset keeps
+// it, and environments stash retired logs across Record flips, so a
+// warmed log never regrows for same-size runs.
+func (l *Log) Cap() int { return cap(l.events) }
+
 // Events returns the recorded events; callers must not modify them.
 func (l *Log) Events() []Event { return l.events }
 
