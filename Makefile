@@ -3,7 +3,7 @@ GO ?= go
 .PHONY: all build vet test race ci faults faults-netsim fuzz bench bench-smoke bench-check
 
 # Committed benchmark baseline the regression gate compares against.
-BENCH_BASELINE ?= BENCH_pr3.json
+BENCH_BASELINE ?= BENCH_pr5.json
 
 all: build
 

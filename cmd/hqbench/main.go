@@ -33,6 +33,7 @@ import (
 	"hypersearch/internal/des"
 	"hypersearch/internal/envpool"
 	"hypersearch/internal/metrics"
+	"hypersearch/internal/netarena"
 	"hypersearch/internal/netsim"
 	"hypersearch/internal/whiteboard"
 )
@@ -59,6 +60,11 @@ func strategyMetrics(r metrics.Result) map[string]float64 {
 // dimension across all iterations and strategies — what sweeps do in
 // production, and what keeps allocs/op an honest steady-state figure.
 var pool = envpool.New()
+
+// arena is the netsim families' network arena: iterations after the
+// warmup reuse one pooled fabric, so allocs/op measures the
+// reused-arena path the experiment sweeps actually run.
+var arena = netarena.New()
 
 // mustRun executes one spec on the shared pool, failing loudly on any
 // invariant violation: a benchmark that lies about correctness is
@@ -164,7 +170,7 @@ func families() []family {
 			name:  "netsim-visibility/d=6",
 			iters: 10,
 			run: func() map[string]float64 {
-				st := netsim.Run(6, netsim.Config{Seed: 1})
+				st := arena.Run(6, netsim.Config{Seed: 1})
 				if !st.Ok() {
 					fmt.Fprintf(os.Stderr, "hqbench: netsim invariants violated: %s\n", st.Result)
 					os.Exit(1)
@@ -172,6 +178,21 @@ func families() []family {
 				return map[string]float64{
 					"agents":  float64(st.TeamSize),
 					"beacons": float64(st.BeaconMessages),
+				}
+			},
+		},
+		family{
+			name:  "netsim-clean/d=6",
+			iters: 10,
+			run: func() map[string]float64 {
+				st := arena.RunClean(6, netsim.Config{Seed: 1})
+				if !st.Ok() {
+					fmt.Fprintf(os.Stderr, "hqbench: netsim invariants violated: %s\n", st.Result)
+					os.Exit(1)
+				}
+				return map[string]float64{
+					"agents": float64(st.TeamSize),
+					"moves":  float64(st.TotalMoves),
 				}
 			},
 		},

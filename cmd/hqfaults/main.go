@@ -32,6 +32,7 @@ import (
 	"hypersearch/internal/hypercube"
 	"hypersearch/internal/invariant"
 	"hypersearch/internal/metrics"
+	"hypersearch/internal/netarena"
 	"hypersearch/internal/netsim"
 	"hypersearch/internal/runtime"
 	"hypersearch/internal/sched"
@@ -367,11 +368,11 @@ func netsimConfig(plan *faults.Plan, mode netsim.ValidatorMode) netsim.Config {
 	}
 }
 
-func runNetsim(d int, engine string, plan *faults.Plan, mode netsim.ValidatorMode) netsim.Stats {
+func runNetsim(a *netarena.Arena, d int, engine string, plan *faults.Plan, mode netsim.ValidatorMode) netsim.Stats {
 	if engine == engineNetsimClone {
-		return netsim.RunCloning(d, netsimConfig(plan, mode))
+		return a.RunCloning(d, netsimConfig(plan, mode))
 	}
-	return netsim.Run(d, netsimConfig(plan, mode))
+	return a.Run(d, netsimConfig(plan, mode))
 }
 
 // runNetScenario executes one wire-fault scenario under both validator
@@ -379,11 +380,11 @@ func runNetsim(d int, engine string, plan *faults.Plan, mode netsim.ValidatorMod
 // all-clean with zero recontaminations on both, with field-identical
 // stats, and recovery must leave the logical run unchanged against
 // the fault-free baseline.
-func runNetScenario(d int, s netScenario, bases map[string]netBaseline) netOutcome {
+func runNetScenario(a *netarena.Arena, d int, s netScenario, bases map[string]netBaseline) netOutcome {
 	o := netOutcome{name: s.name, engine: s.engine}
 	plan := s.plan(d)
-	striped := runNetsim(d, s.engine, plan, netsim.ValidatorStriped)
-	locked := runNetsim(d, s.engine, plan, netsim.ValidatorLocked)
+	striped := runNetsim(a, d, s.engine, plan, netsim.ValidatorStriped)
+	locked := runNetsim(a, d, s.engine, plan, netsim.ValidatorLocked)
 
 	o.moves = striped.TotalMoves
 	o.agentMsgs, o.beaconMsgs = striped.AgentMessages, striped.BeaconMessages
@@ -445,9 +446,19 @@ func netReport(bases map[string]netBaseline, outs []netOutcome) (string, bool) {
 // with the same worker fan-out and input-ordered assembly as the
 // runtime campaign.
 func runNetsimCampaign(d, workers int) (string, bool, error) {
+	// One network arena per worker (CollectW runs one task at a time
+	// per worker), so scenario runs reuse fabrics instead of building
+	// 2^d mailboxes and ledgers per run.
+	if workers <= 0 {
+		workers = sched.DefaultWorkers()
+	}
+	arenas := make([]*netarena.Arena, workers)
+	for i := range arenas {
+		arenas[i] = netarena.New()
+	}
 	engines := []string{engineNetsimVis, engineNetsimClone}
-	baseRuns, err := sched.Collect(workers, len(engines), func(i int) netBaseline {
-		s := runNetsim(d, engines[i], nil, netsim.ValidatorStriped)
+	baseRuns, err := sched.CollectW(workers, len(engines), func(w, i int) netBaseline {
+		s := runNetsim(arenas[w], d, engines[i], nil, netsim.ValidatorStriped)
 		return netBaseline{s.TotalMoves, s.AgentMessages, s.BeaconMessages}
 	})
 	if err != nil {
@@ -459,8 +470,8 @@ func runNetsimCampaign(d, workers int) (string, bool, error) {
 	}
 
 	scenarios := netsimCampaign()
-	outs, err := sched.Collect(workers, len(scenarios), func(i int) netOutcome {
-		return runNetScenario(d, scenarios[i], bases)
+	outs, err := sched.CollectW(workers, len(scenarios), func(w, i int) netOutcome {
+		return runNetScenario(arenas[w], d, scenarios[i], bases)
 	})
 	if err != nil {
 		return "", false, err

@@ -20,6 +20,7 @@ import (
 	"hypersearch/internal/intruder"
 	"hypersearch/internal/isoperimetry"
 	"hypersearch/internal/metrics"
+	"hypersearch/internal/netarena"
 	"hypersearch/internal/netsim"
 	"hypersearch/internal/sched"
 	"hypersearch/internal/stats"
@@ -89,6 +90,20 @@ func sourcePools(workers int) []strategy.Source {
 		pools[i] = envpool.New()
 	}
 	return pools
+}
+
+// netArenas is sourcePools for the netsim engines: one network arena
+// per scheduler worker, used without locking under CollectW's
+// one-task-per-worker guarantee.
+func netArenas(workers int) []*netarena.Arena {
+	if workers <= 0 {
+		workers = sched.DefaultWorkers()
+	}
+	arenas := make([]*netarena.Arena, workers)
+	for i := range arenas {
+		arenas[i] = netarena.New()
+	}
+	return arenas
 }
 
 // T2 reproduces Theorem 2: the team size of Algorithm CLEAN.
@@ -549,18 +564,23 @@ func x9Ceiling(numCPU int) int {
 // byte-identical for every worker count.
 func X9(maxD, seeds, workers int) Report {
 	t := metrics.NewTable("protocol", "d", "n", "agents", "migrations", "beacons/sync hops", "all seeds OK")
-	protocols := []func(d int, cfg netsim.Config) netsim.Stats{
-		netsim.Run, netsim.RunClean, netsim.RunCloning,
+	protocols := []func(a *netarena.Arena, d int, cfg netsim.Config) netsim.Stats{
+		(*netarena.Arena).Run, (*netarena.Arena).RunClean, (*netarena.Arena).RunCloning,
 	}
 	dims := maxD - 1 // d ranges over 2..maxD
 	if dims < 0 {
 		dims = 0
 	}
-	flat, err := sched.Collect(workers, dims*len(protocols)*seeds, func(i int) netsim.Stats {
+	// One network arena per worker, like the DES side's sourcePools:
+	// consecutive tasks on a worker reuse each other's fabrics, so a
+	// sweep builds each dimension's mailboxes/ledgers once per worker
+	// instead of once per (protocol, seed) run.
+	arenas := netArenas(workers)
+	flat, err := sched.CollectW(workers, dims*len(protocols)*seeds, func(w, i int) netsim.Stats {
 		seed := i % seeds
 		proto := i / seeds % len(protocols)
 		d := 2 + i/(seeds*len(protocols))
-		return protocols[proto](d, netsim.Config{Seed: int64(seed), MaxLatency: 5 * time.Microsecond})
+		return protocols[proto](arenas[w], d, netsim.Config{Seed: int64(seed), MaxLatency: 5 * time.Microsecond})
 	})
 	if err != nil {
 		panic(err)

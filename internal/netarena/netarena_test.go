@@ -1,0 +1,143 @@
+package netarena
+
+import (
+	"testing"
+	"time"
+
+	"hypersearch/internal/faults"
+	"hypersearch/internal/heapqueue"
+	"hypersearch/internal/netsim"
+)
+
+// engines are the three netsim protocols, paired fresh-vs-arena.
+var engines = []struct {
+	name  string
+	fresh func(d int, cfg netsim.Config) netsim.Stats
+	arena func(a *Arena, d int, cfg netsim.Config) netsim.Stats
+}{
+	{"visibility", netsim.Run, (*Arena).Run},
+	{"clean", netsim.RunClean, (*Arena).RunClean},
+	{"cloning", netsim.RunCloning, (*Arena).RunCloning},
+}
+
+// dupPlan builds a link-fault plan whose duplicate copies and delays
+// schedule timers that can outlive the run — the straggler shape the
+// quiescence barrier exists for.
+func dupPlan(d int) *faults.Plan {
+	c0 := heapqueue.New(d).Children(0)[0]
+	return &faults.Plan{Name: "arena-dup", Seed: 21, Faults: []faults.Fault{
+		{Kind: faults.LinkDup, Target: faults.LinkTarget(0, c0), At: 1, Until: 16},
+		{Kind: faults.LinkDelay, Target: faults.LinkTarget(0, c0), At: 1, Until: 8, Delay: 300},
+		{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, c0), At: 2, Until: 4, Times: 1},
+	}}
+}
+
+// TestArenaMatchesFreshByteIdentity reuses one fabric per dimension
+// across repeated runs of every engine and requires Stats == the
+// fresh-fabric run's, byte for byte — the netsim mirror of envpool's
+// pooled-vs-fresh tests. Acceptance: identical at every d <= 8.
+func TestArenaMatchesFreshByteIdentity(t *testing.T) {
+	a := New()
+	for _, e := range engines {
+		for d := 0; d <= 8; d++ {
+			if testing.Short() && d > 5 {
+				continue
+			}
+			cfg := netsim.Config{Seed: int64(11*d + 5), MaxLatency: 20 * time.Microsecond}
+			fresh := e.fresh(d, cfg)
+			for round := 0; round < 3; round++ {
+				got := e.arena(a, d, cfg)
+				if got != fresh {
+					t.Errorf("%s d=%d round %d: arena stats diverge from fresh:\narena: %+v\nfresh: %+v",
+						e.name, d, round, got, fresh)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaReuseAcrossFaultedThenClean runs a link-faulted run and a
+// fault-free run back to back on the same fabric: the clean run's
+// Stats must match a fresh fabric's exactly, including a zero wire
+// Summary — no ledger, ARQ or counter state may leak across the reset.
+func TestArenaReuseAcrossFaultedThenClean(t *testing.T) {
+	a := New()
+	for _, e := range engines {
+		if e.name == "clean" {
+			continue // the coordinated engine takes no wire faults
+		}
+		for _, d := range []int{3, 5, 7} {
+			if testing.Short() && d > 5 {
+				continue
+			}
+			cfg := netsim.Config{Seed: int64(7 * d), MaxLatency: 100 * time.Microsecond}
+			fresh := e.fresh(d, cfg)
+
+			faulted := cfg
+			faulted.Faults = dupPlan(d)
+			ff := e.arena(a, d, faulted)
+			if ff.Link.Dups == 0 {
+				t.Errorf("%s d=%d: faulted run injected no duplicates; plan inert", e.name, d)
+			}
+			got := e.arena(a, d, cfg)
+			if got != fresh {
+				t.Errorf("%s d=%d: clean run after faulted reuse diverges:\narena: %+v\nfresh: %+v",
+					e.name, d, got, fresh)
+			}
+			if got.Link != (netsim.Stats{}).Link {
+				t.Errorf("%s d=%d: wire summary leaked across reset: %+v", e.name, d, got.Link)
+			}
+		}
+	}
+}
+
+// TestArenaPoolsCompletedFabric pins the pooling mechanics: a
+// completed fabric comes back from the next Acquire of its dimension,
+// and dimensions do not cross.
+func TestArenaPoolsCompletedFabric(t *testing.T) {
+	a := New()
+	f := a.Acquire(4)
+	netsim.RunOn(f, netsim.Config{Seed: 1})
+	a.Release(f)
+	if g := a.Acquire(4); g != f {
+		t.Error("completed fabric was not pooled for its dimension")
+	} else {
+		a.Release(g)
+	}
+	if g := a.Acquire(5); g == f {
+		t.Error("arena handed a d=4 fabric to a d=5 acquire")
+	}
+}
+
+// TestArenaDropsUnrunFabric pins poison-on-incomplete: a fabric that
+// never completed a run (fresh, or panicked mid-flight) must not be
+// pooled.
+func TestArenaDropsUnrunFabric(t *testing.T) {
+	a := New()
+	f := a.Acquire(3)
+	if f.Completed() {
+		t.Fatal("fresh fabric reports completed")
+	}
+	a.Release(f)
+	if g := a.Acquire(3); g == f {
+		t.Error("arena pooled a fabric that never completed a run")
+	}
+}
+
+// TestArenaQuiescentOnRelease asserts the load-bearing correctness
+// property of pooling: at every Release, no timer from the run is
+// still pending — even under a fault plan built to leave duplicate
+// copies flying after the protocol completes.
+func TestArenaQuiescentOnRelease(t *testing.T) {
+	a := New()
+	const d = 3
+	cfg := netsim.Config{Seed: 9, MaxLatency: 500 * time.Microsecond, Faults: dupPlan(d)}
+	for i := 0; i < 20; i++ {
+		f := a.Acquire(d)
+		netsim.RunOn(f, cfg)
+		if n := f.PendingTimers(); n != 0 {
+			t.Fatalf("iteration %d: %d timers still pending after RunOn returned", i, n)
+		}
+		a.Release(f)
+	}
+}

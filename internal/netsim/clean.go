@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,13 +59,18 @@ type syncState struct {
 // synchronizer migrates with its program and rides the same message as
 // the cleaner it guides on every escort leg. Costs are identical to
 // the other two engines; only the realization differs.
-func RunClean(d int, cfg Config) Stats {
-	h := hypercube.New(d)
-	bt := heapqueue.New(d)
+func RunClean(d int, cfg Config) Stats { return RunCleanOn(NewFabric(d), cfg) }
+
+// RunCleanOn executes Algorithm CLEAN on a caller-owned fabric,
+// reusing its mailboxes, scratch and validator; like RunOn, it drains
+// the timer quiescence barrier before returning.
+func RunCleanOn(f *Fabric, cfg Config) Stats {
+	f.begin()
+	d := f.d
 	team := int(combin.CleanTeamSize(d))
 
-	val := cfg.makeValidator(h)
-	ids := make([]int, team)
+	val := f.validator(cfg)
+	ids := f.bootIDs(team)
 	for i := range ids {
 		ids[i] = val.place()
 	}
@@ -74,26 +78,18 @@ func RunClean(d int, cfg Config) Stats {
 		val.terminate(ids[0], 0)
 		s := val.stats(team, 0, 0)
 		s.Strategy = CleanName
+		f.complete()
 		return s
 	}
 
-	c := &cleanNet{
-		h: h, bt: bt, cfg: cfg, val: val,
-		boxes:  make([]*cleanMailbox, h.Order()),
-		syncID: ids[0],
-		pool:   ids[1:],
-	}
-	for v := range c.boxes {
-		c.boxes[v] = newCleanMailbox()
-	}
+	c := f.cleanNetwork(cfg, val)
+	c.syncID = ids[0]
+	c.pool = ids[1:]
 
 	var wg sync.WaitGroup
-	for v := 0; v < h.Order(); v++ {
-		wg.Add(1)
-		go func(v int) {
-			defer wg.Done()
-			c.runHost(v)
-		}(v)
+	wg.Add(f.h.Order())
+	for v := 0; v < f.h.Order(); v++ {
+		go c.host(&wg, v)
 	}
 
 	// Boot: the synchronizer "arrives" at the root with phase 0 ready.
@@ -101,32 +97,41 @@ func RunClean(d int, cfg Config) Stats {
 		Kind: SyncHop, From: 0, Agent: c.syncID,
 		Sync: &syncState{
 			ID: c.syncID, Phase: 0, Dest: -1, BounceTo: -1,
-			Stop: 0, Escorts: append([]int(nil), bt.Children(0)...),
+			Stop: 0, Escorts: append([]int(nil), f.bt.Children(0)...),
 		},
 	})
 	wg.Wait()
+	c.quiesce()
 	s := val.stats(team, c.moves.Load(), 0)
 	s.Strategy = CleanName
 	s.SyncMoves = c.syncMoves.Load()
 	s.AgentMoves = s.TotalMoves - s.SyncMoves
 	s.BeaconMessages = 0 // the coordinated protocol needs no beacons
 	s.BeaconBits = 0
+	f.complete()
 	return s
 }
 
 // cleanNet is the shared wiring; hosts communicate only via mailboxes.
+// Like network, it lives inside a Fabric and is reused across runs.
 type cleanNet struct {
-	h      *hypercube.Hypercube
-	bt     *heapqueue.Tree
-	cfg    Config
-	val    validator
-	boxes  []*cleanMailbox
-	syncID int
-	pool   []int // boot-time pool membership (root-local thereafter)
+	h       *hypercube.Hypercube
+	bt      *heapqueue.Tree
+	cfg     Config
+	val     validator
+	boxes   []*cleanMailbox
+	scratch []cleanScratch
+	syncID  int
+	pool    []int // boot-time pool membership (root-local thereafter)
+
+	timers timerSet // quiescence barrier over delivery timers
 
 	moves     atomic.Int64
 	syncMoves atomic.Int64
 }
+
+// quiesce drains the run's delivery timers.
+func (c *cleanNet) quiesce() { c.timers.wait() }
 
 // cleanHost is one host's local state.
 type cleanHost struct {
@@ -137,9 +142,28 @@ type cleanHost struct {
 	closed    bool
 }
 
+// reset re-arms the host state for a new run, keeping slice capacity.
+func (st *cleanHost) reset() {
+	st.pool = st.pool[:0]
+	st.gathered = st.gathered[:0]
+	st.sync = nil
+	st.shutdowns = 0
+	st.closed = false
+}
+
+// host runs one host's event loop and joins the run's WaitGroup
+// (closure-free spawn, like network.visHost).
+func (c *cleanNet) host(wg *sync.WaitGroup, v int) {
+	defer wg.Done()
+	c.runHost(v)
+}
+
 func (c *cleanNet) runHost(v int) {
-	rng := rand.New(rand.NewSource(c.cfg.Seed ^ (int64(v)+1)*0x1000193))
-	st := &cleanHost{}
+	sc := &c.scratch[v]
+	sc.rng = newHostRNG(c.cfg.Seed, v, streamClean)
+	rng := &sc.rng
+	st := &sc.st
+	st.reset()
 	if v == 0 {
 		st.pool = append(st.pool, c.pool...)
 	}
@@ -178,7 +202,7 @@ func (c *cleanNet) runHost(v int) {
 
 // onCourier lands or forwards a source-routed cleaner; an escorting
 // synchronizer lands with it.
-func (c *cleanNet) onCourier(rng *rand.Rand, v int, st *cleanHost, m cleanMessage) {
+func (c *cleanNet) onCourier(rng *hostRNG, v int, st *cleanHost, m cleanMessage) {
 	c.val.arrive(m.Agent, m.From, v)
 	if len(m.Route) > 0 {
 		next := m.Route[0]
@@ -205,7 +229,7 @@ func (c *cleanNet) onCourier(rng *rand.Rand, v int, st *cleanHost, m cleanMessag
 
 // advance runs the synchronizer program as far as host-local state
 // allows; it is re-entered on every arrival at this host.
-func (c *cleanNet) advance(rng *rand.Rand, v int, st *cleanHost) {
+func (c *cleanNet) advance(rng *hostRNG, v int, st *cleanHost) {
 	s := st.sync
 	if s == nil {
 		return
@@ -267,7 +291,7 @@ func (c *cleanNet) advance(rng *rand.Rand, v int, st *cleanHost) {
 				panic(fmt.Sprintf("netsim: leaf %d holds %d cleaners", v, len(st.gathered)))
 			}
 			a := st.gathered[0]
-			st.gathered = nil
+			st.gathered = st.gathered[:0]
 			route := c.h.ShortestPath(v, 0)
 			c.val.depart(a, v)
 			c.moves.Add(1)
@@ -322,7 +346,7 @@ func (c *cleanNet) advance(rng *rand.Rand, v int, st *cleanHost) {
 
 // nextStop advances the program once the current stop (if any) is
 // complete.
-func (c *cleanNet) nextStop(rng *rand.Rand, v int, st *cleanHost, s *syncState) {
+func (c *cleanNet) nextStop(rng *hostRNG, v int, st *cleanHost, s *syncState) {
 	if len(s.Stops) > 0 {
 		s.Stop = s.Stops[0]
 		s.Stops = s.Stops[1:]
@@ -380,7 +404,7 @@ func (c *cleanNet) expectedFinalPool() int {
 }
 
 // hopSync migrates the synchronizer one hop; the state rides along.
-func (c *cleanNet) hopSync(rng *rand.Rand, from, to int, st *cleanHost) {
+func (c *cleanNet) hopSync(rng *hostRNG, from, to int, st *cleanHost) {
 	s := st.sync
 	st.sync = nil
 	c.val.depart(s.ID, from)
@@ -389,7 +413,7 @@ func (c *cleanNet) hopSync(rng *rand.Rand, from, to int, st *cleanHost) {
 }
 
 // send delivers a coordinated-protocol message with link latency.
-func (c *cleanNet) send(rng *rand.Rand, to int, m cleanMessage) {
+func (c *cleanNet) send(rng *hostRNG, to int, m cleanMessage) {
 	lat := time.Duration(0)
 	if c.cfg.MaxLatency > 0 {
 		lat = time.Duration(rng.Int63n(int64(c.cfg.MaxLatency) + 1))
@@ -398,5 +422,5 @@ func (c *cleanNet) send(rng *rand.Rand, to int, m cleanMessage) {
 		c.boxes[to].Send(m)
 		return
 	}
-	time.AfterFunc(lat, func() { c.boxes[to].Send(m) })
+	c.timers.after(lat, func() { c.boxes[to].Send(m) })
 }

@@ -2,12 +2,9 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 
 	"hypersearch/internal/bits"
-	"hypersearch/internal/heapqueue"
-	"hypersearch/internal/hypercube"
 )
 
 // CloningName identifies the message-passing cloning run in results.
@@ -20,53 +17,62 @@ const CloningName = "cloning-netsim"
 // agent down each broadcast-tree edge. Total agent migrations: n-1,
 // the minimum possible, making the variant the message-optimal
 // realization of the visibility model.
-func RunCloning(d int, cfg Config) Stats {
-	h := hypercube.New(d)
-	bt := heapqueue.New(d)
+func RunCloning(d int, cfg Config) Stats { return RunCloningOn(NewFabric(d), cfg) }
 
-	val := cfg.makeValidator(h)
+// RunCloningOn executes the cloning variant on a caller-owned fabric,
+// reusing its mailboxes, scratch and validator; like RunOn, it drains
+// the timer quiescence barrier before returning.
+func RunCloningOn(f *Fabric, cfg Config) Stats {
+	f.begin()
+	val := f.validator(cfg)
 	seed := val.place()
-	if d == 0 {
+	if f.d == 0 {
 		val.terminate(seed, 0)
 		s := val.stats(1, 0, 0)
 		s.Strategy = CloningName
+		f.complete()
 		return s
 	}
 
-	net := &network{
-		h: h, bt: bt, cfg: cfg, val: val,
-		boxes: make([]*Mailbox, h.Order()),
-	}
-	for v := range net.boxes {
-		net.boxes[v] = NewMailbox()
-	}
-	net.wireFaults()
+	net := f.visNetwork(cfg, val)
 
 	var wg sync.WaitGroup
-	for v := 0; v < h.Order(); v++ {
-		wg.Add(1)
-		go func(v int) {
-			defer wg.Done()
-			runCloningHost(net, v)
-		}(v)
+	wg.Add(f.h.Order())
+	for v := 0; v < f.h.Order(); v++ {
+		go net.cloningHost(&wg, v)
 	}
 	net.boxes[0].Send(Message{Kind: AgentArrival, From: 0, Agent: seed})
 	wg.Wait()
+	net.quiesce()
 
 	s := val.stats(val.agents(), net.agentMsgs.Load(), net.beaconMsgs.Load())
 	if net.fl != nil {
 		s.Link = net.fl.SummaryStats()
 	}
 	s.Strategy = CloningName
+	f.complete()
 	return s
 }
 
+// cloningHost runs one host's cloning loop and joins the run's
+// WaitGroup (closure-free spawn, like visHost).
+func (n *network) cloningHost(wg *sync.WaitGroup, v int) {
+	defer wg.Done()
+	runCloningHost(n, v)
+}
+
 // runCloningHost is the local cloning rule: one arrival, clone for the
-// children, beacon the dependents.
+// children, beacon the dependents. The gathered scratch doubles as the
+// movers list at dispatch.
 func runCloningHost(n *network, v int) {
-	rng := rand.New(rand.NewSource(n.cfg.Seed ^ int64(v)*0x01000193))
+	sc := &n.scratch[v]
+	sc.rng = newHostRNG(n.cfg.Seed, v, streamCloning)
+	rng := &sc.rng
 	smaller := n.h.SmallerNeighbours(v)
-	ready := make(map[int]bool, len(smaller))
+	allReady := readyMask(len(smaller))
+
+	sc.gathered = sc.gathered[:0]
+	sc.ready = 0
 	incumbent := -1
 	dispatched := false
 
@@ -92,18 +98,20 @@ func runCloningHost(n *network, v int) {
 				}
 			}
 		case GuardedBeacon:
-			ready[m.From] = true
+			if i := indexOf(smaller, m.From); i >= 0 {
+				sc.ready |= 1 << uint(i)
+			}
 		case HostRestart:
 			// Amnesia crash: the ledger replay behind this marker
 			// rebuilds incumbent/ready; re-beacons collapse in the
 			// idempotent sender.
 			incumbent = -1
-			clear(ready)
+			sc.ready = 0
 			continue
 		default:
 			panic(fmt.Sprintf("netsim: cloning host %d got message kind %d", v, m.Kind))
 		}
-		if incumbent < 0 || !allReady(smaller, ready) {
+		if incumbent < 0 || sc.ready != allReady {
 			continue
 		}
 		dispatched = true
@@ -115,10 +123,11 @@ func runCloningHost(n *network, v int) {
 		}
 		// The incumbent continues to the first child; clones take the
 		// rest. Cloning is host-local: no messages, no latency.
-		movers := []int{incumbent}
+		movers := append(sc.gathered[:0], incumbent)
 		for i := 1; i < len(children); i++ {
 			movers = append(movers, n.val.clone(v))
 		}
+		sc.gathered = movers
 		for i, child := range children {
 			n.val.depart(movers[i], v)
 			n.send(rng, child, Message{Kind: AgentArrival, From: v, Agent: movers[i]})

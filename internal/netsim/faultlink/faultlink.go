@@ -140,6 +140,14 @@ type Layer[T any] struct {
 
 	hosts []hostState[T]
 
+	// timers is the quiescence barrier over the layer's wall-clock
+	// machinery: every time.AfterFunc (retransmit backoff, delayed
+	// flight, duplicate copy) registers here and Quiesce blocks until
+	// all of them have fired and returned. pendingTimers mirrors the
+	// same count observably for tests.
+	timers        sync.WaitGroup
+	pendingTimers atomic.Int64
+
 	frames        atomic.Int64
 	transmissions atomic.Int64
 	drops         atomic.Int64
@@ -188,12 +196,20 @@ func New[T any](plan *faults.Plan, hosts int, opts Options,
 		links:   make(map[int64]*link[T]),
 		hosts:   make([]hostState[T], hosts),
 	}
+	l.faults = compileFaults(plan)
+	return l
+}
+
+// compileFaults validates the plan and compiles its link faults into
+// trigger records. A nil plan compiles to none (pass-through layer).
+func compileFaults(plan *faults.Plan) []wireFault {
 	if plan == nil {
-		return l
+		return nil
 	}
 	if err := plan.Validate(); err != nil {
 		panic(err)
 	}
+	var wfs []wireFault
 	for _, f := range plan.LinkFaults() {
 		from, to, err := faults.ParseLinkTarget(f.Target)
 		if err != nil {
@@ -210,10 +226,75 @@ func New[T any](plan *faults.Plan, hosts int, opts Options,
 		if wf.kind == faults.LinkDrop && wf.times == 0 {
 			wf.times = 1
 		}
-		l.faults = append(l.faults, wf)
+		wfs = append(wfs, wf)
 	}
-	return l
+	return wfs
 }
+
+// Reset re-arms a quiesced layer for a new run under a new plan:
+// sequence counters restart from frame 1, the idempotency, reorder and
+// ledger state of the previous run is discarded (capacity kept), and
+// the wire counters zero. Callers must have joined the previous run's
+// hosts and called Quiesce first — a still-flying timer would admit a
+// stale frame into the new run's ledgers.
+func (l *Layer[T]) Reset(plan *faults.Plan) {
+	l.faults = compileFaults(plan)
+	l.mu.Lock()
+	for _, lk := range l.links {
+		lk.mu.Lock()
+		lk.nextSeq = 0
+		lk.expect = 1
+		clear(lk.once)
+		clear(lk.held)
+		lk.mu.Unlock()
+	}
+	l.mu.Unlock()
+	for i := range l.hosts {
+		h := &l.hosts[i]
+		h.mu.Lock()
+		clear(h.ledger) // release payload references
+		h.ledger = h.ledger[:0]
+		h.mu.Unlock()
+	}
+	l.frames.Store(0)
+	l.transmissions.Store(0)
+	l.drops.Store(0)
+	l.retransmits.Store(0)
+	l.dups.Store(0)
+	l.crashes.Store(0)
+	l.deduped.Store(0)
+	l.dupsDiscarded.Store(0)
+	l.held.Store(0)
+	l.replays.Store(0)
+}
+
+// after schedules fn under the quiescence barrier. The count is taken
+// at schedule time and dropped only after fn returns, so a chained
+// reschedule (a retransmit arming the next attempt from inside its
+// callback) keeps the counter above zero for the whole chain — Quiesce
+// can never observe a momentary zero between links of a chain.
+func (l *Layer[T]) after(d time.Duration, fn func()) {
+	l.pendingTimers.Add(1)
+	l.timers.Add(1)
+	time.AfterFunc(d, func() {
+		defer func() {
+			l.pendingTimers.Add(-1)
+			l.timers.Done()
+		}()
+		fn()
+	})
+}
+
+// Quiesce blocks until every timer the layer has scheduled has fired
+// and returned. A duplicate copy is not needed for protocol completion,
+// so its timer can outlive the run that scheduled it; engines must
+// Quiesce after joining their hosts and before the layer's state is
+// harvested or recycled.
+func (l *Layer[T]) Quiesce() { l.timers.Wait() }
+
+// PendingTimers reports how many scheduled timers have not yet
+// completed; zero after Quiesce, by construction.
+func (l *Layer[T]) PendingTimers() int64 { return l.pendingTimers.Load() }
 
 // Send admits one logical frame from -> to and transmits it with the
 // given base latency plus whatever the plan injects.
@@ -334,20 +415,20 @@ func (l *Layer[T]) transmit(lk *link[T], seq int64, attempt int, latency time.Du
 		l.drops.Add(1)
 		l.retransmits.Add(1)
 		backoff := l.opts.RetransmitBase << (attempt - 1)
-		time.AfterFunc(backoff, func() { l.transmit(lk, seq, attempt+1, latency, payload) })
+		l.after(backoff, func() { l.transmit(lk, seq, attempt+1, latency, payload) })
 		return
 	}
 	flight := latency + time.Duration(delay)*l.opts.DelayUnit
 	if flight == 0 {
 		l.receive(lk, seq, payload)
 	} else {
-		time.AfterFunc(flight, func() { l.receive(lk, seq, payload) })
+		l.after(flight, func() { l.receive(lk, seq, payload) })
 	}
 	if dup {
 		l.dups.Add(1)
 		// The copy flies the same route a beat behind the original;
 		// whichever lands first is admitted, the other discarded.
-		time.AfterFunc(flight+l.opts.DelayUnit, func() { l.receive(lk, seq, payload) })
+		l.after(flight+l.opts.DelayUnit, func() { l.receive(lk, seq, payload) })
 	}
 }
 

@@ -238,3 +238,64 @@ func TestNewPanicsOnInvalidPlan(t *testing.T) {
 		{Kind: faults.LinkDrop, Target: "link:1-1", At: 1},
 	}}, 2, Options{}, func(int, int, bool, int) {}, func(int) {})
 }
+
+// TestQuiesceDrainsStragglerTimers provokes the post-run straggler
+// directly: a duplicated, delayed frame schedules its copy's delivery
+// on a wall-clock timer that the protocol never waits for. The barrier
+// must report the pending timer, block until it fires, and leave the
+// observable count at zero — the property pooled fabrics rest on.
+func TestQuiesceDrainsStragglerTimers(t *testing.T) {
+	plan := &faults.Plan{Name: "q", Seed: 1, Faults: []faults.Fault{
+		{Kind: faults.LinkDup, Target: faults.LinkTarget(0, 1), At: 1},
+		{Kind: faults.LinkDelay, Target: faults.LinkTarget(0, 1), At: 1, Delay: 20000},
+	}}
+	l, r := newTestLayer(plan, 2)
+	l.Send(0, 1, 0, 7)
+	// The delayed original and its duplicate copy are both on timers
+	// the moment Send returns; a caller that only waited for protocol
+	// completion (the first delivery) would leave the copy flying.
+	if n := l.PendingTimers(); n == 0 {
+		t.Fatal("no pending timers after a delayed+duplicated send; straggler not provoked")
+	}
+	l.Quiesce()
+	if n := l.PendingTimers(); n != 0 {
+		t.Fatalf("%d timers pending after Quiesce", n)
+	}
+	evs := r.snapshot()
+	if len(evs) != 1 || evs[0] != "deliver 0->1:7" {
+		t.Fatalf("after quiesce: want exactly one admitted delivery, got %v", evs)
+	}
+	if s := l.Stats(); s.Dups != 1 || s.DupsDiscarded != 1 {
+		t.Fatalf("dup accounting wrong after quiesce: %+v", s)
+	}
+}
+
+// TestResetReusesLayerAcrossPlans pins the pooled-layer lifecycle:
+// after Quiesce+Reset the layer runs a different plan from a clean
+// slate — fresh sequence numbers, empty ledgers, zeroed counters —
+// and a reset to a nil plan behaves exactly like a pass-through layer.
+func TestResetReusesLayerAcrossPlans(t *testing.T) {
+	plan := &faults.Plan{Name: "r1", Seed: 2, Faults: []faults.Fault{
+		{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, 1), At: 1, Times: 2},
+	}}
+	l, r := newTestLayer(plan, 2)
+	l.Send(0, 1, 0, 1)
+	l.Quiesce()
+	if s := l.Stats(); s.Drops != 2 || s.Retransmits != 2 {
+		t.Fatalf("faulted run accounting: %+v", s)
+	}
+
+	l.Reset(nil)
+	if s := l.Stats(); s != (WireStats{}) {
+		t.Fatalf("reset left counters: %+v", s)
+	}
+	l.Send(0, 1, 0, 2)
+	l.Quiesce()
+	if s := l.Stats(); s.Frames != 1 || s.Drops != 0 || s.Transmissions != 1 {
+		t.Fatalf("pass-through after reset: %+v", s)
+	}
+	evs := r.snapshot()
+	if want := "deliver 0->1:2"; evs[len(evs)-1] != want {
+		t.Fatalf("frame after reset renumbered wrong: %v", evs)
+	}
+}

@@ -75,6 +75,32 @@ func (q *queue[T]) Recv() (m T, ok bool) {
 	return m, true
 }
 
+// maxRetainedCap bounds the backing capacity a mailbox keeps across
+// arena reuse. Recv compacts but never shrinks, so one burst-heavy run
+// (the homebase receives the whole team at boot; at d=12 that is 925
+// arrivals) would otherwise pin its peak capacity in the pool forever.
+// 256 slots retain every burst up to d=9 and let the rare bigger runs
+// pay a fresh grow.
+const maxRetainedCap = 256
+
+// reset reopens the mailbox for a new run on a pooled fabric: the
+// backing array is dropped if it outgrew maxRetainedCap, otherwise it
+// is zeroed (releasing any payload references) and kept. Callers must
+// have quiesced the previous run first — no host goroutine or delivery
+// timer may still hold the mailbox.
+func (q *queue[T]) reset() {
+	q.mu.Lock()
+	if cap(q.items) > maxRetainedCap {
+		q.items = nil
+	} else {
+		clear(q.items[:cap(q.items)])
+		q.items = q.items[:0]
+	}
+	q.head = 0
+	q.closed = false
+	q.mu.Unlock()
+}
+
 // Close marks the mailbox closed; queued messages remain receivable.
 func (q *queue[T]) Close() {
 	q.mu.Lock()

@@ -23,11 +23,15 @@
 // sender. Boot injections to the homebase bypass the layer: host 0's
 // console is the one reliable component, exactly like the initial
 // placement in the runtime engines.
+//
+// Every run executes on a Fabric — the pooled network arena holding
+// mailboxes, per-host scratch, validator ledgers and the wire-fault
+// layer. Run builds a private throwaway fabric; RunOn executes on a
+// caller-owned (typically netarena-pooled) one, reusing all of it.
 package netsim
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,38 +105,37 @@ type Stats struct {
 }
 
 // Run executes CLEAN WITH VISIBILITY on H_d as a message-passing
-// system and returns the run statistics.
-func Run(d int, cfg Config) Stats {
-	h := hypercube.New(d)
-	bt := heapqueue.New(d)
+// system on a fresh throwaway fabric and returns the run statistics.
+func Run(d int, cfg Config) Stats { return RunOn(NewFabric(d), cfg) }
+
+// RunOn executes CLEAN WITH VISIBILITY on the fabric's hypercube,
+// reusing the fabric's mailboxes, scratch and validator. The caller
+// owns the fabric; after RunOn returns every timer the run scheduled
+// has drained (the quiescence barrier), so the fabric may immediately
+// host the next run.
+func RunOn(f *Fabric, cfg Config) Stats {
+	f.begin()
+	d := f.d
 	team := int(combin.VisibilityAgents(d))
 
-	val := cfg.makeValidator(h)
-	ids := make([]int, team)
+	val := f.validator(cfg)
+	ids := f.bootIDs(team)
 	for i := range ids {
 		ids[i] = val.place()
 	}
 	if d == 0 {
 		val.terminate(ids[0], 0)
-		return val.stats(team, 0, 0)
+		s := val.stats(team, 0, 0)
+		f.complete()
+		return s
 	}
 
-	net := &network{
-		h: h, bt: bt, cfg: cfg, val: val,
-		boxes: make([]*Mailbox, h.Order()),
-	}
-	for v := range net.boxes {
-		net.boxes[v] = NewMailbox()
-	}
-	net.wireFaults()
+	net := f.visNetwork(cfg, val)
 
 	var wg sync.WaitGroup
-	for v := 0; v < h.Order(); v++ {
-		wg.Add(1)
-		go func(v int) {
-			defer wg.Done()
-			runHost(net, v)
-		}(v)
+	wg.Add(f.h.Order())
+	for v := 0; v < f.h.Order(); v++ {
+		go net.visHost(&wg, v)
 	}
 
 	// Boot: the homebase host receives the whole team as arrivals.
@@ -143,21 +146,38 @@ func Run(d int, cfg Config) Stats {
 	}
 
 	wg.Wait()
+	// Quiesce before harvesting: joining the hosts proves the protocol
+	// finished, draining the timer barrier proves no wall-clock
+	// delivery (a late duplicate copy, say) is still in flight into
+	// the mailboxes and ledgers the next run will reuse.
+	net.quiesce()
 	s := val.stats(team, net.agentMsgs.Load(), net.beaconMsgs.Load())
 	if net.fl != nil {
 		s.Link = net.fl.SummaryStats()
 	}
+	f.complete()
 	return s
 }
 
-// network is the shared wiring (hosts otherwise share nothing).
+// network is the shared wiring (hosts otherwise share nothing). It
+// lives inside a Fabric and is reused across runs: mailboxes reopen,
+// scratch re-arms per host, and the wire-fault layer resets under the
+// new plan.
 type network struct {
-	h     *hypercube.Hypercube
-	bt    *heapqueue.Tree
-	cfg   Config
-	val   validator
-	boxes []*Mailbox
-	fl    *faultlink.Layer[Message] // nil on the fault-free path
+	h       *hypercube.Hypercube
+	bt      *heapqueue.Tree
+	cfg     Config
+	val     validator
+	boxes   []*Mailbox
+	scratch []hostScratch
+
+	// fl is the active wire-fault layer (nil on the fault-free path);
+	// flPool is the pooled instance it aliases, kept across runs so a
+	// faulted run after a clean one reuses the link/ledger maps.
+	fl     *faultlink.Layer[Message]
+	flPool *faultlink.Layer[Message]
+
+	timers timerSet // quiescence barrier over fault-free delivery timers
 
 	agentMsgs  atomic.Int64
 	beaconMsgs atomic.Int64
@@ -169,21 +189,37 @@ type network struct {
 // dropped, never a protocol bug.
 func (n *network) wireFaults() {
 	if !n.cfg.Faults.HasLinkFaults() {
+		n.fl = nil
 		return
 	}
-	n.fl = faultlink.New(n.cfg.Faults, n.h.Order(), faultlink.Options{},
-		func(to, _ int, replay bool, m Message) {
-			m.Replay = replay
-			n.boxes[to].TrySend(m)
-		},
-		func(to int) {
-			n.boxes[to].TrySend(Message{Kind: HostRestart, From: to})
-		})
+	if n.flPool == nil {
+		n.flPool = faultlink.New(n.cfg.Faults, n.h.Order(), faultlink.Options{},
+			func(to, _ int, replay bool, m Message) {
+				m.Replay = replay
+				n.boxes[to].TrySend(m)
+			},
+			func(to int) {
+				n.boxes[to].TrySend(Message{Kind: HostRestart, From: to})
+			})
+	} else {
+		n.flPool.Reset(n.cfg.Faults)
+	}
+	n.fl = n.flPool
+}
+
+// quiesce drains every wall-clock timer the run scheduled: the
+// engine's own delivery timers and, when faulted, the wire layer's
+// retransmit/delay/duplicate timers.
+func (n *network) quiesce() {
+	n.timers.wait()
+	if n.fl != nil {
+		n.fl.Quiesce()
+	}
 }
 
 // send delivers a message after the link's randomized latency; rng is
 // owned by the sending host.
-func (n *network) send(rng *rand.Rand, to int, m Message) {
+func (n *network) send(rng *hostRNG, to int, m Message) {
 	lat := time.Duration(0)
 	if n.cfg.MaxLatency > 0 {
 		lat = time.Duration(rng.Int63n(int64(n.cfg.MaxLatency) + 1))
@@ -202,7 +238,7 @@ func (n *network) send(rng *rand.Rand, to int, m Message) {
 		n.boxes[to].Send(m)
 		return
 	}
-	time.AfterFunc(lat, func() { n.boxes[to].Send(m) })
+	n.timers.after(lat, func() { n.boxes[to].Send(m) })
 }
 
 // sendFaulted routes the message through the wire-fault layer.
@@ -223,16 +259,29 @@ func (n *network) sendFaulted(lat time.Duration, to int, m Message) {
 	n.fl.Send(m.From, to, lat, m)
 }
 
+// visHost runs one host's event loop and joins the run's WaitGroup.
+// Spawning a method with plain arguments keeps the per-host goroutine
+// launch closure-free: on a pooled fabric, host startup allocates
+// nothing.
+func (n *network) visHost(wg *sync.WaitGroup, v int) {
+	defer wg.Done()
+	runHost(n, v)
+}
+
 // runHost is one host's event loop: the local program of Section 4.2
-// driven entirely by arrivals and beacons.
+// driven entirely by arrivals and beacons. All host state lives in the
+// fabric's per-host scratch, re-armed here at host start.
 func runHost(n *network, v int) {
-	rng := rand.New(rand.NewSource(n.cfg.Seed ^ int64(v)*0x9E3779B9))
+	sc := &n.scratch[v]
+	sc.rng = newHostRNG(n.cfg.Seed, v, streamVisibility)
+	rng := &sc.rng
 	k := n.bt.Type(v)
 	required := int(heapqueue.AgentsRequired(k))
 	smaller := n.h.SmallerNeighbours(v)
+	allReady := readyMask(len(smaller))
 
-	var gathered []int
-	ready := make(map[int]bool, len(smaller)) // smaller neighbour -> beacon seen
+	sc.gathered = sc.gathered[:0]
+	sc.ready = 0
 	dispatched := false
 
 	// The root has no smaller neighbours and may dispatch immediately
@@ -253,8 +302,8 @@ func runHost(n *network, v int) {
 			if !m.Replay {
 				n.val.arrive(m.Agent, m.From, v)
 			}
-			gathered = append(gathered, m.Agent)
-			if len(gathered) == required {
+			sc.gathered = append(sc.gathered, m.Agent)
+			if len(sc.gathered) == required {
 				// Guarded with the full complement: one bit to every
 				// neighbour that waits on this host's state — the
 				// neighbours y for which v is a *smaller* neighbour
@@ -267,28 +316,30 @@ func runHost(n *network, v int) {
 				}
 			}
 		case GuardedBeacon:
-			ready[m.From] = true
+			if i := indexOf(smaller, m.From); i >= 0 {
+				sc.ready |= 1 << uint(i)
+			}
 		case HostRestart:
 			// Amnesia crash: lose the soft protocol state. The wire
 			// layer replays every delivered frame right behind this
 			// marker; replays rebuild gathered/ready without touching
 			// the validator, and any re-sent beacons collapse in the
 			// idempotent sender.
-			gathered = gathered[:0]
-			clear(ready)
+			sc.gathered = sc.gathered[:0]
+			sc.ready = 0
 			continue
 		default:
 			panic(fmt.Sprintf("netsim: host %d got unknown message kind %d", v, m.Kind))
 		}
-		if len(gathered) < required {
+		if len(sc.gathered) < required {
 			continue
 		}
-		if !allReady(smaller, ready) {
+		if sc.ready != allReady {
 			continue
 		}
 		dispatched = true
 		if k == 0 {
-			n.val.terminate(gathered[0], v)
+			n.val.terminate(sc.gathered[0], v)
 			n.boxes[v].Close()
 			continue
 		}
@@ -298,8 +349,8 @@ func runHost(n *network, v int) {
 		plan := heapqueue.DispatchPlan(k)
 		for i, child := range n.bt.Children(v) {
 			for j := int64(0); j < plan[i]; j++ {
-				a := gathered[len(gathered)-1]
-				gathered = gathered[:len(gathered)-1]
+				a := sc.gathered[len(sc.gathered)-1]
+				sc.gathered = sc.gathered[:len(sc.gathered)-1]
 				n.val.depart(a, v)
 				n.send(rng, child, Message{Kind: AgentArrival, From: v, Agent: a})
 			}
@@ -308,11 +359,17 @@ func runHost(n *network, v int) {
 	}
 }
 
-func allReady(smaller []int, ready map[int]bool) bool {
-	for _, w := range smaller {
-		if !ready[w] {
-			return false
+// readyMask is the "all smaller neighbours have beaconed" bitmask for
+// a host with k smaller neighbours (k <= d < 64).
+func readyMask(k int) uint64 { return uint64(1)<<uint(k) - 1 }
+
+// indexOf returns w's position in the (short, <= d entries) neighbour
+// list, or -1.
+func indexOf(list []int, w int) int {
+	for i, x := range list {
+		if x == w {
+			return i
 		}
 	}
-	return true
+	return -1
 }

@@ -1,8 +1,9 @@
 package netsim
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -93,6 +94,14 @@ type lockedValidator struct {
 
 func newLockedValidator(h *hypercube.Hypercube) *lockedValidator {
 	return &lockedValidator{b: board.New(h, 0)}
+}
+
+// reset re-arms a pooled locked validator: the board resets in O(n)
+// (identical to a fresh board.New, see board.Reset), migrations in
+// flight cannot exist after the previous run quiesced.
+func (v *lockedValidator) reset() {
+	v.b.Reset()
+	clear(v.pending)
 }
 
 func (v *lockedValidator) place() int {
@@ -202,6 +211,14 @@ type stripedValidator struct {
 	created atomic.Int64 // next agent id (board ids are assigned at replay)
 	mask    int
 	stripes []stripe
+
+	// stats()-time replay scratch, reused across pooled runs. The
+	// replay board resets to exactly the fresh-board state, so a pooled
+	// validator's Stats are byte-identical to a fresh validator's.
+	merged  []valOp
+	replay  *board.Board
+	ids     []int
+	pending map[int]int
 }
 
 func newStripedValidator(h *hypercube.Hypercube) *stripedValidator {
@@ -210,6 +227,16 @@ func newStripedValidator(h *hypercube.Hypercube) *stripedValidator {
 		n <<= 1
 	}
 	return &stripedValidator{h: h, mask: n - 1, stripes: make([]stripe, n)}
+}
+
+// reset re-arms a pooled striped validator in O(stripes): counters
+// restart from zero and every ledger truncates keeping its capacity.
+func (v *stripedValidator) reset() {
+	v.seq.Store(0)
+	v.created.Store(0)
+	for i := range v.stripes {
+		v.stripes[i].ops = v.stripes[i].ops[:0]
+	}
 }
 
 // record stamps the op with the next global sequence number and
@@ -253,18 +280,34 @@ func (v *stripedValidator) agents() int { return int(v.created.Load()) }
 // so the ledgers are complete; the stripe locks are still taken to
 // keep the harvest well-ordered under the race detector.
 func (v *stripedValidator) stats(team int, agentMsgs, beaconMsgs int64) Stats {
-	var ops []valOp
+	ops := v.merged[:0]
 	for i := range v.stripes {
 		st := &v.stripes[i]
 		st.mu.Lock()
 		ops = append(ops, st.ops...)
 		st.mu.Unlock()
 	}
-	sort.Slice(ops, func(i, j int) bool { return ops[i].seq < ops[j].seq })
+	v.merged = ops
+	slices.SortFunc(ops, func(a, b valOp) int { return cmp.Compare(a.seq, b.seq) })
 
-	b := board.New(v.h, 0)
-	ids := make([]int, v.created.Load()) // recorded agent id -> board id
-	pending := map[int]int{}
+	if v.replay == nil {
+		v.replay = board.New(v.h, 0)
+	} else {
+		v.replay.Reset()
+	}
+	b := v.replay
+	if n := int(v.created.Load()); cap(v.ids) < n {
+		v.ids = make([]int, n)
+	} else {
+		v.ids = v.ids[:n]
+	}
+	ids := v.ids // recorded agent id -> board id
+	if v.pending == nil {
+		v.pending = make(map[int]int)
+	} else {
+		clear(v.pending)
+	}
+	pending := v.pending
 	for _, op := range ops {
 		switch op.kind {
 		case opPlace:
