@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci faults faults-netsim fuzz bench bench-smoke bench-check
+.PHONY: all build vet staticcheck test race ci faults faults-netsim fuzz bench bench-smoke bench-check
 
 # Committed benchmark baseline the regression gate compares against.
 BENCH_BASELINE ?= BENCH_pr5.json
@@ -12,6 +12,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Deeper static analysis when the tool is on PATH; CI images without
+# staticcheck (nothing is installed on the fly) skip with a notice
+# instead of failing the whole pipeline.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed; skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -48,7 +58,7 @@ bench-smoke:
 bench-check:
 	$(GO) run ./cmd/hqbench -out /tmp/BENCH_check.json -against $(BENCH_BASELINE)
 
-ci: build vet race faults faults-netsim bench-smoke bench-check
+ci: build vet staticcheck race faults faults-netsim bench-smoke bench-check
 
 # Short real fuzz runs of the fault-plan parser and the engine under
 # fuzzed fault application (regression corpus always runs under `test`).

@@ -24,14 +24,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"regexp"
 	"runtime"
+	"strings"
 	"time"
 
 	"hypersearch/internal/benchgate"
 	"hypersearch/internal/core"
 	"hypersearch/internal/des"
 	"hypersearch/internal/envpool"
+	"hypersearch/internal/faults"
 	"hypersearch/internal/metrics"
 	"hypersearch/internal/netarena"
 	"hypersearch/internal/netsim"
@@ -196,8 +199,57 @@ func families() []family {
 				}
 			},
 		},
+		family{
+			// The correlated-fault recovery path: a partition islanding
+			// the homebase plus a crash cascade. The exported metrics are
+			// faultlink's deterministic counters — the exact-equality
+			// metrics gate turns any drift in the logical Δtime bill or
+			// the fault schedule into a gate failure, the way F1's move
+			// counts already are.
+			name:  "netsim-faulted/d=6",
+			iters: 10,
+			run: func() map[string]float64 {
+				plan := &faults.Plan{Name: "bench-correlated", Seed: 31, Faults: []faults.Fault{
+					{Kind: faults.Partition, Target: faults.LinksTarget(faults.IslandLinks(0, 6)),
+						At: 1, Until: 3, Delay: 600},
+					{Kind: faults.Cascade, Target: faults.LinkTarget(0, 1), At: 2,
+						Threshold: 2, Victims: []int{3, 5}},
+				}}
+				st := arena.Run(6, netsim.Config{Seed: 1, Faults: plan})
+				if !st.Ok() {
+					fmt.Fprintf(os.Stderr, "hqbench: netsim invariants violated: %s\n", st.Result)
+					os.Exit(1)
+				}
+				return map[string]float64{
+					"agents":      float64(st.TeamSize),
+					"wiretime":    float64(st.Link.WireTime),
+					"partitioned": float64(st.Link.Partitioned),
+					"crashes":     float64(st.Link.Crashes),
+					"cascades":    float64(st.Link.Cascades),
+				}
+			},
+		},
 	)
 	return fams
+}
+
+// provenance collects the attribution block, best-effort: a missing
+// git binary, a non-repo working directory or a non-Linux kernel just
+// leave fields empty.
+func provenance() *benchgate.Provenance {
+	p := &benchgate.Provenance{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		p.GitCommit = strings.TrimSpace(string(out))
+	}
+	if rel, err := os.ReadFile("/proc/sys/kernel/osrelease"); err == nil {
+		p.Kernel = strings.TrimSpace(string(rel))
+	} else if out, err := exec.Command("uname", "-r").Output(); err == nil {
+		p.Kernel = strings.TrimSpace(string(out))
+	}
+	return p
 }
 
 // measure runs one family: a warmup iteration (excluded), then iters
@@ -274,6 +326,7 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Provenance: provenance(),
 	}
 	for _, f := range fams {
 		r := measure(f, *quick)

@@ -8,16 +8,19 @@
 //
 // Usage:
 //
-//	hqfaults                  # run both families on H_4
-//	hqfaults -d 5             # bigger cube
-//	hqfaults -family netsim   # only the wire-fault scenarios
-//	hqfaults -verify          # run twice, require byte-identical reports
+//	hqfaults                           # run both families on H_4
+//	hqfaults -d 5                      # bigger cube
+//	hqfaults -family netsim            # only the wire-fault scenarios
+//	hqfaults -scenarios list           # print every scenario name
+//	hqfaults -scenarios crash-cascade  # rerun one scenario by name
+//	hqfaults -verify                   # run twice, require byte-identical reports
 //
 // The report is deliberately built only from deterministic quantities
 // (move counts, logical/virtual times, recovery statistics, and the
-// wire layer's frame/drop/retransmit/dup/crash counters), so two runs
-// of the same campaign produce byte-identical output; -verify
-// enforces that.
+// wire layer's frame/drop/retransmit/dup/crash/partition/cascade
+// counters plus the logical WireTime recovery bill), so two runs of
+// the same campaign produce byte-identical output; -verify enforces
+// that.
 package main
 
 import (
@@ -259,6 +262,7 @@ func report(d int, bases map[string]baseline, outs []outcome) (string, bool) {
 const (
 	engineNetsimVis   = "netsim-vis"   // visibility: full complements down the broadcast tree
 	engineNetsimClone = "netsim-clone" // cloning: one agent per tree edge
+	engineNetsimClean = "netsim-clean" // coordinated: delivery faults only (no host crashes)
 )
 
 // netScenario is one wire-fault entry of the campaign.
@@ -337,6 +341,42 @@ func netsimCampaign() []netScenario {
 				{Kind: faults.HostCrash, Target: faults.LinkTarget(0, c0), At: 2},
 			}}
 		}},
+		{"homebase-islanded", engineNetsimVis, func(d int) *faults.Plan {
+			// The partition severs every link incident to the homebase
+			// mid-sweep: the boot beacon and the first dispatches on each
+			// outgoing link are parked in the cut and released in
+			// per-link order when it heals 600 logical units later. The
+			// run must land on the fault-free move and message counts
+			// with the heal window as its only Δtime bill.
+			return &faults.Plan{Name: "homebase-islanded", Seed: 206, Faults: []faults.Fault{
+				{Kind: faults.Partition, Target: faults.LinksTarget(faults.IslandLinks(0, d)),
+					At: 1, Until: 3, Delay: 600},
+			}}
+		}},
+		{"crash-cascade", engineNetsimVis, func(d int) *faults.Plan {
+			// Host 1 is single-fed (its only smaller neighbour is the
+			// root), so its ledger holds exactly 2 entries when frame 2
+			// fires: threshold 2 trips deterministically and the
+			// recovery load crashes its larger neighbours too.
+			victims := []int{3}
+			if d >= 3 {
+				victims = append(victims, 5)
+			}
+			return &faults.Plan{Name: "crash-cascade", Seed: 207, Faults: []faults.Fault{
+				{Kind: faults.Cascade, Target: faults.LinkTarget(0, 1), At: 2,
+					Threshold: 2, Victims: victims},
+			}}
+		}},
+		{"clean-cut", engineNetsimClean, func(d int) *faults.Plan {
+			// The coordinated engine under a dimension-1 subcube cut plus
+			// frame loss: couriers and the synchronizer park in the cut
+			// and the ARQ re-delivers the dropped hop, with the whole
+			// recovery billed to WireTime.
+			return &faults.Plan{Name: "clean-cut", Seed: 208, Faults: []faults.Fault{
+				{Kind: faults.Partition, Target: faults.CutDimTarget(1), At: 1, Until: 2, Delay: 500},
+				{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, 2), At: 1, Until: 2, Times: 2},
+			}}
+		}},
 	}
 }
 
@@ -348,7 +388,9 @@ type netOutcome struct {
 	agentMsgs, beaconMsgs int64
 	frames, drops         int64
 	retransmits, dups     int64
-	crashes               int64
+	crashes, cascades     int64
+	partitioned           int64
+	dTime                 int64 // logical recovery bill (WireTime; fault-free = 0)
 
 	check string // "ok" or the first failed check
 	pass  bool
@@ -369,10 +411,14 @@ func netsimConfig(plan *faults.Plan, mode netsim.ValidatorMode) netsim.Config {
 }
 
 func runNetsim(a *netarena.Arena, d int, engine string, plan *faults.Plan, mode netsim.ValidatorMode) netsim.Stats {
-	if engine == engineNetsimClone {
+	switch engine {
+	case engineNetsimClone:
 		return a.RunCloning(d, netsimConfig(plan, mode))
+	case engineNetsimClean:
+		return a.RunClean(d, netsimConfig(plan, mode))
+	default:
+		return a.Run(d, netsimConfig(plan, mode))
 	}
-	return a.Run(d, netsimConfig(plan, mode))
 }
 
 // runNetScenario executes one wire-fault scenario under both validator
@@ -390,7 +436,9 @@ func runNetScenario(a *netarena.Arena, d int, s netScenario, bases map[string]ne
 	o.agentMsgs, o.beaconMsgs = striped.AgentMessages, striped.BeaconMessages
 	o.frames, o.drops = striped.Link.Frames, striped.Link.Drops
 	o.retransmits, o.dups = striped.Link.Retransmits, striped.Link.Dups
-	o.crashes = striped.Link.Crashes
+	o.crashes, o.cascades = striped.Link.Crashes, striped.Link.Cascades
+	o.partitioned = striped.Link.Partitioned
+	o.dTime = striped.Link.WireTime // a fault-free wire bills zero
 
 	o.check = "ok"
 	switch b := bases[s.engine]; {
@@ -415,14 +463,14 @@ func netReport(bases map[string]netBaseline, outs []netOutcome) (string, bool) {
 	var sb strings.Builder
 	sb.WriteString("netsim wire-fault scenarios (striped + locked validators)\n\n")
 	fmt.Fprintf(&sb, "baselines (fault-free): ")
-	for _, e := range []string{engineNetsimVis, engineNetsimClone} {
+	for _, e := range []string{engineNetsimVis, engineNetsimClone, engineNetsimClean} {
 		b := bases[e]
 		fmt.Fprintf(&sb, "%s moves=%d agents=%d beacons=%d  ", e, b.moves, b.agentMsgs, b.beaconMsgs)
 	}
 	sb.WriteString("\n\n")
 
-	t := metrics.NewTable("scenario", "engine", "moves", "Δmoves", "agentMsgs", "beaconMsgs",
-		"frames", "drops", "retransmits", "dups", "crashes", "checks", "verdict")
+	t := metrics.NewTable("scenario", "engine", "moves", "Δmoves", "Δtime", "agentMsgs", "beaconMsgs",
+		"frames", "drops", "retransmits", "dups", "crashes", "cascades", "partitioned", "checks", "verdict")
 	allPass := true
 	for _, o := range outs {
 		verdict := "PASS"
@@ -430,8 +478,9 @@ func netReport(bases map[string]netBaseline, outs []netOutcome) (string, bool) {
 			verdict = "FAIL"
 			allPass = false
 		}
-		t.AddRow(o.name, o.engine, o.moves, fmt.Sprintf("%+d", o.dMoves), o.agentMsgs,
-			o.beaconMsgs, o.frames, o.drops, o.retransmits, o.dups, o.crashes, o.check, verdict)
+		t.AddRow(o.name, o.engine, o.moves, fmt.Sprintf("%+d", o.dMoves), fmt.Sprintf("%+d", o.dTime),
+			o.agentMsgs, o.beaconMsgs, o.frames, o.drops, o.retransmits, o.dups,
+			o.crashes, o.cascades, o.partitioned, o.check, verdict)
 	}
 	sb.WriteString(t.Markdown())
 	if allPass {
@@ -442,10 +491,26 @@ func netReport(bases map[string]netBaseline, outs []netOutcome) (string, bool) {
 	return sb.String(), allPass
 }
 
+// keepScenario reports whether the -scenarios selection (nil = all)
+// includes name.
+func keepScenario(keep map[string]bool, name string) bool {
+	return keep == nil || keep[name]
+}
+
 // runNetsimCampaign executes the wire-fault baselines and scenarios
 // with the same worker fan-out and input-ordered assembly as the
-// runtime campaign.
-func runNetsimCampaign(d, workers int) (string, bool, error) {
+// runtime campaign. keep (nil = all) selects a scenario subset; with
+// nothing selected the family is skipped entirely, baselines included.
+func runNetsimCampaign(d, workers int, keep map[string]bool) (string, bool, error) {
+	var scenarios []netScenario
+	for _, s := range netsimCampaign() {
+		if keepScenario(keep, s.name) {
+			scenarios = append(scenarios, s)
+		}
+	}
+	if len(scenarios) == 0 {
+		return "", true, nil
+	}
 	// One network arena per worker (CollectW runs one task at a time
 	// per worker), so scenario runs reuse fabrics instead of building
 	// 2^d mailboxes and ledgers per run.
@@ -456,7 +521,7 @@ func runNetsimCampaign(d, workers int) (string, bool, error) {
 	for i := range arenas {
 		arenas[i] = netarena.New()
 	}
-	engines := []string{engineNetsimVis, engineNetsimClone}
+	engines := []string{engineNetsimVis, engineNetsimClone, engineNetsimClean}
 	baseRuns, err := sched.CollectW(workers, len(engines), func(w, i int) netBaseline {
 		s := runNetsim(arenas[w], d, engines[i], nil, netsim.ValidatorStriped)
 		return netBaseline{s.TotalMoves, s.AgentMessages, s.BeaconMessages}
@@ -469,7 +534,6 @@ func runNetsimCampaign(d, workers int) (string, bool, error) {
 		bases[e] = baseRuns[i]
 	}
 
-	scenarios := netsimCampaign()
 	outs, err := sched.CollectW(workers, len(scenarios), func(w, i int) netOutcome {
 		return runNetScenario(arenas[w], d, scenarios[i], bases)
 	})
@@ -480,13 +544,23 @@ func runNetsimCampaign(d, workers int) (string, bool, error) {
 	return rep, ok, nil
 }
 
-// runCampaign executes baselines plus every scenario and returns the
-// canonical report. The three fault-free baselines and then the
-// scenarios fan out across workers; every run is internally
+// runCampaign executes baselines plus every selected scenario and
+// returns the canonical report. The three fault-free baselines and
+// then the scenarios fan out across workers; every run is internally
 // deterministic and the report is assembled from input-ordered
 // results, so the rendered bytes are identical for any worker count
-// (workers <= 1 is the serial path).
-func runCampaign(d, workers int) (string, bool, error) {
+// (workers <= 1 is the serial path). keep (nil = all) selects a
+// scenario subset; with nothing selected the family is skipped.
+func runCampaign(d, workers int, keep map[string]bool) (string, bool, error) {
+	var scenarios []scenario
+	for _, s := range campaign() {
+		if keepScenario(keep, s.name) {
+			scenarios = append(scenarios, s)
+		}
+	}
+	if len(scenarios) == 0 {
+		return "", true, nil
+	}
 	engines := []string{engineCleanFT, engineVisFT, engineDES}
 	baseRuns, err := sched.Map(workers, len(engines), func(i int) (baseline, error) {
 		if engines[i] == engineDES {
@@ -510,7 +584,6 @@ func runCampaign(d, workers int) (string, bool, error) {
 		bases[e] = baseRuns[i]
 	}
 
-	scenarios := campaign()
 	outs, err := sched.Collect(workers, len(scenarios), func(i int) outcome {
 		return runScenario(d, scenarios[i], bases)
 	})
@@ -522,12 +595,13 @@ func runCampaign(d, workers int) (string, bool, error) {
 }
 
 // runFamilies runs the selected scenario families and concatenates
-// their deterministic reports.
-func runFamilies(d, workers int, family string) (string, bool, error) {
+// their deterministic reports. keep (nil = all) restricts both
+// families to the named scenarios.
+func runFamilies(d, workers int, family string, keep map[string]bool) (string, bool, error) {
 	var sb strings.Builder
 	ok := true
 	if family == familyAll || family == familyRuntime {
-		rep, pass, err := runCampaign(d, workers)
+		rep, pass, err := runCampaign(d, workers, keep)
 		if err != nil {
 			return "", false, err
 		}
@@ -535,12 +609,12 @@ func runFamilies(d, workers int, family string) (string, bool, error) {
 		ok = ok && pass
 	}
 	if family == familyAll || family == familyNetsim {
-		if sb.Len() > 0 {
-			sb.WriteString("\n")
-		}
-		rep, pass, err := runNetsimCampaign(d, workers)
+		rep, pass, err := runNetsimCampaign(d, workers, keep)
 		if err != nil {
 			return "", false, err
+		}
+		if sb.Len() > 0 && rep != "" {
+			sb.WriteString("\n")
 		}
 		sb.WriteString(rep)
 		ok = ok && pass
@@ -548,14 +622,61 @@ func runFamilies(d, workers int, family string) (string, bool, error) {
 	return sb.String(), ok, nil
 }
 
+// scenarioNames lists every scenario of both families, campaign order.
+func scenarioNames() (runtime, netsim []string) {
+	for _, s := range campaign() {
+		runtime = append(runtime, s.name)
+	}
+	for _, s := range netsimCampaign() {
+		netsim = append(netsim, s.name)
+	}
+	return runtime, netsim
+}
+
+// parseScenarios resolves the -scenarios selection: "" means all
+// (nil), otherwise a comma-separated list whose every name must exist
+// in some family.
+func parseScenarios(sel string) (map[string]bool, error) {
+	if sel == "" {
+		return nil, nil
+	}
+	rt, ns := scenarioNames()
+	known := map[string]bool{}
+	for _, n := range append(rt, ns...) {
+		known[n] = true
+	}
+	keep := map[string]bool{}
+	for _, n := range strings.Split(sel, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !known[n] {
+			return nil, fmt.Errorf("unknown scenario %q (use -scenarios list)", n)
+		}
+		keep[n] = true
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("-scenarios selected nothing")
+	}
+	return keep, nil
+}
+
 func main() {
 	var (
-		dim     = flag.Int("d", 4, "hypercube dimension (n = 2^d), minimum 2")
-		verify  = flag.Bool("verify", false, "run the campaign twice and require byte-identical reports")
-		workers = flag.Int("workers", sched.DefaultWorkers(), "parallel workers for baselines and scenarios (1 = serial); output is identical for every value")
-		family  = flag.String("family", familyAll, "scenario family to run: all, runtime, or netsim")
+		dim       = flag.Int("d", 4, "hypercube dimension (n = 2^d), minimum 2")
+		verify    = flag.Bool("verify", false, "run the campaign twice and require byte-identical reports")
+		workers   = flag.Int("workers", sched.DefaultWorkers(), "parallel workers for baselines and scenarios (1 = serial); output is identical for every value")
+		family    = flag.String("family", familyAll, "scenario family to run: all, runtime, or netsim")
+		scenarios = flag.String("scenarios", "", "comma-separated scenario names to run, or \"list\" to print every name and exit")
 	)
 	flag.Parse()
+	if *scenarios == "list" {
+		rt, ns := scenarioNames()
+		fmt.Println("runtime:", strings.Join(rt, " "))
+		fmt.Println("netsim: ", strings.Join(ns, " "))
+		return
+	}
 	if *dim < 2 {
 		fmt.Fprintln(os.Stderr, "hqfaults: need -d >= 2 (the campaign's crash orders exist from d=2)")
 		os.Exit(2)
@@ -566,15 +687,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hqfaults: unknown -family %q (want all, runtime, or netsim)\n", *family)
 		os.Exit(2)
 	}
+	keep, err := parseScenarios(*scenarios)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqfaults:", err)
+		os.Exit(2)
+	}
 
-	rep, ok, err := runFamilies(*dim, *workers, *family)
+	rep, ok, err := runFamilies(*dim, *workers, *family, keep)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hqfaults:", err)
 		os.Exit(2)
 	}
 	fmt.Print(rep)
 	if *verify {
-		again, _, err := runFamilies(*dim, *workers, *family)
+		again, _, err := runFamilies(*dim, *workers, *family, keep)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hqfaults:", err)
 			os.Exit(2)

@@ -25,14 +25,28 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Provenance records where a report came from, so committed
+// BENCH_*.json baselines are attributable: the git commit the suite
+// ran at, the Go toolchain, the kernel release and the CPU count.
+// Every field is best-effort — a missing git binary or a non-repo
+// checkout leaves its field empty rather than failing the run — and
+// the gate never compares provenance, only measurements.
+type Provenance struct {
+	GitCommit string `json:"git_commit,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Kernel    string `json:"kernel,omitempty"`
+	NumCPU    int    `json:"num_cpu,omitempty"`
+}
+
 // Report is the whole BENCH.json document.
 type Report struct {
-	Schema     string   `json:"schema"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	NumCPU     int      `json:"num_cpu"`
-	Families   []Result `json:"families"`
+	Schema     string      `json:"schema"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
+	Provenance *Provenance `json:"provenance,omitempty"`
+	Families   []Result    `json:"families"`
 }
 
 // Load reads a report from disk.

@@ -25,6 +25,7 @@ package faults
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"strconv"
 	"strings"
 	"sync"
@@ -50,6 +51,17 @@ const (
 	LinkDup   Kind = "link-dup"   // frames At..Until are delivered twice (receiver dedup discards the copy)
 	LinkDelay Kind = "link-delay" // frames At..Until take +Delay units in flight (reordering past successors)
 	HostCrash Kind = "host-crash" // receiving host loses its soft state at delivery of frame At (ledger replay heals)
+
+	// Correlated link-fault kinds. A partition cuts a declared *set*
+	// of links atomically: on every member link, frames At..Until are
+	// parked in the link's backlog and released — in per-link order —
+	// only when the partition heals, Delay logical units later. A
+	// cascade is a host crash whose recovery load spreads: it fires
+	// like host-crash at frame At of its link, and if the crashed
+	// host's ledger replay volume reaches Threshold entries, the named
+	// neighbour hosts in Victims crash too.
+	Partition Kind = "partition" // member-link frames At..Until are backlogged until the cut heals Delay units later
+	Cascade   Kind = "cascade"   // host-crash at frame At; replay volume >= Threshold crashes every host in Victims
 )
 
 // Target sentinels. "agent:<id>" and "order:<key>" are parameterized.
@@ -68,6 +80,15 @@ const MaxDelay = 1 << 20
 // can treat budget exhaustion as a plan bug rather than a live state.
 const MaxLinkRetransmits = 8
 
+// MaxCascadeVictims bounds the secondary crashes one cascade fault may
+// name; a host has at most MaxDim neighbours anyway.
+const MaxCascadeVictims = 30
+
+// MaxPartitionLinks bounds the directed links one declared-set
+// partition target may cut, so fuzzed plans stay parseable in bounded
+// work. (A cut:dim boundary is bounded by the topology instead.)
+const MaxPartitionLinks = 256
+
 // Fault is one injected adversity.
 type Fault struct {
 	Kind Kind `json:"kind"`
@@ -83,17 +104,32 @@ type Fault struct {
 	Times  int    `json:"times,omitempty"` // link-drop: transmissions lost per matching frame (default 1)
 	From   int64  `json:"from,omitempty"`  // kernel-lag: virtual window start
 	To     int64  `json:"to,omitempty"`    // kernel-lag: virtual window end
+
+	// Threshold is the cascade trigger: secondary crashes fire only
+	// when the primary crash's ledger replay redelivers at least this
+	// many entries (recovery load crossing the bar).
+	Threshold int `json:"threshold,omitempty"`
+	// Victims names the neighbour hosts a tripped cascade crashes, in
+	// order. Every victim must be a hypercube neighbour of the faulted
+	// link's receiving host.
+	Victims []int `json:"victims,omitempty"`
 }
 
 // IsLink reports whether the fault is consumed by the wire layer
 // rather than the move/broadcast/kernel hooks.
 func (f Fault) IsLink() bool {
 	switch f.Kind {
-	case LinkDrop, LinkDup, LinkDelay, HostCrash:
+	case LinkDrop, LinkDup, LinkDelay, HostCrash, Partition, Cascade:
 		return true
 	}
 	return false
 }
+
+// CrashesHosts reports whether the fault can wipe a receiving host's
+// soft state: engines whose protocols cannot rebuild from a ledger
+// replay (the coordinated netsim protocol, whose program state rides
+// the messages themselves) must reject plans carrying one.
+func (f Fault) CrashesHosts() bool { return f.Kind == HostCrash || f.Kind == Cascade }
 
 // Plan is a named, seeded fault campaign for one run.
 type Plan struct {
@@ -141,6 +177,22 @@ func (p *Plan) HasLinkFaults() bool {
 	}
 	for _, f := range p.Faults {
 		if f.IsLink() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasHostCrashFaults reports whether the plan carries a wire fault
+// that wipes a receiving host's soft state (host-crash or cascade).
+// Safe on a nil plan. Engines whose protocols cannot rebuild from the
+// order-ledger replay must reject such plans.
+func (p *Plan) HasHostCrashFaults() bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.Faults {
+		if f.CrashesHosts() {
 			return true
 		}
 	}
@@ -208,8 +260,9 @@ func (f Fault) validate() error {
 		if f.From < 0 || f.To <= f.From {
 			return fmt.Errorf("kernel-lag window [%d,%d) invalid", f.From, f.To)
 		}
-	case LinkDrop, LinkDup, LinkDelay, HostCrash:
-		if _, _, err := ParseLinkTarget(f.Target); err != nil {
+	case LinkDrop, LinkDup, LinkDelay, HostCrash, Cascade:
+		from, to, err := ParseLinkTarget(f.Target)
+		if err != nil {
 			return err
 		}
 		if f.At < 1 || (f.Until != 0 && f.Until < f.At) {
@@ -228,6 +281,48 @@ func (f Fault) validate() error {
 			if f.Until != 0 && f.Until != f.At {
 				return fmt.Errorf("host-crash is one-shot; until %d must equal at %d (or be omitted)", f.Until, f.At)
 			}
+		case Cascade:
+			if f.Until != 0 && f.Until != f.At {
+				return fmt.Errorf("cascade is one-shot; until %d must equal at %d (or be omitted)", f.Until, f.At)
+			}
+			if f.Threshold < 1 {
+				return fmt.Errorf("cascade needs threshold >= 1, got %d", f.Threshold)
+			}
+			if len(f.Victims) == 0 {
+				return fmt.Errorf("cascade needs at least one victim host")
+			}
+			if len(f.Victims) > MaxCascadeVictims {
+				return fmt.Errorf("cascade names %d victims, cap is %d", len(f.Victims), MaxCascadeVictims)
+			}
+			seen := make(map[int]bool, len(f.Victims))
+			for _, v := range f.Victims {
+				if v < 0 {
+					return fmt.Errorf("cascade victim %d is negative", v)
+				}
+				if seen[v] {
+					return fmt.Errorf("cascade victim %d named twice", v)
+				}
+				seen[v] = true
+				if mathbits.OnesCount32(uint32(v^to)) != 1 {
+					return fmt.Errorf("cascade victim %d is not a hypercube neighbour of crashed host %d", v, to)
+				}
+				if v == from {
+					// A neighbour, but crashing the sender of the frame
+					// that tripped the cascade would wipe the host whose
+					// program order defines the link's frame sequence.
+					return fmt.Errorf("cascade victim %d is the faulted link's sender", v)
+				}
+			}
+		}
+	case Partition:
+		if _, err := parsePartitionTarget(f.Target); err != nil {
+			return err
+		}
+		if f.At < 1 || (f.Until != 0 && f.Until < f.At) {
+			return fmt.Errorf("partition window [%d,%d] invalid", f.At, f.Until)
+		}
+		if f.Delay < 1 {
+			return fmt.Errorf("partition needs a positive heal delay")
 		}
 	default:
 		return fmt.Errorf("unknown kind %q", f.Kind)
@@ -258,6 +353,156 @@ func ParseLinkTarget(t string) (from, to int, err error) {
 
 // LinkTarget renders the canonical target string for a directed link.
 func LinkTarget(from, to int) string { return fmt.Sprintf("link:%d-%d", from, to) }
+
+// partitionTarget is the parsed form of a partition fault's target:
+// either an explicit directed-link set or a dimension whose matching
+// (the subcube boundary) is resolved against the topology later.
+type partitionTarget struct {
+	dim   int      // 1-based cut dimension, 0 for a declared link set
+	links [][2]int // declared directed links (dim == 0)
+}
+
+// parsePartitionTarget decodes "cut:dim=<k>" (the dimension-k matching
+// of the hypercube, both directions) or "links:<u>-<v>,<u>-<v>,..."
+// (an explicit directed-link set).
+func parsePartitionTarget(t string) (partitionTarget, error) {
+	if rest, ok := strings.CutPrefix(t, "cut:dim="); ok {
+		k, err := strconv.Atoi(rest)
+		if err != nil || k < 1 {
+			return partitionTarget{}, fmt.Errorf("bad partition target %q: want cut:dim=<k> with k >= 1", t)
+		}
+		return partitionTarget{dim: k}, nil
+	}
+	rest, ok := strings.CutPrefix(t, "links:")
+	if !ok {
+		return partitionTarget{}, fmt.Errorf("partition needs a \"cut:dim=<k>\" or \"links:<u>-<v>,...\" target, got %q", t)
+	}
+	parts := strings.Split(rest, ",")
+	if len(parts) > MaxPartitionLinks {
+		return partitionTarget{}, fmt.Errorf("partition target cuts %d links, cap is %d", len(parts), MaxPartitionLinks)
+	}
+	pt := partitionTarget{links: make([][2]int, 0, len(parts))}
+	seen := make(map[[2]int]bool, len(parts))
+	for _, p := range parts {
+		from, to, err := ParseLinkTarget("link:" + p)
+		if err != nil {
+			return partitionTarget{}, fmt.Errorf("partition target %q: bad link %q", t, p)
+		}
+		lk := [2]int{from, to}
+		if seen[lk] {
+			return partitionTarget{}, fmt.Errorf("partition target %q names link %s twice", t, p)
+		}
+		seen[lk] = true
+		pt.links = append(pt.links, lk)
+	}
+	return pt, nil
+}
+
+// CutDimTarget renders the partition target severing the dimension-k
+// matching (1-based, matching the repo's bit-position convention): the
+// 2^(d-1) undirected links whose endpoints differ exactly in bit k,
+// cut in both directions.
+func CutDimTarget(k int) string { return fmt.Sprintf("cut:dim=%d", k) }
+
+// LinksTarget renders the partition target cutting an explicit set of
+// directed links.
+func LinksTarget(links [][2]int) string {
+	var sb strings.Builder
+	sb.WriteString("links:")
+	for i, lk := range links {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d-%d", lk[0], lk[1])
+	}
+	return sb.String()
+}
+
+// IslandLinks returns the directed links isolating host v from its d
+// hypercube neighbours — both directions of every incident edge — for
+// use with LinksTarget: the "islanded host" partition cut.
+func IslandLinks(v, d int) [][2]int {
+	links := make([][2]int, 0, 2*d)
+	for i := 1; i <= d; i++ {
+		w := v ^ (1 << (i - 1))
+		links = append(links, [2]int{v, w}, [2]int{w, v})
+	}
+	return links
+}
+
+// PartitionLinks resolves a partition fault's target to the concrete
+// directed links it cuts on H_d. A cut:dim=k target expands to both
+// directions of the dimension-k matching; a links: target is returned
+// as declared. Every endpoint must fit the topology.
+func PartitionLinks(target string, d int) ([][2]int, error) {
+	pt, err := parsePartitionTarget(target)
+	if err != nil {
+		return nil, err
+	}
+	n := 1 << d
+	if pt.dim > 0 {
+		if pt.dim > d {
+			return nil, fmt.Errorf("partition target %q cuts dimension %d of a %d-dimensional cube", target, pt.dim, d)
+		}
+		bit := 1 << (pt.dim - 1)
+		links := make([][2]int, 0, n)
+		for u := 0; u < n; u++ {
+			if u&bit == 0 {
+				links = append(links, [2]int{u, u | bit}, [2]int{u | bit, u})
+			}
+		}
+		return links, nil
+	}
+	for _, lk := range pt.links {
+		if lk[0] >= n || lk[1] >= n {
+			return nil, fmt.Errorf("partition target %q: link %d-%d outside the %d-node topology", target, lk[0], lk[1], n)
+		}
+	}
+	return pt.links, nil
+}
+
+// ValidateForHosts checks the plan against a concrete topology size on
+// top of Validate: every link-fault endpoint, partition member link
+// and cascade victim must name a host below `hosts`. Engines consult
+// it at config time — a fault naming host 99 on an 8-node cube would
+// otherwise compile to a trigger that can never fire and silently
+// weaken the campaign.
+func (p *Plan) ValidateForHosts(hosts int) error {
+	if p == nil {
+		return nil // engines treat a nil plan as fault-free pass-through
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	d := mathbits.Len(uint(hosts)) - 1
+	for i, f := range p.Faults {
+		if !f.IsLink() {
+			continue
+		}
+		if f.Kind == Partition {
+			if _, err := PartitionLinks(f.Target, d); err != nil {
+				return fmt.Errorf("faults: fault %d: %w", i, err)
+			}
+			continue
+		}
+		from, to, err := ParseLinkTarget(f.Target)
+		if err != nil {
+			return fmt.Errorf("faults: fault %d: %w", i, err)
+		}
+		if from >= hosts || to >= hosts {
+			return fmt.Errorf("faults: fault %d: target %q names a host outside the %d-node topology — it could never fire", i, f.Target, hosts)
+		}
+		if mathbits.OnesCount32(uint32(from^to)) != 1 {
+			return fmt.Errorf("faults: fault %d: target %q is not a hypercube edge", i, f.Target)
+		}
+		for _, v := range f.Victims {
+			if v >= hosts {
+				return fmt.Errorf("faults: fault %d: cascade victim %d outside the %d-node topology", i, v, hosts)
+			}
+		}
+	}
+	return nil
+}
 
 func validTarget(t string) error {
 	switch {

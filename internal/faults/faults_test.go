@@ -39,6 +39,21 @@ func TestValidateRejects(t *testing.T) {
 		{"link-dup malformed target", Fault{Kind: LinkDup, Target: "link:01", At: 1}},
 		{"host-crash window", Fault{Kind: HostCrash, Target: "link:0-1", At: 2, Until: 5}},
 		{"host-crash sync target", Fault{Kind: HostCrash, Target: TargetSync, At: 1}},
+		{"partition link target", Fault{Kind: Partition, Target: "link:0-1", At: 1, Delay: 10}},
+		{"partition without delay", Fault{Kind: Partition, Target: "links:0-1,1-0", At: 1}},
+		{"partition without at", Fault{Kind: Partition, Target: "links:0-1", Delay: 10}},
+		{"partition inverted window", Fault{Kind: Partition, Target: "links:0-1", At: 5, Until: 2, Delay: 10}},
+		{"partition zero dim", Fault{Kind: Partition, Target: "cut:dim=0", At: 1, Delay: 10}},
+		{"partition bad dim", Fault{Kind: Partition, Target: "cut:dim=x", At: 1, Delay: 10}},
+		{"partition bad link", Fault{Kind: Partition, Target: "links:0-1,2-2", At: 1, Delay: 10}},
+		{"partition duplicate link", Fault{Kind: Partition, Target: "links:0-1,0-1", At: 1, Delay: 10}},
+		{"cascade without threshold", Fault{Kind: Cascade, Target: "link:0-1", At: 2, Victims: []int{3}}},
+		{"cascade without victims", Fault{Kind: Cascade, Target: "link:0-1", At: 2, Threshold: 2}},
+		{"cascade window", Fault{Kind: Cascade, Target: "link:0-1", At: 2, Until: 5, Threshold: 2, Victims: []int{3}}},
+		{"cascade non-neighbour victim", Fault{Kind: Cascade, Target: "link:0-1", At: 2, Threshold: 2, Victims: []int{6}}},
+		{"cascade sender victim", Fault{Kind: Cascade, Target: "link:0-1", At: 2, Threshold: 2, Victims: []int{0}}},
+		{"cascade duplicate victim", Fault{Kind: Cascade, Target: "link:0-1", At: 2, Threshold: 2, Victims: []int{3, 3}}},
+		{"cascade negative victim", Fault{Kind: Cascade, Target: "link:0-1", At: 2, Threshold: 2, Victims: []int{-1}}},
 	}
 	for _, c := range cases {
 		p := &Plan{Seed: 1, Faults: []Fault{c.fault}}
@@ -106,6 +121,111 @@ func TestLinkFaultGrammar(t *testing.T) {
 	}
 }
 
+func TestPartitionTargetGrammar(t *testing.T) {
+	// cut:dim=k expands to both directions of the dimension-k matching.
+	links, err := PartitionLinks(CutDimTarget(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 8 {
+		t.Fatalf("cut:dim=2 on H_3 cut %d directed links, want 8", len(links))
+	}
+	for _, lk := range links {
+		if lk[0]^lk[1] != 2 {
+			t.Errorf("cut:dim=2 cut link %d-%d, not a dimension-2 edge", lk[0], lk[1])
+		}
+	}
+	if _, err := PartitionLinks(CutDimTarget(4), 3); err == nil {
+		t.Error("cut:dim=4 accepted on H_3")
+	}
+
+	// A declared set round-trips through LinksTarget.
+	declared := [][2]int{{0, 1}, {1, 0}, {0, 2}}
+	got, err := PartitionLinks(LinksTarget(declared), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, declared) {
+		t.Errorf("LinksTarget round trip: got %v want %v", got, declared)
+	}
+	if _, err := PartitionLinks("links:0-9", 3); err == nil {
+		t.Error("links:0-9 accepted on the 8-node cube")
+	}
+
+	// IslandLinks isolates a host in both directions.
+	island := IslandLinks(0, 3)
+	if len(island) != 6 {
+		t.Fatalf("IslandLinks(0,3) returned %d links, want 6", len(island))
+	}
+	plan := &Plan{Seed: 1, Faults: []Fault{
+		{Kind: Partition, Target: LinksTarget(island), At: 1, Until: 4, Delay: 100},
+	}}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("island partition plan rejected: %v", err)
+	}
+	if !plan.HasLinkFaults() {
+		t.Error("partition plan reports no link faults")
+	}
+	if plan.HasHostCrashFaults() {
+		t.Error("partition plan reports host-crash faults")
+	}
+}
+
+func TestCascadeGrammar(t *testing.T) {
+	plan := &Plan{Seed: 1, Faults: []Fault{
+		{Kind: Cascade, Target: "link:0-1", At: 2, Threshold: 2, Victims: []int{3, 5}},
+	}}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("valid cascade plan rejected: %v", err)
+	}
+	if !plan.HasHostCrashFaults() {
+		t.Error("cascade plan reports no host-crash faults")
+	}
+	if plan.RequiresRecovery() {
+		t.Error("cascade faults must not force the crash-tolerant runtime")
+	}
+}
+
+// TestValidateForHosts is the regression test for the silent-dead-fault
+// bug: link targets naming hosts outside the configured topology used
+// to compile into triggers that could never fire. They must now be
+// rejected at engine-config time.
+func TestValidateForHosts(t *testing.T) {
+	good := &Plan{Seed: 1, Faults: []Fault{
+		{Kind: LinkDrop, Target: "link:0-4", At: 1, Times: 2},
+		{Kind: Partition, Target: CutDimTarget(3), At: 1, Delay: 50},
+		{Kind: Cascade, Target: "link:0-1", At: 2, Threshold: 1, Victims: []int{3, 5}},
+	}}
+	if err := good.ValidateForHosts(8); err != nil {
+		t.Fatalf("valid plan rejected for 8 hosts: %v", err)
+	}
+
+	cases := []struct {
+		name  string
+		fault Fault
+	}{
+		{"link host beyond order", Fault{Kind: LinkDrop, Target: "link:99-98", At: 1}},
+		{"link to beyond order", Fault{Kind: LinkDup, Target: "link:0-8", At: 1}},
+		{"non-edge link", Fault{Kind: LinkDrop, Target: "link:1-2", At: 1}},
+		{"partition dim beyond cube", Fault{Kind: Partition, Target: "cut:dim=4", At: 1, Delay: 10}},
+		{"partition link beyond order", Fault{Kind: Partition, Target: "links:0-8", At: 1, Delay: 10}},
+		{"cascade victim beyond order", Fault{Kind: Cascade, Target: "link:0-1", At: 1, Threshold: 1, Victims: []int{9}}},
+	}
+	for _, c := range cases {
+		p := &Plan{Seed: 1, Faults: []Fault{c.fault}}
+		if err := p.ValidateForHosts(8); err == nil {
+			t.Errorf("%s: accepted for 8 hosts", c.name)
+		}
+	}
+
+	// Sanity: the same out-of-range plans pass the d-independent
+	// Validate — the rejection is an engine-config concern.
+	oob := &Plan{Seed: 1, Faults: []Fault{{Kind: LinkDrop, Target: "link:99-98", At: 1}}}
+	if err := oob.Validate(); err != nil {
+		t.Fatalf("d-independent Validate rejected an in-grammar plan: %v", err)
+	}
+}
+
 func TestParseRoundTrip(t *testing.T) {
 	p := &Plan{Name: "mixed", Seed: 42, Faults: []Fault{
 		{Kind: Crash, Target: "order:p0.e1", At: 1},
@@ -114,6 +234,8 @@ func TestParseRoundTrip(t *testing.T) {
 		{Kind: LatencySpike, Target: TargetAny, At: 5, Until: 25, Delay: 10},
 		{Kind: LostWakeup, At: 2, Until: 9},
 		{Kind: KernelLag, From: 100, To: 250},
+		{Kind: Partition, Target: "cut:dim=2", At: 1, Until: 6, Delay: 75},
+		{Kind: Cascade, Target: "link:0-1", At: 2, Threshold: 2, Victims: []int{3, 5}},
 	}}
 	var buf bytes.Buffer
 	if err := p.WriteJSON(&buf); err != nil {

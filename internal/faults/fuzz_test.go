@@ -30,6 +30,12 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{"seed":12,"faults":[{"kind":"link-drop","target":"link:1-1","at":1}]}`))
 	f.Add([]byte(`{"seed":13,"faults":[{"kind":"link-drop","target":"link:0-1","at":1,"times":99}]}`))
 	f.Add([]byte(`{"seed":14,"faults":[{"kind":"host-crash","target":"sync","at":1}]}`))
+	f.Add([]byte(`{"seed":15,"faults":[{"kind":"partition","target":"cut:dim=2","at":1,"until":4,"delay":100}]}`))
+	f.Add([]byte(`{"seed":16,"faults":[{"kind":"partition","target":"links:0-1,1-0,0-2,2-0","at":2,"delay":60}]}`))
+	f.Add([]byte(`{"seed":17,"faults":[{"kind":"partition","target":"links:0-1,0-1","at":1,"delay":10}]}`))
+	f.Add([]byte(`{"seed":18,"faults":[{"kind":"cascade","target":"link:0-1","at":2,"threshold":2,"victims":[3,5]}]}`))
+	f.Add([]byte(`{"seed":19,"faults":[{"kind":"cascade","target":"link:0-1","at":2,"threshold":0,"victims":[3]}]}`))
+	f.Add([]byte(`{"seed":20,"faults":[{"kind":"cascade","target":"link:0-1","at":1,"threshold":1,"victims":[6]}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := Parse(bytes.NewReader(data))

@@ -63,9 +63,6 @@ func TestArenaMatchesFreshByteIdentity(t *testing.T) {
 func TestArenaReuseAcrossFaultedThenClean(t *testing.T) {
 	a := New()
 	for _, e := range engines {
-		if e.name == "clean" {
-			continue // the coordinated engine takes no wire faults
-		}
 		for _, d := range []int{3, 5, 7} {
 			if testing.Short() && d > 5 {
 				continue
@@ -139,5 +136,59 @@ func TestArenaQuiescentOnRelease(t *testing.T) {
 			t.Fatalf("iteration %d: %d timers still pending after RunOn returned", i, n)
 		}
 		a.Release(f)
+	}
+}
+
+// partitionPlan cuts every link incident to the homebase for a frame
+// window and heals it 800 logical units later: the heal releases the
+// parked backlog on wall-clock timers, the exact straggler shape that
+// could chase a recycled fabric.
+func partitionPlan(d int) *faults.Plan {
+	return &faults.Plan{Name: "arena-partition", Seed: 23, Faults: []faults.Fault{
+		{Kind: faults.Partition, Target: faults.LinksTarget(faults.IslandLinks(0, d)),
+			At: 1, Until: 4, Delay: 800},
+	}}
+}
+
+// TestArenaReuseAfterPartition reuses a fabric immediately after a
+// partition-faulted run, for every engine: no parked frame released by
+// the heal may survive the quiescence barrier into the next run, and
+// the fault-free rerun must match a fresh fabric byte for byte.
+func TestArenaReuseAfterPartition(t *testing.T) {
+	a := New()
+	for _, e := range engines {
+		for _, d := range []int{3, 6} {
+			if testing.Short() && d > 5 {
+				continue
+			}
+			cfg := netsim.Config{Seed: int64(19*d + 2), MaxLatency: 150 * time.Microsecond}
+			fresh := e.fresh(d, cfg)
+
+			faulted := cfg
+			faulted.Faults = partitionPlan(d)
+			f := a.Acquire(d)
+			var ff netsim.Stats
+			switch e.name {
+			case "visibility":
+				ff = netsim.RunOn(f, faulted)
+			case "clean":
+				ff = netsim.RunCleanOn(f, faulted)
+			case "cloning":
+				ff = netsim.RunCloningOn(f, faulted)
+			}
+			if ff.Link.Partitioned == 0 {
+				t.Errorf("%s d=%d: partition parked no frames; plan inert (%+v)", e.name, d, ff.Link)
+			}
+			if n := f.PendingTimers(); n != 0 {
+				t.Fatalf("%s d=%d: %d timers still pending right after the partition-faulted run", e.name, d, n)
+			}
+			a.Release(f)
+
+			got := e.arena(a, d, cfg)
+			if got != fresh {
+				t.Errorf("%s d=%d: fault-free run on the reused fabric diverges:\narena: %+v\nfresh: %+v",
+					e.name, d, got, fresh)
+			}
+		}
 	}
 }

@@ -88,6 +88,9 @@ func (f *Fabric) PendingTimers() int64 {
 	}
 	if f.cnet != nil {
 		n += f.cnet.timers.pending.Load()
+		if f.cnet.flPool != nil {
+			n += f.cnet.flPool.PendingTimers()
+		}
 	}
 	return n
 }
@@ -182,6 +185,7 @@ func (f *Fabric) cleanNetwork(cfg Config, val validator) *cleanNet {
 	c.val = val
 	c.moves.Store(0)
 	c.syncMoves.Store(0)
+	c.wireFaults()
 	return c
 }
 

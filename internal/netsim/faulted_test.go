@@ -59,7 +59,36 @@ func netsimFaultPlans(d int) []*faults.Plan {
 	mixed.Faults = append(mixed.Faults, dup.Faults...)
 	mixed.Faults = append(mixed.Faults, crash.Faults...)
 
-	return []*faults.Plan{lossy, dup, blackout, crash, mixed}
+	// The partition cuts every link incident to the homebase for the
+	// first three frames of each: the boot beacon and the first agent
+	// dispatches are parked in the cut and released, in per-link order,
+	// when it heals 600 logical units later.
+	islanded := &faults.Plan{Name: "homebase-islanded", Seed: 16, Faults: []faults.Fault{
+		{Kind: faults.Partition, Target: faults.LinksTarget(faults.IslandLinks(0, d)),
+			At: 1, Until: 3, Delay: 600},
+	}}
+
+	// Host 1 is single-fed (its only smaller neighbour is the root), so
+	// its ledger holds exactly 2 entries — beacon, first dispatch — when
+	// frame 2 fires the cascade: threshold 2 trips deterministically and
+	// crashes its larger neighbours.
+	cascade := &faults.Plan{Name: "crash-cascade", Seed: 17, Faults: []faults.Fault{
+		{Kind: faults.Cascade, Target: faults.LinkTarget(0, 1), At: 2,
+			Threshold: 2, Victims: cascadeVictims(d)},
+	}}
+
+	return []*faults.Plan{lossy, dup, blackout, crash, mixed, islanded, cascade}
+}
+
+// cascadeVictims returns up to two of host 1's larger hypercube
+// neighbours (1^2=3, 1^4=5), the secondary-crash targets of the
+// crash-cascade plan.
+func cascadeVictims(d int) []int {
+	victims := []int{3}
+	if d >= 3 {
+		victims = append(victims, 5)
+	}
+	return victims
 }
 
 // checkFaultedStats asserts the non-negotiables of a faulted run: it
@@ -182,5 +211,131 @@ func TestDualValidatorUnderLinkFaults(t *testing.T) {
 			c := RunCloning(d, cfg)
 			checkFaultedStats(t, c, fmt.Sprintf("dual d=%d plan=%s cloning", d, plan.Name))
 		}
+	}
+}
+
+// deliveryOnlyPlans filters the campaign to the plans the coordinated
+// engine accepts: everything except host-crash/cascade shapes.
+func deliveryOnlyPlans(d int) []*faults.Plan {
+	var out []*faults.Plan
+	for _, p := range netsimFaultPlans(d) {
+		if !p.HasHostCrashFaults() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestCleanFaultedRunsTerminateClean drives the coordinated engine
+// through every delivery-fault scenario (drop, dup, delay, partition):
+// recovery must leave the logical run — moves, team size, invariants —
+// byte-identical to the fault-free one.
+func TestCleanFaultedRunsTerminateClean(t *testing.T) {
+	for d := 2; d <= 8; d++ {
+		if testing.Short() && d > 5 {
+			continue
+		}
+		for _, mode := range []ValidatorMode{ValidatorStriped, ValidatorLocked} {
+			base := Config{Seed: int64(17*d + 1), MaxLatency: 300 * time.Microsecond, Validator: mode}
+			fresh := RunClean(d, base)
+			for _, plan := range deliveryOnlyPlans(d) {
+				cfg := base
+				cfg.Faults = plan
+				name := fmt.Sprintf("clean d=%d mode=%d plan=%s", d, mode, plan.Name)
+				s := RunClean(d, cfg)
+				checkFaultedStats(t, s, name)
+				if s.TotalMoves != fresh.TotalMoves || s.SyncMoves != fresh.SyncMoves ||
+					s.AgentMoves != fresh.AgentMoves || s.TeamSize != fresh.TeamSize {
+					t.Errorf("%s: recovery changed the logical run: faulted {total=%d sync=%d agent=%d team=%d} clean {%d %d %d %d}",
+						name, s.TotalMoves, s.SyncMoves, s.AgentMoves, s.TeamSize,
+						fresh.TotalMoves, fresh.SyncMoves, fresh.AgentMoves, fresh.TeamSize)
+				}
+			}
+		}
+	}
+}
+
+// TestCleanFaultedStatsDeterministic is the -verify contract for the
+// coordinated engine: byte-identical Stats, including the wire Summary
+// and its WireTime bill, across reruns of each delivery-fault plan.
+func TestCleanFaultedStatsDeterministic(t *testing.T) {
+	for _, d := range []int{3, 6} {
+		if testing.Short() && d > 5 {
+			continue
+		}
+		for _, plan := range deliveryOnlyPlans(d) {
+			cfg := Config{Seed: int64(d) * 89, MaxLatency: 250 * time.Microsecond, Faults: plan}
+			a, b := RunClean(d, cfg), RunClean(d, cfg)
+			if a != b {
+				t.Errorf("d=%d plan=%s: clean-engine stats differ across reruns:\n%+v\n%+v", d, plan.Name, a, b)
+			}
+		}
+	}
+}
+
+// TestCleanRejectsHostCrashPlans pins the engine-config contract: the
+// coordinated engine, whose protocol state rides the messages, must
+// refuse crash and cascade plans loudly instead of running them wrong.
+func TestCleanRejectsHostCrashPlans(t *testing.T) {
+	plan := &faults.Plan{Name: "bad", Seed: 1, Faults: []faults.Fault{
+		{Kind: faults.HostCrash, Target: faults.LinkTarget(0, 1), At: 1},
+	}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on a host-crash plan for the clean engine")
+		}
+	}()
+	RunClean(3, Config{Seed: 1, Faults: plan})
+}
+
+// TestEnginesRejectOutOfRangeTargets is the regression test for the
+// silently-inert-fault bug: a link target naming a host outside 2^d
+// must be rejected at engine-config time by all three engines, not
+// compiled into a trigger that never fires.
+func TestEnginesRejectOutOfRangeTargets(t *testing.T) {
+	plan := &faults.Plan{Name: "oob", Seed: 1, Faults: []faults.Fault{
+		{Kind: faults.LinkDrop, Target: faults.LinkTarget(8, 9), At: 1},
+	}}
+	runs := map[string]func(){
+		"visibility": func() { Run(3, Config{Seed: 1, Faults: plan}) },
+		"cloning":    func() { RunCloning(3, Config{Seed: 1, Faults: plan}) },
+		"clean":      func() { RunClean(3, Config{Seed: 1, Faults: plan}) },
+	}
+	for name, run := range runs {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: out-of-range link target was accepted silently", name)
+				}
+			}()
+			run()
+		}()
+	}
+}
+
+// TestPartitionAndCascadeWireAccounting pins the new deterministic
+// counters at the engine level: the islanded homebase parks a known
+// set of frames and bills their heal time, and the cascade fires its
+// primary plus every victim.
+func TestPartitionAndCascadeWireAccounting(t *testing.T) {
+	d := 4
+	plans := netsimFaultPlans(d)
+
+	islanded := plans[5]
+	s := Run(d, Config{Seed: 5, Faults: islanded})
+	if s.Link.Partitioned == 0 {
+		t.Errorf("homebase-islanded parked no frames: %+v", s.Link)
+	}
+	if want := s.Link.Partitioned * 600; s.Link.WireTime != want {
+		t.Errorf("islanded WireTime = %d, want Partitioned×600 = %d (%+v)", s.Link.WireTime, want, s.Link)
+	}
+
+	cascade := plans[6]
+	s = Run(d, Config{Seed: 5, Faults: cascade})
+	if s.Link.Crashes != 1 {
+		t.Errorf("crash-cascade fired %d primary crashes, want 1 (%+v)", s.Link.Crashes, s.Link)
+	}
+	if want := int64(len(cascadeVictims(d))); s.Link.Cascades != want {
+		t.Errorf("crash-cascade fired %d secondary crashes, want %d (%+v)", s.Link.Cascades, want, s.Link)
 	}
 }

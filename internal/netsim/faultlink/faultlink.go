@@ -54,12 +54,58 @@
 // frames: the wire schedule downstream of a crash is identical to the
 // crash-free one.
 //
+// # Partitions
+//
+// A partition fault cuts a declared set of links — or the subcube
+// boundary cut:dim=k — atomically: the same frame window [At, Until]
+// applies to every member link, and a caught frame is parked in the
+// cut until the partition heals, Delay logical units later. The heal
+// replays each link's backlog in per-link sequence order: parked
+// frames re-enter flight on the quiescence-tracked timers and the
+// receiver's in-order release admits them exactly as the ARQ admits a
+// retransmitted frame — nothing is lost, everything is late. Frames
+// past the window that physically arrive during the outage wait in
+// the reorder buffer behind the parked ones, so no traffic is
+// admitted across the cut before the backlog.
+//
+// # Cascades
+//
+// A cascade fault is a host crash under correlated failure: it fires
+// exactly like host-crash at frame At of its link, and if the crashed
+// host's ledger replay redelivers at least Threshold entries — the
+// recovery load crossing the bar — the named neighbour hosts in
+// Victims crash too, in order, each with its own ledger replay.
+// Victim crashes run after the primary's ledger lock is released and
+// take one host lock at a time, so cascades never deadlock against
+// concurrent admissions.
+//
+// # Logical wire time
+//
+// WireTime is the layer's logical clock: a deterministic Δtime bill
+// advanced in frame admission order. Every admitted frame charges the
+// logical duration the plan injected into it — RetransmitUnits <<
+// (n-1) for each dropped attempt n, the link-delay units it carried
+// in flight, and the partition heal window it sat out. The charge is
+// a pure function of (link, seq), so the total is independent of the
+// physical interleaving: wall-clock backoff and delay timers realize
+// the schedule, but the accounting never reads them. A fault-free
+// frame bills zero, which makes WireTime exactly the recovery cost of
+// the plan.
+//
 // # Determinism contract
 //
-// Of the wire counters, Frames, Drops, Retransmits, Dups and Crashes
-// are pure functions of the plan and the protocol (Summary returns
-// exactly these); Held, DupsDiscarded, Deduped and Replays depend on
-// physical arrival interleavings and are exposed for diagnostics only.
+// Of the wire counters, Frames, Drops, Retransmits, Dups, Crashes,
+// Partitioned, Cascades and WireTime are pure functions of the plan
+// and the protocol (Summary returns exactly these); Held,
+// DupsDiscarded, Deduped and Replays depend on physical arrival
+// interleavings and are exposed for diagnostics only. One caveat:
+// a cascade's threshold decision reads the primary host's full order
+// ledger, so it is deterministic exactly when every frame the host
+// admitted before the trigger arrived on the faulted link itself (a
+// single-fed host, e.g. any host whose only smaller neighbour is the
+// sender). Plans that point cascades at multi-fed hosts get
+// best-effort secondary crashes and forfeit the byte-identical
+// Summary guarantee.
 package faultlink
 
 import (
@@ -77,9 +123,14 @@ type Options struct {
 	// RetransmitBase is the ARQ backoff base: attempt n of a frame is
 	// resent RetransmitBase << (n-1) after the drop. Default 50µs.
 	RetransmitBase time.Duration
-	// DelayUnit converts a link-delay fault's Delay (engine units)
-	// into wall time. Default 1µs.
+	// DelayUnit converts a link-delay or partition fault's Delay
+	// (engine units) into wall time. Default 1µs.
 	DelayUnit time.Duration
+	// RetransmitUnits is the logical-clock cost of the first backoff:
+	// attempt n of a dropped frame bills RetransmitUnits << (n-1)
+	// WireTime units. Default 50, mirroring the RetransmitBase /
+	// DelayUnit wall-clock ratio.
+	RetransmitUnits int64
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +139,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DelayUnit <= 0 {
 		o.DelayUnit = time.Microsecond
+	}
+	if o.RetransmitUnits <= 0 {
+		o.RetransmitUnits = 50
 	}
 	return o
 }
@@ -100,7 +154,10 @@ type Summary struct {
 	Drops       int64 // transmission attempts swallowed by link-drop
 	Retransmits int64 // ARQ resends (one per drop, by construction)
 	Dups        int64 // duplicate copies injected by link-dup
-	Crashes     int64 // host-crash faults fired
+	Crashes     int64 // host-crash and primary cascade crashes fired
+	Partitioned int64 // frames caught in a partition cut's backlog
+	Cascades    int64 // secondary crashes fired by tripped cascades
+	WireTime    int64 // logical Δtime bill: backoff + delay + heal units, in admission order
 }
 
 // WireStats is the full wire accounting: Summary plus the
@@ -114,14 +171,19 @@ type WireStats struct {
 	Replays       int64 // ledger entries redelivered after crashes
 }
 
-// wireFault is the compiled form of one link fault.
+// wireFault is the compiled form of one link fault. A partition fault
+// compiles to one record per member directed link, all carrying the
+// same window and heal delay — the "atomic cut" is exactly this shared
+// schedule.
 type wireFault struct {
-	kind     faults.Kind
-	from, to int
-	at       int64
-	until    int64
-	times    int   // link-drop: attempts swallowed per matching frame
-	delay    int64 // link-delay: extra flight units
+	kind      faults.Kind
+	from, to  int
+	at        int64
+	until     int64
+	times     int   // link-drop: attempts swallowed per matching frame
+	delay     int64 // link-delay: extra flight units; partition: heal window units
+	threshold int   // cascade: replay volume tripping the secondaries
+	victims   []int // cascade: hosts crashed when the threshold trips
 }
 
 // Layer applies a plan's link faults to a message-passing engine whose
@@ -154,6 +216,9 @@ type Layer[T any] struct {
 	retransmits   atomic.Int64
 	dups          atomic.Int64
 	crashes       atomic.Int64
+	partitioned   atomic.Int64
+	cascades      atomic.Int64
+	wireTime      atomic.Int64
 	deduped       atomic.Int64
 	dupsDiscarded atomic.Int64
 	held          atomic.Int64
@@ -196,29 +261,34 @@ func New[T any](plan *faults.Plan, hosts int, opts Options,
 		links:   make(map[int64]*link[T]),
 		hosts:   make([]hostState[T], hosts),
 	}
-	l.faults = compileFaults(plan)
+	l.faults = compileFaults(plan, hosts)
 	return l
 }
 
 // compileFaults validates the plan and compiles its link faults into
-// trigger records. A nil plan compiles to none (pass-through layer).
-func compileFaults(plan *faults.Plan) []wireFault {
+// trigger records, expanding each partition into one record per member
+// directed link. A nil plan compiles to none (pass-through layer).
+// Faults naming hosts outside the topology are a config bug, rejected
+// here (panicking, mirroring faults.NewInjector) rather than compiled
+// into triggers that could never fire.
+func compileFaults(plan *faults.Plan, hosts int) []wireFault {
 	if plan == nil {
 		return nil
 	}
 	if err := plan.Validate(); err != nil {
 		panic(err)
 	}
+	d := 0
+	for 1<<(d+1) <= hosts {
+		d++
+	}
 	var wfs []wireFault
 	for _, f := range plan.LinkFaults() {
-		from, to, err := faults.ParseLinkTarget(f.Target)
-		if err != nil {
-			panic(err) // unreachable: Validate parsed it already
-		}
 		wf := wireFault{
-			kind: f.Kind, from: from, to: to,
-			at: int64(f.At), until: int64(f.Until),
+			kind: f.Kind,
+			at:   int64(f.At), until: int64(f.Until),
 			times: f.Times, delay: f.Delay,
+			threshold: f.Threshold, victims: f.Victims,
 		}
 		if wf.until == 0 {
 			wf.until = wf.at
@@ -226,6 +296,31 @@ func compileFaults(plan *faults.Plan) []wireFault {
 		if wf.kind == faults.LinkDrop && wf.times == 0 {
 			wf.times = 1
 		}
+		if f.Kind == faults.Partition {
+			links, err := faults.PartitionLinks(f.Target, d)
+			if err != nil {
+				panic(fmt.Errorf("faultlink: %w", err))
+			}
+			for _, lk := range links {
+				member := wf
+				member.from, member.to = lk[0], lk[1]
+				wfs = append(wfs, member)
+			}
+			continue
+		}
+		from, to, err := faults.ParseLinkTarget(f.Target)
+		if err != nil {
+			panic(err) // unreachable: Validate parsed it already
+		}
+		if from >= hosts || to >= hosts {
+			panic(fmt.Errorf("faultlink: fault target %q names a host outside the %d-host layer — it could never fire", f.Target, hosts))
+		}
+		for _, v := range f.Victims {
+			if v >= hosts {
+				panic(fmt.Errorf("faultlink: cascade victim %d outside the %d-host layer", v, hosts))
+			}
+		}
+		wf.from, wf.to = from, to
 		wfs = append(wfs, wf)
 	}
 	return wfs
@@ -238,7 +333,7 @@ func compileFaults(plan *faults.Plan) []wireFault {
 // hosts and called Quiesce first — a still-flying timer would admit a
 // stale frame into the new run's ledgers.
 func (l *Layer[T]) Reset(plan *faults.Plan) {
-	l.faults = compileFaults(plan)
+	l.faults = compileFaults(plan, len(l.hosts))
 	l.mu.Lock()
 	for _, lk := range l.links {
 		lk.mu.Lock()
@@ -262,6 +357,9 @@ func (l *Layer[T]) Reset(plan *faults.Plan) {
 	l.retransmits.Store(0)
 	l.dups.Store(0)
 	l.crashes.Store(0)
+	l.partitioned.Store(0)
+	l.cascades.Store(0)
+	l.wireTime.Store(0)
 	l.deduped.Store(0)
 	l.dupsDiscarded.Store(0)
 	l.held.Store(0)
@@ -343,6 +441,9 @@ func (l *Layer[T]) Stats() WireStats {
 			Retransmits: l.retransmits.Load(),
 			Dups:        l.dups.Load(),
 			Crashes:     l.crashes.Load(),
+			Partitioned: l.partitioned.Load(),
+			Cascades:    l.cascades.Load(),
+			WireTime:    l.wireTime.Load(),
 		},
 		Transmissions: l.transmissions.Load(),
 		Deduped:       l.deduped.Load(),
@@ -386,21 +487,59 @@ func (l *Layer[T]) verdict(lk *link[T], seq int64, attempt int) (drop, dup bool,
 			dup = true
 		case faults.LinkDelay:
 			delay += f.delay
+		case faults.Partition:
+			// A caught frame sits in the cut for the heal window; the
+			// park is realized as delayed flight so the backlog re-enters
+			// on quiescence-tracked timers, and the receiver's in-order
+			// release keeps per-link order across the heal.
+			delay += f.delay
 		}
 	}
 	return drop, dup, delay
 }
 
-// crashAt reports whether admitting frame seq on lk fires a host-crash
-// fault. No fired flag is needed: each (link, seq) is admitted exactly
-// once, so a one-shot trigger cannot re-fire.
-func (l *Layer[T]) crashAt(lk *link[T], seq int64) bool {
+// frameCost is the logical Δtime bill of frame seq on lk: the sum of
+// the backoff units of every dropped attempt plus the injected delay
+// (link-delay and partition heal) the surviving attempt carries. It is
+// a pure function of (link, seq) — evaluated from the same verdicts
+// that drive the physical schedule but reading none of its wall-clock
+// timers — so the accumulated WireTime is interleaving-independent.
+func (l *Layer[T]) frameCost(lk *link[T], seq int64) int64 {
+	var cost int64
+	for attempt := 1; ; attempt++ {
+		drop, _, delay := l.verdict(lk, seq, attempt)
+		if !drop {
+			return cost + delay
+		}
+		cost += l.opts.RetransmitUnits << (attempt - 1)
+	}
+}
+
+// partitionHit reports whether frame seq on lk was caught in a
+// partition cut's window.
+func (l *Layer[T]) partitionHit(lk *link[T], seq int64) bool {
 	for _, f := range l.faults {
-		if f.kind == faults.HostCrash && f.from == lk.from && f.to == lk.to && f.at == seq {
+		if f.kind == faults.Partition && f.from == lk.from && f.to == lk.to &&
+			seq >= f.at && seq <= f.until {
 			return true
 		}
 	}
 	return false
+}
+
+// crashFaultAt returns the host-crash or cascade fault fired by
+// admitting frame seq on lk, or nil. No fired flag is needed: each
+// (link, seq) is admitted exactly once, so a one-shot trigger cannot
+// re-fire.
+func (l *Layer[T]) crashFaultAt(lk *link[T], seq int64) *wireFault {
+	for i := range l.faults {
+		f := &l.faults[i]
+		if (f.kind == faults.HostCrash || f.kind == faults.Cascade) &&
+			f.from == lk.from && f.to == lk.to && f.at == seq {
+			return f
+		}
+	}
+	return nil
 }
 
 // transmit puts attempt n of frame seq on the wire.
@@ -466,23 +605,51 @@ func (l *Layer[T]) receive(lk *link[T], seq int64, payload T) {
 	}
 }
 
-// admit delivers frame seq to the receiving host: ledger append, the
-// deliver callback, and — if a host-crash fault fires here — the crash
-// callback followed by the full-ledger replay. Holding hostState.mu
-// across the whole sequence makes crash + replay atomic with respect
-// to admissions from the host's other links.
+// admit delivers frame seq to the receiving host: WireTime billing,
+// ledger append, the deliver callback, and — if a host-crash or
+// cascade fault fires here — the crash callback followed by the
+// full-ledger replay, then any tripped cascade victims. Holding
+// hostState.mu across crash + replay makes them atomic with respect to
+// admissions from the host's other links; victim crashes run after the
+// primary's lock is released, one host lock at a time, so no two
+// hostState locks are ever held together.
 func (l *Layer[T]) admit(lk *link[T], seq int64, payload T) {
+	l.wireTime.Add(l.frameCost(lk, seq))
+	if l.partitionHit(lk, seq) {
+		l.partitioned.Add(1)
+	}
 	h := &l.hosts[lk.to]
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.ledger = append(h.ledger, ledgerEntry[T]{from: lk.from, payload: payload})
 	l.deliver(lk.to, lk.from, false, payload)
-	if l.crashAt(lk, seq) {
+	var victims []int
+	if wf := l.crashFaultAt(lk, seq); wf != nil {
 		l.crashes.Add(1)
 		l.crash(lk.to)
 		for _, e := range h.ledger {
 			l.replays.Add(1)
 			l.deliver(lk.to, e.from, true, e.payload)
 		}
+		if wf.kind == faults.Cascade && len(h.ledger) >= wf.threshold {
+			victims = wf.victims
+		}
 	}
+	h.mu.Unlock()
+	for _, v := range victims {
+		l.cascades.Add(1)
+		l.crashHost(v)
+	}
+}
+
+// crashHost crashes host v as a cascade secondary: the crash callback
+// followed by v's own full-ledger replay, under v's hostState lock.
+func (l *Layer[T]) crashHost(v int) {
+	h := &l.hosts[v]
+	h.mu.Lock()
+	l.crash(v)
+	for _, e := range h.ledger {
+		l.replays.Add(1)
+		l.deliver(v, e.from, true, e.payload)
+	}
+	h.mu.Unlock()
 }

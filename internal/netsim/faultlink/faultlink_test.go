@@ -2,6 +2,7 @@ package faultlink
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -297,5 +298,180 @@ func TestResetReusesLayerAcrossPlans(t *testing.T) {
 	evs := r.snapshot()
 	if want := "deliver 0->1:2"; evs[len(evs)-1] != want {
 		t.Fatalf("frame after reset renumbered wrong: %v", evs)
+	}
+}
+
+func TestPartitionParksBacklogAndHealsInOrder(t *testing.T) {
+	plan := &faults.Plan{Name: "part", Seed: 3, Faults: []faults.Fault{
+		{Kind: faults.Partition, Target: faults.LinksTarget([][2]int{{0, 1}}),
+			At: 1, Until: 2, Delay: 2000},
+	}}
+	l, r := newTestLayer(plan, 2)
+	l.Send(0, 1, 0, 1) // caught in the cut
+	l.Send(0, 1, 0, 2) // caught in the cut
+	l.Send(0, 1, 0, 3) // past the window: lands first, must wait behind the backlog
+	got := r.waitFor(t, 3)
+	want := []string{"deliver 0->1:1", "deliver 0->1:2", "deliver 0->1:3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	l.Quiesce()
+	s := l.Stats()
+	if s.Partitioned != 2 || s.Frames != 3 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+	if s.WireTime != 2*2000 {
+		t.Fatalf("WireTime = %d, want the two parked frames' heal bill %d", s.WireTime, 2*2000)
+	}
+}
+
+func TestPartitionCutDimSeversOnlyTheMatching(t *testing.T) {
+	// cut:dim=2 on H_2 severs {0,2} and {1,3}; the dimension-1 edge
+	// {0,1} must be untouched and bill zero.
+	plan := &faults.Plan{Name: "cut", Seed: 4, Faults: []faults.Fault{
+		{Kind: faults.Partition, Target: faults.CutDimTarget(2), At: 1, Delay: 1000},
+	}}
+	l, r := newTestLayer(plan, 4)
+	l.Send(0, 2, 0, 20) // dim-2 edge: caught
+	l.Send(0, 1, 0, 10) // dim-1 edge: unaffected
+	r.waitFor(t, 2)
+	l.Quiesce()
+	s := l.Stats()
+	if s.Partitioned != 1 {
+		t.Fatalf("Partitioned = %d, want 1 (only the dim-2 frame): %+v", s.Partitioned, s)
+	}
+	if s.WireTime != 1000 {
+		t.Fatalf("WireTime = %d, want the single heal bill 1000", s.WireTime)
+	}
+}
+
+func TestCascadeTripsVictimsOverThreshold(t *testing.T) {
+	// Host 1's ledger reaches 2 entries when frame 2 on 0->1 fires the
+	// cascade; threshold 2 trips, crashing neighbour 3 with its own
+	// ledger replay.
+	plan := &faults.Plan{Name: "casc", Seed: 5, Faults: []faults.Fault{
+		{Kind: faults.Cascade, Target: faults.LinkTarget(0, 1), At: 2,
+			Threshold: 2, Victims: []int{3}},
+	}}
+	l, r := newTestLayer(plan, 4)
+	l.Send(0, 3, 0, 30) // victim's pre-crash history
+	r.waitFor(t, 1)
+	l.Send(0, 1, 0, 10)
+	l.Send(0, 1, 0, 11) // frame 2: fires the cascade
+	got := r.waitFor(t, 8)
+	want := []string{
+		"deliver 0->3:30",
+		"deliver 0->1:10",
+		"deliver 0->1:11",
+		"crash 1",
+		"replay 0->1:10",
+		"replay 0->1:11",
+		"crash 3",
+		"replay 0->3:30",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if s := l.Stats(); s.Crashes != 1 || s.Cascades != 1 || s.Replays != 3 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestCascadeBelowThresholdDoesNotTrip(t *testing.T) {
+	plan := &faults.Plan{Name: "casc-quiet", Seed: 6, Faults: []faults.Fault{
+		{Kind: faults.Cascade, Target: faults.LinkTarget(0, 1), At: 2,
+			Threshold: 3, Victims: []int{3}},
+	}}
+	l, r := newTestLayer(plan, 4)
+	l.Send(0, 1, 0, 10)
+	l.Send(0, 1, 0, 11) // fires the primary crash; ledger 2 < threshold 3
+	got := r.waitFor(t, 5)
+	for _, ev := range got {
+		if ev == "crash 3" {
+			t.Fatalf("cascade tripped below threshold: %v", got)
+		}
+	}
+	if s := l.Stats(); s.Crashes != 1 || s.Cascades != 0 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestWireTimeBillsBackoffAndDelay(t *testing.T) {
+	// Frame 1: two dropped attempts bill 50<<0 + 50<<1 = 150 units, and
+	// the surviving attempt carries 500 delay units. Frame 2 is
+	// fault-free and must bill zero.
+	plan := &faults.Plan{Name: "bill", Seed: 7, Faults: []faults.Fault{
+		{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, 1), At: 1, Times: 2},
+		{Kind: faults.LinkDelay, Target: faults.LinkTarget(0, 1), At: 1, Delay: 500},
+	}}
+	l, r := newTestLayer(plan, 2)
+	l.Send(0, 1, 0, 1)
+	r.waitFor(t, 1)
+	if s := l.Stats(); s.WireTime != 150+500 {
+		t.Fatalf("WireTime = %d, want 650", s.WireTime)
+	}
+	l.Send(0, 1, 0, 2)
+	r.waitFor(t, 2)
+	l.Quiesce()
+	if s := l.Stats(); s.WireTime != 650 {
+		t.Fatalf("fault-free frame billed time: WireTime = %d, want 650", s.WireTime)
+	}
+}
+
+func TestNewRejectsOutOfRangeLinkTarget(t *testing.T) {
+	// link:0-5 can never fire on a 4-host layer; compiling it must be a
+	// loud config error, not a silent no-op.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range link target")
+		}
+	}()
+	New(&faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, 5), At: 1},
+	}}, 4, Options{}, func(int, int, bool, int) {}, func(int) {})
+}
+
+// TestSummaryDeterministicAcrossGOMAXPROCS drives a correlated-fault
+// plan from concurrent senders under GOMAXPROCS=1 and GOMAXPROCS=N:
+// the same seeded plan must produce an identical Summary — including
+// the logical WireTime bill — regardless of physical parallelism.
+func TestSummaryDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	plan := &faults.Plan{Name: "gmp", Seed: 8, Faults: []faults.Fault{
+		{Kind: faults.Partition, Target: faults.CutDimTarget(1), At: 1, Until: 3, Delay: 300},
+		{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, 2), At: 2, Times: 2},
+		{Kind: faults.LinkDelay, Target: faults.LinkTarget(2, 3), At: 1, Until: 2, Delay: 700},
+	}}
+	const frames = 6
+	links := [][2]int{{0, 1}, {1, 0}, {0, 2}, {2, 3}, {3, 1}}
+	run := func() Summary {
+		l, r := newTestLayer(plan, 4)
+		var wg sync.WaitGroup
+		for _, lk := range links {
+			wg.Add(1)
+			go func(from, to int) {
+				defer wg.Done()
+				for i := 1; i <= frames; i++ {
+					l.Send(from, to, 0, i)
+				}
+			}(lk[0], lk[1])
+		}
+		wg.Wait()
+		r.waitFor(t, frames*len(links))
+		l.Quiesce()
+		return l.SummaryStats()
+	}
+	old := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(old)
+	parallel := run()
+	if serial != parallel {
+		t.Fatalf("summary differs across GOMAXPROCS:\n  1: %+v\n  N: %+v", serial, parallel)
+	}
+	if serial.WireTime == 0 || serial.Partitioned == 0 {
+		t.Fatalf("plan injected no measurable faults: %+v", serial)
 	}
 }

@@ -186,8 +186,13 @@ type network struct {
 // wireFaults interposes the wire-fault layer when the plan asks for
 // it. Deliveries and crash markers use TrySend: a retired host has
 // closed its mailbox, and traffic at a decommissioned node is simply
-// dropped, never a protocol bug.
+// dropped, never a protocol bug. The plan is validated against this
+// topology first — a link target naming a host outside 2^d would
+// silently never fire, so it is rejected here at engine-config time.
 func (n *network) wireFaults() {
+	if err := n.cfg.Faults.ValidateForHosts(n.h.Order()); err != nil {
+		panic(fmt.Errorf("netsim: %w", err))
+	}
 	if !n.cfg.Faults.HasLinkFaults() {
 		n.fl = nil
 		return
