@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race ci faults faults-netsim fuzz bench bench-smoke bench-check
+.PHONY: all build vet staticcheck test race ci faults faults-netsim fuzz bench bench-smoke bench-check bench-scale
 
 # Committed benchmark baseline the regression gate compares against.
-BENCH_BASELINE ?= BENCH_pr5.json
+BENCH_BASELINE ?= BENCH_pr7.json
 
 all: build
 
@@ -57,6 +57,14 @@ bench-smoke:
 # allocs/op exact-or-better). Prints the offending families.
 bench-check:
 	$(GO) run ./cmd/hqbench -out /tmp/BENCH_check.json -against $(BENCH_BASELINE)
+
+# Big-board scale gate alone: the implicit-topology families (d>=16,
+# megannode board at d=20) re-measured and gated against the committed
+# baseline. Subset runs compare only the families they measured, so
+# this is the cheap way to revalidate a kernel or board change at
+# scale without re-running the whole suite.
+bench-scale:
+	$(GO) run ./cmd/hqbench -out /tmp/BENCH_scale.json -families clean/d=16,clean/d=20 -against $(BENCH_BASELINE)
 
 ci: build vet staticcheck race faults faults-netsim bench-smoke bench-check
 

@@ -14,9 +14,14 @@
 //	hqbench                      # all families -> BENCH.json
 //	hqbench -out BENCH_pr2.json
 //	hqbench -filter 'clean/'     # subset by regexp
+//	hqbench -families clean/d=16,clean/d=20  # subset by exact name
 //	hqbench -quick               # 1 iteration per family (CI smoke)
 //	hqbench -list                # print family names and exit
 //	hqbench -against BENCH_pr3.json  # regression gate (see internal/benchgate)
+//
+// Subset runs (-filter / -families) gate only the families they
+// measured: the baseline is cut down with benchgate.Subset first, so
+// deliberately skipped families are not reported missing.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"time"
 
 	"hypersearch/internal/benchgate"
+	"hypersearch/internal/combin"
 	"hypersearch/internal/core"
 	"hypersearch/internal/des"
 	"hypersearch/internal/envpool"
@@ -95,6 +101,28 @@ func strategyFamily(name string, d, iters int) family {
 	}
 }
 
+// cleanScaleFamily benchmarks Algorithm CLEAN past the implicit-
+// topology threshold and cross-checks every iteration against the
+// paper's closed forms (Theorems 2 and 3; the DES run saves one move
+// per root child because phase 0 places agents instead of escorting
+// them up): a scale benchmark that silently swept the wrong number of
+// nodes would be worse than no benchmark.
+func cleanScaleFamily(d, iters int) family {
+	return family{
+		name:  fmt.Sprintf("%s/d=%d", core.Clean, d),
+		iters: iters,
+		run: func() map[string]float64 {
+			res := mustRun(core.Spec{Strategy: core.Clean, Dim: d})
+			if int64(res.TeamSize) != combin.CleanTeamSize(d) ||
+				res.AgentMoves != combin.CleanAgentMoves(d)-int64(d) {
+				fmt.Fprintf(os.Stderr, "hqbench: clean/d=%d diverged from the closed forms: %s\n", d, res)
+				os.Exit(1)
+			}
+			return strategyMetrics(res)
+		},
+	}
+}
+
 // families returns the full tier-1 suite. Iteration counts shrink with
 // dimension so the whole run stays in CLI territory while every family
 // still averages over several runs.
@@ -117,6 +145,12 @@ func families() []family {
 	for _, d := range []int{4, 6, 8, 10, 12} {
 		fams = append(fams, strategyFamily(core.Clean, d, iters(d)))
 	}
+	// Scale points: d=16 is the largest dimension pooled runs still
+	// materialize (hypercube.MaterializeLimit), d=20 the megannode
+	// implicit-topology board the packed engine exists for. One and
+	// two iterations keep the suite in CLI territory; the closed-form
+	// self-check makes even a single iteration trustworthy.
+	fams = append(fams, cleanScaleFamily(16, 2), cleanScaleFamily(20, 1))
 	for _, d := range []int{4, 6, 8, 10, 12} {
 		fams = append(fams, strategyFamily(core.Visibility, d, iters(d)))
 	}
@@ -290,15 +324,17 @@ func measure(f family, quick bool) benchgate.Result {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH.json", "output file ('-' for stdout)")
-		filter  = flag.String("filter", "", "regexp selecting family names (default: all)")
-		quick   = flag.Bool("quick", false, "1 iteration per family (CI smoke run)")
-		list    = flag.Bool("list", false, "print family names and exit")
-		against = flag.String("against", "", "baseline BENCH.json: exit 1 if the fresh measurements regress past the tolerance bands")
+		out      = flag.String("out", "BENCH.json", "output file ('-' for stdout)")
+		filter   = flag.String("filter", "", "regexp selecting family names (default: all)")
+		famNames = flag.String("families", "", "comma-separated exact family names to run (subset; see -list)")
+		quick    = flag.Bool("quick", false, "1 iteration per family (CI smoke run)")
+		list     = flag.Bool("list", false, "print family names and exit")
+		against  = flag.String("against", "", "baseline BENCH.json: exit 1 if the fresh measurements regress past the tolerance bands")
 	)
 	flag.Parse()
 
 	fams := families()
+	subset := false
 	if *filter != "" {
 		re, err := regexp.Compile(*filter)
 		if err != nil {
@@ -312,6 +348,28 @@ func main() {
 			}
 		}
 		fams = kept
+		subset = true
+	}
+	if *famNames != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*famNames, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		kept := fams[:0]
+		for _, f := range fams {
+			if want[f.name] {
+				kept = append(kept, f)
+				delete(want, f.name)
+			}
+		}
+		if len(want) > 0 {
+			for n := range want {
+				fmt.Fprintf(os.Stderr, "hqbench: unknown family %q (see -list)\n", n)
+			}
+			os.Exit(2)
+		}
+		fams = kept
+		subset = true
 	}
 	if *list {
 		for _, f := range fams {
@@ -353,6 +411,13 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hqbench:", err)
 			os.Exit(1)
+		}
+		if subset {
+			names := make([]string, len(fams))
+			for i, f := range fams {
+				names[i] = f.name
+			}
+			base = benchgate.Subset(base, names)
 		}
 		violations := benchgate.Compare(base, rep, benchgate.DefaultNsTolerance)
 		if len(violations) > 0 {

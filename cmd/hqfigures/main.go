@@ -33,7 +33,7 @@ func main() {
 		case 1:
 			fmt.Printf("Figure 1 — broadcast tree\n%s\n", viz.BroadcastTree(*dim))
 		case 2:
-			_, env, err := core.Run(core.Spec{Strategy: core.Clean, Dim: *dim})
+			_, env, err := core.Run(core.Spec{Strategy: core.Clean, Dim: *dim, Record: true})
 			fail(err)
 			fmt.Printf("Figure 2 — cleaning order under CLEAN (H_%d)\n%s\n", *dim, viz.CleanOrder(env.H, env.B, false))
 		case 3:
@@ -43,7 +43,7 @@ func main() {
 			}
 			fmt.Printf("Figure 3 — classes C_i\n%s\n", viz.Classes(d))
 		case 4:
-			_, env, err := core.Run(core.Spec{Strategy: core.Visibility, Dim: *dim})
+			_, env, err := core.Run(core.Spec{Strategy: core.Visibility, Dim: *dim, Record: true})
 			fail(err)
 			fmt.Printf("Figure 4 — cleaning schedule under CLEAN WITH VISIBILITY (H_%d)\n%s\n", *dim, viz.CleanOrder(env.H, env.B, true))
 		default:

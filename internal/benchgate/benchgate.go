@@ -93,6 +93,26 @@ func (v Violation) String() string {
 		v.Family, v.Field, v.Base, v.Limit, v.Got)
 }
 
+// Subset returns a copy of base keeping only the named families, in
+// baseline order. Subset runs (hqbench -families / -filter) gate
+// against it so the families they deliberately skipped do not fail the
+// comparison as "missing"; a full run must still gate against the full
+// baseline to keep that protection.
+func Subset(base Report, names []string) Report {
+	keep := make(map[string]bool, len(names))
+	for _, n := range names {
+		keep[n] = true
+	}
+	out := base
+	out.Families = nil
+	for _, f := range base.Families {
+		if keep[f.Name] {
+			out.Families = append(out.Families, f)
+		}
+	}
+	return out
+}
+
 // Compare checks got against base family by family (matched on name)
 // and returns every violation, in baseline order:
 //

@@ -66,6 +66,34 @@ func TestCompareFlagsMissingFamily(t *testing.T) {
 	}
 }
 
+// TestSubsetGatesOnlyMeasuredFamilies: a subset run (hqbench
+// -families) cuts the baseline down to what it measured, so skipped
+// families neither fail as missing nor sneak regressions through for
+// the families that did run.
+func TestSubsetGatesOnlyMeasuredFamilies(t *testing.T) {
+	base := report(
+		Result{Name: "clean/d=16", NsPerOp: 100, AllocsPerOp: 5},
+		Result{Name: "clean/d=20", NsPerOp: 1000, AllocsPerOp: 9},
+		Result{Name: "visibility/d=8", NsPerOp: 10, AllocsPerOp: 1},
+	)
+	sub := Subset(base, []string{"clean/d=16", "clean/d=20"})
+	if len(sub.Families) != 2 || sub.Families[0].Name != "clean/d=16" || sub.Families[1].Name != "clean/d=20" {
+		t.Fatalf("Subset kept %v", sub.Families)
+	}
+	got := report(
+		Result{Name: "clean/d=16", NsPerOp: 100, AllocsPerOp: 5},
+		Result{Name: "clean/d=20", NsPerOp: 1000, AllocsPerOp: 9},
+	)
+	if vs := Compare(sub, got, 0); len(vs) != 0 {
+		t.Fatalf("subset comparison should pass, got %v", vs)
+	}
+	// A regression inside the subset still fails.
+	got.Families[1].AllocsPerOp = 10
+	if vs := Compare(sub, got, 0); len(vs) != 1 || vs[0].Field != "allocs/op" {
+		t.Fatalf("want one allocs/op violation, got %v", vs)
+	}
+}
+
 // TestCompareFailsOnMetricsDrift makes the gate a correctness diff:
 // the paper metrics are deterministic for a seeded workload, so any
 // drift — even with perf inside every band — must fail.

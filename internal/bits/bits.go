@@ -105,6 +105,40 @@ func Neighbours(x Node, d int) []Node {
 	return out
 }
 
+// VisitNeighbours calls yield for each neighbour of x in H_d in
+// increasing label order (the order Neighbours returns), stopping early
+// when yield returns false. It allocates nothing: each neighbour is one
+// XOR away.
+func VisitNeighbours(x Node, d int, yield func(y Node) bool) {
+	for i := 1; i <= d; i++ {
+		if !yield(x ^ 1<<(i-1)) {
+			return
+		}
+	}
+}
+
+// VisitSmallerNeighbours calls yield for each neighbour y of x with
+// label λ(x,y) <= m(x), in increasing label order, allocation-free.
+func VisitSmallerNeighbours(x Node, yield func(y Node) bool) {
+	m := Msb(x)
+	for i := 1; i <= m; i++ {
+		if !yield(x ^ 1<<(i-1)) {
+			return
+		}
+	}
+}
+
+// VisitBiggerNeighbours calls yield for each neighbour y of x with
+// label λ(x,y) > m(x) — the broadcast-tree children of x in H_d — in
+// increasing label order, allocation-free.
+func VisitBiggerNeighbours(x Node, d int, yield func(y Node) bool) {
+	for i := Msb(x) + 1; i <= d; i++ {
+		if !yield(x | 1<<(i-1)) {
+			return
+		}
+	}
+}
+
 // SmallerNeighbours returns the neighbours y of x with label
 // λ(x,y) <= m(x) (Definition 2 of the paper), ordered by label. The root
 // 0 has no smaller neighbours.
@@ -278,6 +312,36 @@ func NodesAtLevel(d, l int) []Node {
 		}
 	}
 	return out
+}
+
+// VisitNodesAtLevel calls yield for every node of H_d with exactly l
+// one-bits, in increasing (lexicographic) order, stopping early when
+// yield returns false. It enumerates with Gosper's hack and allocates
+// nothing — the big-board engines walk million-node levels through it
+// without materializing the level slice. It panics if l is outside
+// [0, d].
+func VisitNodesAtLevel(d, l int, yield func(x Node) bool) {
+	CheckDim(d)
+	if l < 0 || l > d {
+		panic(fmt.Sprintf("bits: level %d out of range [0,%d]", l, d))
+	}
+	if l == 0 {
+		yield(0)
+		return
+	}
+	v := uint32(1<<l - 1)
+	limit := uint32(1) << d
+	for v < limit {
+		if !yield(Node(v)) {
+			return
+		}
+		c := v & -v
+		r := v + c
+		v = (((r ^ v) >> 2) / c) | r
+		if c == 0 {
+			return
+		}
+	}
 }
 
 // NodesInClass returns all nodes of class C_i in increasing order:

@@ -24,6 +24,18 @@
 // completes and the destination from that instant on, matching the
 // standard graph-search action model (there is no intermediate state
 // with the agent on neither endpoint).
+//
+// Representation: per-node booleans live in packed bitplanes (see
+// bitset.go), agent counts in a sparse table bounded by the team size
+// (see sparse.go), and contaminated-neighbour counts in two byte-wide
+// planes — a few bytes per node in all, with Reset a handful of
+// memclrs plus one copy. The O(n·16B) clean-order/clean-time record is
+// opt-in via RecordClean. The contamination flood and the contiguity
+// check reuse board-owned scratch (queue + visited words) and iterate
+// neighbours through the graph.NeighbourVisitor fast path, so the hot
+// path allocates nothing. This is what lets one board span the d=20
+// hypercube (2^20 nodes) without dominating the run's memory or its
+// garbage.
 package board
 
 import (
@@ -59,12 +71,17 @@ func (s State) String() string {
 // Board is the search state over a graph. Construct with New. Board is
 // not safe for concurrent use; the goroutine runtime serializes access.
 type Board struct {
-	g         graph.Graph
-	home      int
-	pos       []int // agent id -> node; -1 once terminated
-	count     []int // node -> number of agents standing on it
-	decon     []bool
-	everClean []bool
+	g    graph.Graph
+	n    int
+	home int
+	pos  []int // agent id -> node; encoded negative once terminated
+
+	counts     sparseCount // node -> agents standing on it (occupied only)
+	decon      words       // bitplane: node is decontaminated
+	everClean  words       // bitplane: node settled as stably clean
+	settled    words       // bitplane: node settled (clean or final guard)
+	occupied   words       // bitplane: at least one agent on node
+	deconCount int         // popcount of decon, maintained incrementally
 
 	away     int // agents on nodes other than home
 	peakAway int
@@ -73,55 +90,182 @@ type Board struct {
 	recontaminations int64 // nodes recontaminated, total (with multiplicity)
 	violations       int64 // recontaminations of stably-clean nodes
 
+	record      bool    // clean-order accounting enabled
 	cleanSeq    int     // next clean-order index
 	cleanOrder  []int   // node -> order in which it settled (-1 if not yet)
 	cleanTime   []int64 // node -> time at which it settled (-1 if not yet)
 	currentTime int64
+
+	// contamNbrs[v] counts v's contaminated neighbours, maintained on
+	// every decontamination/recontamination. It turns the expose-time
+	// settle-vs-flood decision into one byte load instead of a
+	// neighbourhood scan per exposure — the per-move cost that would
+	// otherwise dominate big sweeps, where every transit step exposes
+	// the node behind the agent. degrees keeps the all-contaminated
+	// pattern so Reset restores the counters with one copy. Both are
+	// nil (and expose falls back to scanning) if any node's degree
+	// overflows the byte-wide counters.
+	contamNbrs []uint8
+	degrees    []uint8
+
+	// Reusable traversal scratch and hoisted visitor callbacks — built
+	// once in New so the contamination fixpoint and the contiguity BFS
+	// allocate nothing per call.
+	queue   []int
+	visited words
+	spread  bool
+	reached int
+	visit   func(v int, yield func(w int) bool)
+	edge    graph.EdgeChecker // nil when g has no O(1) adjacency test
+	scan    func(w int) bool  // expose fallback: any contaminated neighbour?
+	flood   func(w int) bool  // expose: recontamination flood step
+	sweep   func(w int) bool  // Contiguous: BFS step over decon set
+	decNbr  func(w int) bool  // contamNbrs[w]-- (a neighbour was decontaminated)
+	incNbr  func(w int) bool  // contamNbrs[w]++ (a neighbour was recontaminated)
 }
 
 // New creates a board over g with all nodes contaminated except the
 // homebase, which starts decontaminated (agents are placed there).
+// Clean-order accounting starts disabled; see RecordClean.
 func New(g graph.Graph, home int) *Board {
 	n := g.Order()
 	if home < 0 || home >= n {
 		panic(fmt.Sprintf("board: homebase %d out of range [0,%d)", home, n))
 	}
 	b := &Board{
-		g:          g,
-		home:       home,
-		count:      make([]int, n),
-		decon:      make([]bool, n),
-		everClean:  make([]bool, n),
-		cleanOrder: make([]int, n),
-		cleanTime:  make([]int64, n),
+		g:         g,
+		n:         n,
+		home:      home,
+		decon:     newWords(n),
+		everClean: newWords(n),
+		settled:   newWords(n),
+		occupied:  newWords(n),
+		visited:   newWords(n),
+	}
+	if nv, ok := g.(graph.NeighbourVisitor); ok {
+		b.visit = nv.VisitNeighbours
+	} else {
+		b.visit = func(v int, yield func(w int) bool) {
+			for _, w := range g.Neighbours(v) {
+				if !yield(w) {
+					return
+				}
+			}
+		}
+	}
+	if ec, ok := g.(graph.EdgeChecker); ok {
+		b.edge = ec
+	}
+	b.scan = func(w int) bool {
+		if !b.decon.get(w) {
+			b.spread = true
+			return false
+		}
+		return true
+	}
+	b.flood = func(w int) bool {
+		if b.decon.get(w) && !b.occupied.get(w) {
+			b.recontaminate(w)
+			b.queue = append(b.queue, w)
+		}
+		return true
+	}
+	b.sweep = func(w int) bool {
+		if b.decon.get(w) && !b.visited.get(w) {
+			b.visited.set(w)
+			b.reached++
+			b.queue = append(b.queue, w)
+		}
+		return true
+	}
+	b.decNbr = func(w int) bool { b.contamNbrs[w]--; return true }
+	b.incNbr = func(w int) bool { b.contamNbrs[w]++; return true }
+	b.initContamCounters()
+	b.decon.set(home)
+	b.deconCount = 1
+	if b.contamNbrs != nil {
+		b.visit(home, b.decNbr)
+	}
+	return b
+}
+
+// initContamCounters sizes and fills the contaminated-neighbour
+// counters for the all-contaminated state: contamNbrs[v] = degree(v).
+// Graphs with a node of degree > 255 (none of the project's
+// topologies) get no counters and fall back to the expose-time scan.
+func (b *Board) initContamCounters() {
+	deg := make([]uint8, b.n)
+	d := 0
+	count := func(int) bool { d++; return true }
+	for v := 0; v < b.n; v++ {
+		d = 0
+		b.visit(v, count)
+		if d > 255 {
+			return
+		}
+		deg[v] = uint8(d)
+	}
+	b.degrees = deg
+	b.contamNbrs = make([]uint8, b.n)
+	copy(b.contamNbrs, deg)
+}
+
+// Reset returns the board to its initial state — all nodes
+// contaminated except the homebase, no agents, zeroed counters — in
+// O(n/64) word clears, reusing every backing array. Pooled
+// environments reset their board instead of allocating a fresh one per
+// run.
+func (b *Board) Reset() {
+	b.pos = b.pos[:0]
+	b.counts.reset()
+	b.decon.clearAll()
+	b.everClean.clearAll()
+	b.settled.clearAll()
+	b.occupied.clearAll()
+	b.away, b.peakAway = 0, 0
+	b.moves, b.recontaminations, b.violations = 0, 0, 0
+	b.cleanSeq = 0
+	b.currentTime = 0
+	b.queue = b.queue[:0]
+	if b.record {
+		for i := range b.cleanOrder {
+			b.cleanOrder[i] = -1
+			b.cleanTime[i] = -1
+		}
+	}
+	b.decon.set(b.home)
+	b.deconCount = 1
+	if b.contamNbrs != nil {
+		copy(b.contamNbrs, b.degrees)
+		b.visit(b.home, b.decNbr)
+	}
+}
+
+// RecordClean toggles the per-node clean-order/clean-time record that
+// CleanOrder and CleanTime read. It costs O(n·16B) of memory and an
+// O(n) sweep per Reset, so big boards leave it off; visualization and
+// figure runs turn it on. Call it on a fresh (or freshly Reset) board:
+// settles that happened while recording was off are not backfilled.
+func (b *Board) RecordClean(on bool) {
+	if on == b.record {
+		return
+	}
+	b.record = on
+	if !on {
+		return
+	}
+	if b.cleanOrder == nil {
+		b.cleanOrder = make([]int, b.n)
+		b.cleanTime = make([]int64, b.n)
 	}
 	for i := range b.cleanOrder {
 		b.cleanOrder[i] = -1
 		b.cleanTime[i] = -1
 	}
-	b.decon[home] = true
-	return b
 }
 
-// Reset returns the board to its initial state — all nodes
-// contaminated except the homebase, no agents, zeroed counters — in
-// O(n), reusing every backing array. Pooled environments reset their
-// board instead of allocating a fresh one per run.
-func (b *Board) Reset() {
-	b.pos = b.pos[:0]
-	for i := range b.count {
-		b.count[i] = 0
-		b.decon[i] = false
-		b.everClean[i] = false
-		b.cleanOrder[i] = -1
-		b.cleanTime[i] = -1
-	}
-	b.away, b.peakAway = 0, 0
-	b.moves, b.recontaminations, b.violations = 0, 0, 0
-	b.cleanSeq = 0
-	b.currentTime = 0
-	b.decon[b.home] = true
-}
+// Recording reports whether clean-order accounting is enabled.
+func (b *Board) Recording() bool { return b.record }
 
 // Graph returns the underlying topology.
 func (b *Board) Graph() graph.Graph { return b.g }
@@ -139,7 +283,9 @@ func (b *Board) Place(at int64) int {
 	b.advance(at)
 	id := len(b.pos)
 	b.pos = append(b.pos, b.home)
-	b.count[b.home]++
+	if b.counts.inc(b.home) == 1 {
+		b.occupied.set(b.home)
+	}
 	return id
 }
 
@@ -148,12 +294,12 @@ func (b *Board) Place(at int64) int {
 // Returns the new agent's id.
 func (b *Board) Clone(v int, at int64) int {
 	b.advance(at)
-	if b.count[v] == 0 {
+	if !b.occupied.get(v) {
 		panic(fmt.Sprintf("board: cannot clone on unguarded node %d", v))
 	}
 	id := len(b.pos)
 	b.pos = append(b.pos, v)
-	b.count[v]++
+	b.counts.inc(v)
 	if v != b.home {
 		b.away++
 		if b.away > b.peakAway {
@@ -174,8 +320,13 @@ func (b *Board) Move(id, to int, at int64) {
 		panic(fmt.Sprintf("board: agent %d move %d->%d is not an edge", id, from, to))
 	}
 	b.pos[id] = to
-	b.count[from]--
-	b.count[to]++
+	exposed := b.counts.dec(from) == 0
+	if exposed {
+		b.occupied.clear(from)
+	}
+	if b.counts.inc(to) == 1 {
+		b.occupied.set(to)
+	}
 	b.moves++
 	if from != b.home {
 		b.away--
@@ -187,9 +338,15 @@ func (b *Board) Move(id, to int, at int64) {
 		}
 	}
 	// Arrival decontaminates the destination.
-	b.decon[to] = true
+	if !b.decon.get(to) {
+		b.decon.set(to)
+		b.deconCount++
+		if b.contamNbrs != nil {
+			b.visit(to, b.decNbr)
+		}
+	}
 	// Departure may expose the source.
-	if b.count[from] == 0 {
+	if exposed {
 		b.expose(from)
 	}
 }
@@ -219,6 +376,9 @@ func (b *Board) agentPos(id int) int {
 }
 
 func (b *Board) adjacent(u, v int) bool {
+	if b.edge != nil {
+		return b.edge.HasEdge(u, v)
+	}
 	for _, w := range b.g.Neighbours(u) {
 		if w == v {
 			return true
@@ -239,66 +399,78 @@ func (b *Board) advance(at int64) {
 // expose handles node u becoming unguarded: if any neighbour is
 // contaminated, contamination floods u and everything reachable from u
 // through unguarded decontaminated nodes; otherwise u settles as clean.
+// The settle-vs-flood decision is one contamNbrs load (every transit
+// move pays it, so it must not scan); the flood reuses the board's
+// queue scratch and needs no visited set: clearing a node's decon bit
+// is what marks it visited.
 func (b *Board) expose(u int) {
-	if !b.decon[u] {
+	if !b.decon.get(u) {
 		return
 	}
-	spread := false
-	for _, w := range b.g.Neighbours(u) {
-		if !b.decon[w] {
-			spread = true
-			break
+	if b.contamNbrs != nil {
+		if b.contamNbrs[u] == 0 {
+			b.settle(u)
+			return
 		}
-	}
-	if !spread {
-		b.settle(u)
-		return
+	} else {
+		b.spread = false
+		b.visit(u, b.scan)
+		if !b.spread {
+			b.settle(u)
+			return
+		}
 	}
 	// Flood: u and transitively every unguarded decontaminated node.
-	queue := []int{u}
+	b.queue = b.queue[:0]
 	b.recontaminate(u)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range b.g.Neighbours(v) {
-			if b.decon[w] && b.count[w] == 0 {
-				b.recontaminate(w)
-				queue = append(queue, w)
-			}
-		}
+	b.queue = append(b.queue, u)
+	for head := 0; head < len(b.queue); head++ {
+		b.visit(b.queue[head], b.flood)
 	}
 }
 
 func (b *Board) recontaminate(v int) {
-	b.decon[v] = false
+	b.decon.clear(v)
+	b.deconCount--
+	if b.contamNbrs != nil {
+		b.visit(v, b.incNbr)
+	}
 	b.recontaminations++
-	if b.everClean[v] {
+	if b.everClean.get(v) {
 		b.violations++
 	}
 	// A recontaminated node loses its settled status.
-	b.everClean[v] = false
-	b.cleanOrder[v] = -1
-	b.cleanTime[v] = -1
+	b.everClean.clear(v)
+	b.settled.clear(v)
+	if b.record {
+		b.cleanOrder[v] = -1
+		b.cleanTime[v] = -1
+	}
 }
 
 // settle records that v is stably clean (or finally guarded by a
 // terminated agent) for clean-order accounting.
 func (b *Board) settle(v int) {
-	if b.cleanOrder[v] >= 0 {
+	if b.settled.get(v) {
 		return
 	}
-	b.everClean[v] = b.count[v] == 0
-	b.cleanOrder[v] = b.cleanSeq
+	b.settled.set(v)
+	if !b.occupied.get(v) {
+		b.everClean.set(v)
+	}
+	if b.record {
+		b.cleanOrder[v] = b.cleanSeq
+		b.cleanTime[v] = b.currentTime
+	}
 	b.cleanSeq++
-	b.cleanTime[v] = b.currentTime
 }
 
 // StateOf returns the paper-state of node v.
 func (b *Board) StateOf(v int) State {
 	switch {
-	case b.count[v] > 0:
+	case b.occupied.get(v):
 		return Guarded
-	case b.decon[v]:
+	case b.decon.get(v):
 		return Clean
 	default:
 		return Contaminated
@@ -306,7 +478,7 @@ func (b *Board) StateOf(v int) State {
 }
 
 // AgentsOn returns the number of agents currently standing on v.
-func (b *Board) AgentsOn(v int) int { return b.count[v] }
+func (b *Board) AgentsOn(v int) int { return b.counts.get(v) }
 
 // Position returns the node agent id stands on and whether it is still
 // active (false once terminated).
@@ -321,26 +493,11 @@ func (b *Board) Position(id int) (int, bool) {
 }
 
 // ContaminatedCount returns the number of contaminated nodes.
-func (b *Board) ContaminatedCount() int {
-	n := 0
-	for _, ok := range b.decon {
-		if !ok {
-			n++
-		}
-	}
-	return n
-}
+func (b *Board) ContaminatedCount() int { return b.n - b.deconCount }
 
 // AllClean reports whether every node is decontaminated — the capture
 // condition: no contaminated node remains for the intruder.
-func (b *Board) AllClean() bool {
-	for _, ok := range b.decon {
-		if !ok {
-			return false
-		}
-	}
-	return true
-}
+func (b *Board) AllClean() bool { return b.deconCount == b.n }
 
 // Moves returns the total number of agent moves so far.
 func (b *Board) Moves() int64 { return b.moves }
@@ -361,22 +518,48 @@ func (b *Board) Now() int64 { return b.currentTime }
 
 // CleanOrder returns, for node v, the order index in which it settled
 // (first stayed stably clean, or had an agent terminate on it), or -1.
-func (b *Board) CleanOrder(v int) int { return b.cleanOrder[v] }
+// Always -1 unless RecordClean(true) was set before the run.
+func (b *Board) CleanOrder(v int) int {
+	if !b.record {
+		return -1
+	}
+	return b.cleanOrder[v]
+}
 
 // CleanTime returns the board time at which node v settled, or -1.
-func (b *Board) CleanTime(v int) int64 { return b.cleanTime[v] }
+// Always -1 unless RecordClean(true) was set before the run.
+func (b *Board) CleanTime(v int) int64 {
+	if !b.record {
+		return -1
+	}
+	return b.cleanTime[v]
+}
 
 // Contiguous reports whether the decontaminated set (clean plus
 // guarded nodes) induces a connected subgraph — the defining constraint
-// of contiguous search. Cost: O(n + m).
+// of contiguous search. Cost: O(n/64 + reached·deg) with zero
+// allocations — the BFS runs over the packed decon bitplane with the
+// board's reusable scratch.
 func (b *Board) Contiguous() bool {
-	return graph.SubsetConnected(b.g, b.decon)
+	if b.deconCount == 0 {
+		return true
+	}
+	start := b.decon.firstSet()
+	b.visited.clearAll()
+	b.queue = b.queue[:0]
+	b.visited.set(start)
+	b.reached = 1
+	b.queue = append(b.queue, start)
+	for head := 0; head < len(b.queue); head++ {
+		b.visit(b.queue[head], b.sweep)
+	}
+	return b.reached == b.deconCount
 }
 
 // Snapshot returns a copy of the per-node states, for renderers and
 // tests.
 func (b *Board) Snapshot() []State {
-	out := make([]State, b.g.Order())
+	out := make([]State, b.n)
 	for v := range out {
 		out[v] = b.StateOf(v)
 	}

@@ -61,6 +61,7 @@ func TestPlaceAndGuard(t *testing.T) {
 func TestPathSweepIsMonotone(t *testing.T) {
 	const n = 6
 	b := New(pathGraph(n), 0)
+	b.RecordClean(true)
 	a := b.Place(0)
 	for v := 1; v < n; v++ {
 		b.Move(a, v, int64(v))
@@ -123,6 +124,7 @@ func TestCycleRecontaminates(t *testing.T) {
 // and walking back through clean territory causes no violations.
 func TestMultiGuardAndBacktrack(t *testing.T) {
 	b := New(pathGraph(4), 0)
+	b.RecordClean(true)
 	a1 := b.Place(0)
 	a2 := b.Place(0)
 	b.Move(a1, 1, 1)
@@ -165,6 +167,7 @@ func TestFloodSwallowsCleanRegion(t *testing.T) {
 		g.AddEdge(0, v)
 	}
 	b := New(g, 0)
+	b.RecordClean(true)
 	a := b.Place(0)
 	guard := b.Place(0) // rear guard holds the center
 	b.Move(a, 1, 1)
@@ -278,6 +281,7 @@ func TestPeakAwayTracking(t *testing.T) {
 
 func TestSnapshotAndNow(t *testing.T) {
 	b := New(pathGraph(3), 0)
+	b.RecordClean(true)
 	a := b.Place(0)
 	b.Move(a, 1, 7)
 	snap := b.Snapshot()

@@ -5,9 +5,9 @@
 //
 // Typical use:
 //
-//	res, env, err := core.Run(core.Spec{Strategy: core.Visibility, Dim: 8})
+//	res, env, err := core.Run(core.Spec{Strategy: core.Visibility, Dim: 8, Record: true})
 //	fmt.Println(res)                 // agents, moves, time, invariants
-//	fmt.Print(viz.CleanOrder(env.H, env.B, true))
+//	fmt.Print(viz.CleanOrder(env.H, env.B, true)) // needs Record: true
 package core
 
 import (

@@ -53,6 +53,41 @@ func TestScaleClean(t *testing.T) {
 	}
 }
 
+// TestCleanClosedFormTable sweeps Algorithm CLEAN across dimensions
+// and asserts the run reproduces the paper's closed forms exactly:
+// TeamSize = CleanTeamSize(d) (Theorem 2) and AgentMoves =
+// CleanAgentMoves(d) - d (Theorem 3; the DES run saves one move per
+// root child because phase 0 places agents instead of escorting them
+// up from a remote pool). Dimensions 14+ cross the implicit-topology
+// threshold on pooled runs and are skipped under -short.
+func TestCleanClosedFormTable(t *testing.T) {
+	dims := []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 14, 16}
+	if !testing.Short() {
+		dims = append(dims, 18)
+	}
+	for _, d := range dims {
+		if testing.Short() && d > 12 {
+			break
+		}
+		res, _, err := Run(Spec{Strategy: Clean, Dim: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok() {
+			t.Fatalf("d=%d: %s", d, res.String())
+		}
+		if int64(res.TeamSize) != combin.CleanTeamSize(d) {
+			t.Errorf("d=%d: team %d, want %d", d, res.TeamSize, combin.CleanTeamSize(d))
+		}
+		if want := combin.CleanAgentMoves(d) - int64(d); res.AgentMoves != want {
+			t.Errorf("d=%d: agent moves %d, want %d", d, res.AgentMoves, want)
+		}
+		if res.Recontaminations != 0 {
+			t.Errorf("d=%d: recontaminations %d", d, res.Recontaminations)
+		}
+	}
+}
+
 // TestScaleGoroutines runs a thousand-goroutine concurrent execution.
 func TestScaleGoroutines(t *testing.T) {
 	if testing.Short() {

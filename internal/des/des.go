@@ -7,11 +7,19 @@
 //   - Plain events: Schedule/After run a callback at a virtual time.
 //   - Processes: Spawn runs a function on its own goroutine that can
 //     block on Delay (virtual sleep) and on Signal.Await (condition
-//     wait). The kernel runs exactly one goroutine at a time and hands
-//     control back and forth synchronously, so process programs are as
-//     deterministic as callback programs while reading like straight
-//     sequential agent code — the natural style for the paper's
-//     synchronizer.
+//     wait). Exactly one goroutine runs at a time, so process programs
+//     are as deterministic as callback programs while reading like
+//     straight sequential agent code — the natural style for the
+//     paper's synchronizer.
+//
+// Dispatch is direct hand-off: there is no central goroutine bouncing
+// control in and out on every event. Whichever goroutine is currently
+// running ("holding the baton") dispatches the next event when it
+// blocks or finishes — running callbacks inline and waking the next
+// process directly — so each event transition costs one goroutine
+// switch, not the two a kernel round trip would. Run only parks until
+// the queue drains and then reports. Event order is identical to a
+// central dispatch loop because pops are serialized on the baton.
 //
 // The kernel is not safe for concurrent external use; all interaction
 // must happen from process goroutines or event callbacks.
@@ -36,6 +44,11 @@ type Simulator struct {
 	// no goroutines behind — the pre-recycling behaviour.
 	free        []*Process
 	keepWorkers bool
+
+	// runDone carries the baton back to Run when the queue drains. It
+	// is buffered so the drainer never blocks — including when Run
+	// itself drains the queue without ever waking a process.
+	runDone chan struct{}
 }
 
 // Interceptor inspects every event as it reaches the head of the queue
@@ -135,7 +148,7 @@ func (h *eventHeap) siftDown() {
 }
 
 // New returns an empty simulator at time 0.
-func New() *Simulator { return &Simulator{} }
+func New() *Simulator { return &Simulator{runDone: make(chan struct{}, 1)} }
 
 // KeepWorkers controls whether Run retains finished process workers
 // for reuse by later Spawns (including after a Reset). The default,
@@ -198,7 +211,31 @@ func (s *Simulator) After(delay int64, fn func()) {
 // Run processes events until the queue is empty, then returns the final
 // time. It panics if processes remain blocked on signals with no
 // pending event to wake them: a deadlocked simulation.
+//
+// Run starts the dispatch chain and then parks: once control passes to
+// a process, the baton travels process-to-process (each dispatches the
+// next event as it blocks) until whoever drains the queue wakes Run to
+// finish up. The deadlock check and worker retirement therefore still
+// happen on the caller's goroutine, where a test can recover the panic.
 func (s *Simulator) Run() int64 {
+	s.advance()
+	<-s.runDone
+	if s.parked > 0 {
+		panic(fmt.Sprintf("des: deadlock — %d process(es) blocked on signals with no pending events", s.parked))
+	}
+	if !s.keepWorkers {
+		s.retireWorkers()
+	}
+	return s.now
+}
+
+// advance dispatches pending events until control passes to a process
+// goroutine or the queue drains. It is called by whichever goroutine
+// holds the baton: Run to start the chain, then each process as it
+// blocks or finishes. Exactly one goroutine runs at any moment and
+// every pop happens on the baton holder, so event order — and hence
+// the whole simulation — matches a central dispatch loop exactly.
+func (s *Simulator) advance() {
 	for s.queue.len() > 0 {
 		e := s.queue.pop()
 		if s.icept != nil {
@@ -212,24 +249,16 @@ func (s *Simulator) Run() int64 {
 		}
 		s.now = e.at
 		if e.proc != nil {
-			e.proc.step()
-			if e.proc.done {
-				// The process function returned during this step:
-				// park the worker for the next Spawn to reuse.
-				e.proc.done = false
-				s.free = append(s.free, e.proc)
-			}
-		} else {
-			e.fn()
+			// Hand the baton to the event's process and stop driving.
+			// The buffered send also covers the self-resume case — a
+			// process dispatching its own next event parks and wakes
+			// without any switch at all.
+			e.proc.resume <- struct{}{}
+			return
 		}
+		e.fn() // callbacks run inline on the baton holder
 	}
-	if s.parked > 0 {
-		panic(fmt.Sprintf("des: deadlock — %d process(es) blocked on signals with no pending events", s.parked))
-	}
-	if !s.keepWorkers {
-		s.retireWorkers()
-	}
-	return s.now
+	s.runDone <- struct{}{} // drained: wake Run to report
 }
 
 // retireWorkers shuts down every parked worker goroutine.
@@ -245,12 +274,19 @@ func (s *Simulator) retireWorkers() {
 // virtual time. Its methods may only be called from that process's
 // goroutine.
 type Process struct {
-	sim    *Simulator
-	name   string
-	fn     func(*Process) // current program; nil tells the worker loop to exit
-	done   bool           // set by the worker when fn returns, read by the kernel
+	sim  *Simulator
+	name string
+	fn   func(*Process) // current program; nil tells the worker loop to exit
+
+	// resume wakes the worker. It is buffered so the baton holder can
+	// deposit a wakeup before the worker has finished parking (the
+	// hand-off chain makes that window real) and so a process popping
+	// its own next event can self-resume without deadlocking.
 	resume chan struct{}
-	yield  chan struct{}
+
+	// yield is only used to join retiring workers; the steady-state
+	// hand-off path never touches it.
+	yield chan struct{}
 }
 
 // Spawn starts fn as a simulation process at the current time. The
@@ -267,16 +303,16 @@ func (s *Simulator) Spawn(name string, fn func(p *Process)) {
 		s.free = s.free[:n-1]
 		p.name, p.fn = name, fn
 	} else {
-		p = &Process{sim: s, name: name, fn: fn, resume: make(chan struct{}), yield: make(chan struct{})}
+		p = &Process{sim: s, name: name, fn: fn, resume: make(chan struct{}, 1), yield: make(chan struct{})}
 		go p.loop()
 	}
 	s.scheduleProc(s.now, p)
 }
 
 // loop is the worker goroutine: it runs one process function per
-// activation and parks between programs. The done flag is written
-// before the yield send and read after the kernel's receive, so the
-// hand-off is properly ordered.
+// activation and parks between programs. When a program returns, the
+// worker parks itself in the free list (it holds the baton, so the
+// append is serialized) and dispatches the next event before blocking.
 func (p *Process) loop() {
 	for {
 		<-p.resume
@@ -287,21 +323,17 @@ func (p *Process) loop() {
 		}
 		fn(p)
 		p.fn = nil
-		p.done = true
-		p.yield <- struct{}{}
+		p.sim.free = append(p.sim.free, p)
+		p.sim.advance()
 	}
 }
 
-// step hands control to the process goroutine and waits for it to
-// block or finish.
-func (p *Process) step() {
-	p.resume <- struct{}{}
-	<-p.yield
-}
-
-// block returns control to the kernel and waits to be resumed.
+// block passes the baton onward and waits to be resumed. The advance
+// call may dispatch this process's own next event, in which case the
+// buffered resume already holds the wakeup and the receive returns
+// without a context switch.
 func (p *Process) block() {
-	p.yield <- struct{}{}
+	p.sim.advance()
 	<-p.resume
 }
 
@@ -312,11 +344,27 @@ func (p *Process) Name() string { return p.name }
 func (p *Process) Now() int64 { return p.sim.Now() }
 
 // Delay suspends the process for d time units (d >= 0).
+//
+// Fast path: when no pending event precedes the process's own
+// resumption — the queue is empty or its head fires strictly later —
+// dispatching would pop that resumption and hand control straight
+// back. In that case Delay advances virtual time in place and returns
+// without touching the queue or the resume channel. This is exact:
+// same-time events already queued keep priority (they hold smaller
+// sequence numbers, so the head check fails and the slow path runs),
+// and an installed interceptor disables the shortcut because every
+// event must pass through it.
 func (p *Process) Delay(d int64) {
 	if d < 0 {
 		panic(fmt.Sprintf("des: process %s: negative delay %d", p.name, d))
 	}
-	p.sim.scheduleProc(p.sim.now+d, p)
+	s := p.sim
+	at := s.now + d
+	if s.icept == nil && (len(s.queue.ev) == 0 || at < s.queue.ev[0].at) {
+		s.now = at
+		return
+	}
+	s.scheduleProc(at, p)
 	p.block()
 }
 
@@ -354,6 +402,9 @@ func (p *Process) Await(sig *Signal) {
 // the snapshot, so steady-state Await/Fire cycles reuse their backing
 // arrays instead of growing a fresh one per wave.
 func (s *Simulator) Fire(sig *Signal) {
+	if len(sig.waiters) == 0 {
+		return
+	}
 	waiters := sig.waiters
 	sig.waiters = sig.scratch[:0]
 	for i, p := range waiters {
@@ -371,3 +422,8 @@ func (p *Process) AwaitCond(sig *Signal, cond func() bool) {
 		p.Await(sig)
 	}
 }
+
+// HasWaiters reports whether any process is currently blocked on the
+// signal. Producers with many signals consult it (or a bitset mirror of
+// it) to skip cold signals without touching their waiter slices.
+func (sig *Signal) HasWaiters() bool { return len(sig.waiters) > 0 }

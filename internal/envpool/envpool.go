@@ -37,30 +37,52 @@ type topo struct {
 	bt *heapqueue.Tree
 }
 
+// topoKey distinguishes the two topology representations: one
+// dimension can be cached both materialized (O(n·d) adjacency, shared
+// by small-d sweeps) and implicit (O(1), XOR-computed, what big boards
+// use), and the two must not collide.
+type topoKey struct {
+	d        int
+	implicit bool
+}
+
 // topoCache shares topology pairs process-wide: building H_d and T(d)
-// is O(n·d) and read-only afterwards, so even environments in
-// different per-worker pools share one copy per dimension.
+// is O(n·d) (or O(1) implicit) and read-only afterwards, so even
+// environments in different per-worker pools share one copy per
+// dimension and representation.
 var topoCache = struct {
 	sync.RWMutex
-	m map[int]topo
-}{m: map[int]topo{}}
+	m map[topoKey]topo
+}{m: map[topoKey]topo{}}
 
 // Topology returns the shared immutable hypercube and broadcast tree
-// for dimension d, building them on first use.
+// for dimension d, building them on first use. The representation is
+// chosen by size, matching hypercube.ForDim: materialized up to
+// hypercube.MaterializeLimit, implicit beyond — which is what lets the
+// pool serve d>24 at all.
 func Topology(d int) (*hypercube.Hypercube, *heapqueue.Tree) {
+	return topologyFor(d, d > hypercube.MaterializeLimit)
+}
+
+func topologyFor(d int, implicit bool) (*hypercube.Hypercube, *heapqueue.Tree) {
+	key := topoKey{d: d, implicit: implicit}
 	topoCache.RLock()
-	t, ok := topoCache.m[d]
+	t, ok := topoCache.m[key]
 	topoCache.RUnlock()
 	if ok {
 		return t.h, t.bt
 	}
 	topoCache.Lock()
 	defer topoCache.Unlock()
-	if t, ok = topoCache.m[d]; ok {
+	if t, ok = topoCache.m[key]; ok {
 		return t.h, t.bt
 	}
-	t = topo{h: hypercube.New(d), bt: heapqueue.New(d)}
-	topoCache.m[d] = t
+	if implicit {
+		t = topo{h: hypercube.Implicit(d), bt: heapqueue.Implicit(d)}
+	} else {
+		t = topo{h: hypercube.New(d), bt: heapqueue.New(d)}
+	}
+	topoCache.m[key] = t
 	return t.h, t.bt
 }
 

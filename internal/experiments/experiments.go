@@ -723,7 +723,7 @@ func Figures() []string {
 }
 
 func figureRun(name string) *strategy.Env {
-	_, env, err := core.Run(core.Spec{Strategy: name, Dim: 6})
+	_, env, err := core.Run(core.Spec{Strategy: name, Dim: 6, Record: true})
 	if err != nil {
 		panic(err)
 	}

@@ -27,6 +27,53 @@ type Sized interface {
 	Size() int
 }
 
+// NeighbourVisitor is an optional extension for graphs that can
+// enumerate neighbours without materializing a slice — implicit
+// topologies compute them on the fly (the hypercube by XOR bit-flips).
+// Implementations must visit neighbours in the same order Neighbours
+// returns them (for the hypercube: increasing edge label) and stop as
+// soon as yield returns false. Determinism of every engine in this
+// repository depends on that iteration order being fixed.
+type NeighbourVisitor interface {
+	VisitNeighbours(v int, yield func(w int) bool)
+}
+
+// EdgeChecker is an optional extension for graphs with an O(1)
+// adjacency test (the hypercube: one XOR and a popcount). Hot paths
+// resolve it once instead of scanning neighbour lists per query.
+type EdgeChecker interface {
+	HasEdge(u, v int) bool
+}
+
+// VisitNeighbours iterates the neighbours of v through the
+// NeighbourVisitor fast path when g provides one, falling back to
+// ranging over Neighbours. yield returns false to stop early.
+func VisitNeighbours(g Graph, v int, yield func(w int) bool) {
+	if nv, ok := g.(NeighbourVisitor); ok {
+		nv.VisitNeighbours(v, yield)
+		return
+	}
+	for _, w := range g.Neighbours(v) {
+		if !yield(w) {
+			return
+		}
+	}
+}
+
+// HasEdge reports whether (u, v) is an edge of g, using the
+// EdgeChecker fast path when available.
+func HasEdge(g Graph, u, v int) bool {
+	if ec, ok := g.(EdgeChecker); ok {
+		return ec.HasEdge(u, v)
+	}
+	for _, w := range g.Neighbours(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
 // Size returns the number of undirected edges of g, using the Sized
 // fast path when available.
 func Size(g Graph) int {

@@ -7,6 +7,13 @@
 // to every node of the next level that differs from x in a position
 // higher than m(x) (the most significant bit of x). Equivalently: the
 // parent of x != 0 is x with its most significant bit cleared.
+//
+// Every structural query has a closed form in the node's bits, so the
+// tree supports the same two representations as internal/hypercube:
+// New materializes a graph.Tree (child slices shareable without
+// allocation), Implicit stores only d and computes everything on the
+// fly, and ForDim picks by size. Both answer identically; the implicit
+// Children allocates per call, so hot paths use VisitChildren.
 package heapqueue
 
 import (
@@ -17,19 +24,29 @@ import (
 	"hypersearch/internal/graph"
 )
 
-// Tree is the broadcast tree of H_d. It wraps a graph.Tree over the
-// hypercube's dense vertex indices and adds the paper's type and class
-// queries.
+// MaterializeLimit is the largest dimension ForDim materializes the
+// child lists for, matching hypercube.MaterializeLimit so a dimension's
+// topology pair is always in one representation.
+const MaterializeLimit = 16
+
+// MaxMaterializedDim is the hard ceiling for New.
+const MaxMaterializedDim = 24
+
+// Tree is the broadcast tree of H_d. It adds the paper's type and
+// class queries over either a materialized graph.Tree or the pure
+// bit-algebra closed forms.
 type Tree struct {
 	d    int
-	tree *graph.Tree
+	tree *graph.Tree // nil for the implicit representation
 }
 
-// New builds the broadcast tree T(d) of H_d.
+// New builds the broadcast tree T(d) of H_d with materialized child
+// lists. It panics past MaxMaterializedDim — use Implicit (or ForDim)
+// for big boards.
 func New(d int) *Tree {
 	bits.CheckDim(d)
-	if d > 24 {
-		panic(fmt.Sprintf("heapqueue: dimension %d too large to materialize", d))
+	if d > MaxMaterializedDim {
+		panic(fmt.Sprintf("heapqueue: dimension %d too large to materialize; use heapqueue.Implicit(%d) (or ForDim) for the closed-form representation", d, d))
 	}
 	n := 1 << d
 	parent := make([]int, n)
@@ -39,43 +56,115 @@ func New(d int) *Tree {
 	return &Tree{d: d, tree: graph.MustTree(0, parent)}
 }
 
+// Implicit returns T(d) in the closed-form representation: O(1)
+// memory, every query computed from the node's bits. Children and
+// Leaves allocate per call; VisitChildren does not.
+func Implicit(d int) *Tree {
+	bits.CheckDim(d)
+	return &Tree{d: d}
+}
+
+// ForDim returns T(d) in the representation appropriate for its size:
+// materialized up to MaterializeLimit, implicit beyond.
+func ForDim(d int) *Tree {
+	if d <= MaterializeLimit {
+		return New(d)
+	}
+	return Implicit(d)
+}
+
+// IsImplicit reports whether t is the closed-form representation.
+func (t *Tree) IsImplicit() bool { return t.tree == nil }
+
 // Dim returns the hypercube dimension d; the root has type T(d).
 func (t *Tree) Dim() int { return t.d }
 
 // Graph returns the underlying rooted tree (over dense hypercube
-// vertex indices).
-func (t *Tree) Graph() *graph.Tree { return t.tree }
+// vertex indices). Only the materialized representation carries one;
+// on an implicit tree it panics.
+func (t *Tree) Graph() *graph.Tree {
+	if t.tree == nil {
+		panic("heapqueue: implicit tree has no materialized graph.Tree; construct with New for Graph()")
+	}
+	return t.tree
+}
 
 // Order returns 2^d.
-func (t *Tree) Order() int { return t.tree.Order() }
+func (t *Tree) Order() int { return 1 << t.d }
 
 // Root returns the root vertex (always 0).
 func (t *Tree) Root() int { return 0 }
 
-// Parent returns the tree parent of v, or -1 for the root.
-func (t *Tree) Parent(v int) int { return t.tree.Parent(v) }
+// Parent returns the tree parent of v — v with its most significant
+// bit cleared — or -1 for the root.
+func (t *Tree) Parent(v int) int {
+	if v == 0 {
+		return -1
+	}
+	return int(bits.Parent(bits.Node(v)))
+}
 
 // Children returns the tree children of v ordered by increasing edge
-// label (equivalently, by decreasing subtree type).
-func (t *Tree) Children(v int) []int { return t.tree.Children(v) }
+// label (equivalently, by decreasing subtree type). Materialized: a
+// cached view (do not modify); implicit: freshly allocated — prefer
+// VisitChildren on hot paths.
+func (t *Tree) Children(v int) []int {
+	if t.tree != nil {
+		return t.tree.Children(v)
+	}
+	m := bits.Msb(bits.Node(v))
+	out := make([]int, t.d-m)
+	for i := m; i < t.d; i++ {
+		out[i-m] = v | 1<<i
+	}
+	return out
+}
+
+// VisitChildren calls yield for the children of v in increasing edge
+// label order — exactly the order Children returns — stopping early
+// when yield returns false. Allocation-free on both representations.
+func (t *Tree) VisitChildren(v int, yield func(c int) bool) {
+	for i := bits.Msb(bits.Node(v)); i < t.d; i++ {
+		if !yield(v | 1<<i) {
+			return
+		}
+	}
+}
 
 // Type returns k such that the subtree rooted at v is a heap queue of
 // type T(k): d - m(v).
 func (t *Tree) Type(v int) int { return bits.TreeType(bits.Node(v), t.d) }
 
 // IsLeaf reports whether v is a T(0) node.
-func (t *Tree) IsLeaf(v int) bool { return t.tree.IsLeaf(v) }
+func (t *Tree) IsLeaf(v int) bool { return bits.IsTreeLeaf(bits.Node(v), t.d) }
 
 // Depth returns the level of v (equal to its tree depth: the broadcast
 // tree is a BFS tree of the hypercube).
 func (t *Tree) Depth(v int) int { return bits.Level(bits.Node(v)) }
 
-// Leaves returns all T(0) nodes in preorder.
-func (t *Tree) Leaves() []int { return t.tree.Leaves() }
+// Leaves returns all T(0) nodes: the vertices with their most
+// significant bit at position d, i.e. [2^(d-1), 2^d). The materialized
+// representation lists them in preorder (the historical order); the
+// implicit one in increasing vertex order.
+func (t *Tree) Leaves() []int {
+	if t.tree != nil {
+		return t.tree.Leaves()
+	}
+	if t.d == 0 {
+		return []int{0}
+	}
+	half := 1 << (t.d - 1)
+	out := make([]int, half)
+	for i := range out {
+		out[i] = half + i
+	}
+	return out
+}
 
-// SubtreeSize returns the number of vertices under v (inclusive); for a
-// node of type T(k) this is 2^k.
-func (t *Tree) SubtreeSize(v int) int { return t.tree.SubtreeSize(v) }
+// SubtreeSize returns the number of vertices under v (inclusive); for
+// a node of type T(k) this is exactly 2^k (Definition 1), so both
+// representations answer from the closed form.
+func (t *Tree) SubtreeSize(v int) int { return 1 << t.Type(v) }
 
 // AgentsRequired returns the agent complement a node of type T(k)
 // holds under Algorithm CLEAN WITH VISIBILITY: 2^(k-1) for k >= 1 and

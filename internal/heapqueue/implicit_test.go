@@ -1,0 +1,95 @@
+package heapqueue
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestImplicitTreeMatchesMaterialized: the closed-form broadcast tree
+// must agree with the materialized graph.Tree on every navigation
+// query, child order included (dispatch order is part of the paper's
+// algorithm).
+func TestImplicitTreeMatchesMaterialized(t *testing.T) {
+	for d := 0; d <= 8; d++ {
+		m, im := New(d), Implicit(d)
+		if m.Order() != im.Order() || m.IsImplicit() || !im.IsImplicit() {
+			t.Fatalf("d=%d: order or representation flags wrong", d)
+		}
+		for v := 0; v < m.Order(); v++ {
+			if v != 0 && m.Parent(v) != im.Parent(v) {
+				t.Fatalf("d=%d v=%d: Parent %d vs %d", d, v, m.Parent(v), im.Parent(v))
+			}
+			if !reflect.DeepEqual(m.Children(v), im.Children(v)) && !(len(m.Children(v)) == 0 && len(im.Children(v)) == 0) {
+				t.Fatalf("d=%d v=%d: Children %v vs %v", d, v, m.Children(v), im.Children(v))
+			}
+			var visited []int
+			im.VisitChildren(v, func(c int) bool { visited = append(visited, c); return true })
+			if !reflect.DeepEqual(visited, m.Children(v)) && !(len(visited) == 0 && len(m.Children(v)) == 0) {
+				t.Fatalf("d=%d v=%d: VisitChildren %v, want %v", d, v, visited, m.Children(v))
+			}
+			if m.Type(v) != im.Type(v) || m.IsLeaf(v) != im.IsLeaf(v) ||
+				m.Depth(v) != im.Depth(v) || m.SubtreeSize(v) != im.SubtreeSize(v) {
+				t.Fatalf("d=%d v=%d: node attributes differ", d, v)
+			}
+			if !reflect.DeepEqual(m.PathFromRoot(v), im.PathFromRoot(v)) {
+				t.Fatalf("d=%d v=%d: PathFromRoot differs", d, v)
+			}
+			if v != 0 {
+				if m.NextHopDown(0, v) != im.NextHopDown(0, v) {
+					t.Fatalf("d=%d v=%d: NextHopDown differs", d, v)
+				}
+			}
+		}
+		// Leaves: the implicit tree enumerates the top level in label
+		// order, the materialized one in tree preorder — same set.
+		ml, il := append([]int(nil), m.Leaves()...), append([]int(nil), im.Leaves()...)
+		sort.Ints(ml)
+		sort.Ints(il)
+		if !reflect.DeepEqual(ml, il) {
+			t.Fatalf("d=%d: leaf sets differ", d)
+		}
+	}
+}
+
+// TestTreeForDimThreshold mirrors hypercube.ForDim: materialized up to
+// the limit, implicit beyond it.
+func TestTreeForDimThreshold(t *testing.T) {
+	if ForDim(MaterializeLimit).IsImplicit() {
+		t.Errorf("ForDim(%d) should materialize", MaterializeLimit)
+	}
+	if !ForDim(MaterializeLimit + 1).IsImplicit() {
+		t.Errorf("ForDim(%d) should be implicit", MaterializeLimit+1)
+	}
+	big := ForDim(26)
+	if big.Order() != 1<<26 || big.Parent(1<<25) != 0 {
+		t.Error("implicit ForDim(26) navigation wrong")
+	}
+}
+
+// TestTreeNewPanicNamesImplicit: as with the hypercube, the size wall
+// must point at the implicit constructor.
+func TestTreeNewPanicNamesImplicit(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New past the materialization wall did not panic")
+		}
+		if !strings.Contains(r.(string), "Implicit") {
+			t.Errorf("panic %q does not name heapqueue.Implicit", r)
+		}
+	}()
+	New(MaxMaterializedDim + 1)
+}
+
+// TestGraphPanicsOnImplicit: the materialized-only escape hatch must
+// refuse rather than return nil.
+func TestGraphPanicsOnImplicit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Graph() on an implicit tree did not panic")
+		}
+	}()
+	Implicit(20).Graph()
+}

@@ -1,0 +1,87 @@
+package hypercube
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestImplicitMatchesMaterialized: the XOR-computed representation
+// must agree with the cached adjacency lists on every query the
+// engines use, in the exact same order — determinism of every engine
+// rides on the iteration order being identical.
+func TestImplicitMatchesMaterialized(t *testing.T) {
+	for d := 0; d <= 8; d++ {
+		m, im := New(d), Implicit(d)
+		if m.Order() != im.Order() || m.Size() != im.Size() || m.Dim() != im.Dim() {
+			t.Fatalf("d=%d: order/size/dim differ", d)
+		}
+		if m.IsImplicit() || !im.IsImplicit() {
+			t.Fatalf("d=%d: IsImplicit flags wrong", d)
+		}
+		collect := func(visit func(func(int) bool)) []int {
+			var out []int
+			visit(func(w int) bool { out = append(out, w); return true })
+			return out
+		}
+		for v := 0; v < m.Order(); v++ {
+			if !reflect.DeepEqual(m.Neighbours(v), im.Neighbours(v)) {
+				t.Fatalf("d=%d v=%d: Neighbours differ", d, v)
+			}
+			if got := collect(func(y func(int) bool) { im.VisitNeighbours(v, y) }); !reflect.DeepEqual(got, m.Neighbours(v)) && !(len(got) == 0 && len(m.Neighbours(v)) == 0) {
+				t.Fatalf("d=%d v=%d: VisitNeighbours %v, want %v", d, v, got, m.Neighbours(v))
+			}
+			if !reflect.DeepEqual(m.SmallerNeighbours(v), im.SmallerNeighbours(v)) ||
+				!reflect.DeepEqual(m.BiggerNeighbours(v), im.BiggerNeighbours(v)) {
+				t.Fatalf("d=%d v=%d: partition neighbours differ", d, v)
+			}
+			for _, w := range m.Neighbours(v) {
+				if !im.HasEdge(v, w) || im.Label(v, w) != m.Label(v, w) {
+					t.Fatalf("d=%d: edge (%d,%d) disagrees", d, v, w)
+				}
+			}
+			if im.HasEdge(v, v) {
+				t.Fatalf("d=%d: self-loop at %d", d, v)
+			}
+		}
+		for l := 0; l <= d; l++ {
+			if !reflect.DeepEqual(m.NodesAtLevel(l), im.NodesAtLevel(l)) {
+				t.Fatalf("d=%d l=%d: NodesAtLevel differ", d, l)
+			}
+			if got := collect(func(y func(int) bool) { im.VisitNodesAtLevel(l, y) }); !reflect.DeepEqual(got, m.NodesAtLevel(l)) {
+				t.Fatalf("d=%d l=%d: VisitNodesAtLevel %v, want %v", d, l, got, m.NodesAtLevel(l))
+			}
+		}
+	}
+}
+
+// TestForDimThreshold: ForDim materializes up to MaterializeLimit and
+// goes implicit beyond, transparently crossing the d>24 wall that New
+// enforces.
+func TestForDimThreshold(t *testing.T) {
+	if ForDim(MaterializeLimit).IsImplicit() {
+		t.Errorf("ForDim(%d) should materialize", MaterializeLimit)
+	}
+	if !ForDim(MaterializeLimit + 1).IsImplicit() {
+		t.Errorf("ForDim(%d) should be implicit", MaterializeLimit+1)
+	}
+	big := ForDim(26) // beyond MaxMaterializedDim: only possible implicitly
+	if big.Order() != 1<<26 || len(big.Neighbours(5)) != 26 {
+		t.Error("implicit ForDim(26) wrong")
+	}
+}
+
+// TestNewPanicNamesImplicit: the refusal to materialize a huge board
+// must tell the caller what to use instead.
+func TestNewPanicNamesImplicit(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New(25) did not panic")
+		}
+		if !strings.Contains(r.(string), "Implicit") {
+			t.Errorf("panic %q does not name hypercube.Implicit", r)
+		}
+	}()
+	New(MaxMaterializedDim + 1)
+}

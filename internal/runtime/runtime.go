@@ -90,10 +90,10 @@ type world struct {
 }
 
 func newWorld(d int) *world {
-	h := hypercube.New(d)
+	h := hypercube.ForDim(d)
 	w := &world{
 		h:  h,
-		bt: heapqueue.New(d),
+		bt: heapqueue.ForDim(d),
 		b:  board.New(h, 0),
 		wb: whiteboard.NewStore(h.Order()),
 	}

@@ -52,16 +52,19 @@ func RunEnv(env *strategy.Env) metrics.Result {
 
 func spawnNode(env *strategy.Env, at [][]int, v int) {
 	env.Sim.Spawn("node", func(p *des.Process) {
-		p.AwaitCond(env.Signal(v), func() bool {
+		env.AwaitNode(p, v, func() bool {
 			if len(at[v]) == 0 {
 				return false
 			}
-			for _, w := range env.H.SmallerNeighbours(v) {
+			ready := true
+			env.H.VisitSmallerNeighbours(v, func(w int) bool {
 				if env.B.StateOf(w) == board.Contaminated {
+					ready = false
 					return false
 				}
-			}
-			return true
+				return true
+			})
+			return ready
 		})
 		a := at[v][0]
 		children := env.BT.Children(v)

@@ -106,12 +106,13 @@ func (c *cleaner) run(p *des.Process) {
 	d := env.H.Dim()
 
 	// Phase 0: root to level 1.
-	for _, child := range env.BT.Children(0) {
+	env.BT.VisitChildren(0, func(child int) bool {
 		a := c.take(p)
 		env.MoveTogether(p, []int{c.sync, a}, child, escortRoles)
 		c.at[child] = append(c.at[child], a)
 		env.Move(p, c.sync, 0, strategy.RoleSynchronizer)
-	}
+		return true
+	})
 
 	// Phases 1..d-1.
 	for l := 1; l <= d-1; l++ {
@@ -128,41 +129,46 @@ func (c *cleaner) run(p *des.Process) {
 // deadlock).
 func (c *cleaner) dispatchExtras(p *des.Process, l int) {
 	env := c.env
-	for _, x := range env.H.NodesAtLevel(l) {
+	env.H.VisitNodesAtLevel(l, func(x int) bool {
 		k := env.BT.Type(x)
 		for i := 0; i < k-1; i++ {
 			a := c.take(p)
 			c.spawnCourier(a, x)
 		}
-	}
+		return true
+	})
 }
 
-// walkLevel implements steps 2.2 and 2.3 for level l.
+// walkLevel implements steps 2.2 and 2.3 for level l. Level nodes and
+// tree children are visited through the allocation-free iterators, so
+// a big-board walk materializes no level slices.
 func (c *cleaner) walkLevel(p *des.Process, l int) {
 	env := c.env
-	for _, x := range env.H.NodesAtLevel(l) {
+	env.H.VisitNodesAtLevel(l, func(x int) bool {
 		env.WalkTo(p, c.sync, x, strategy.RoleSynchronizer)
 		k := env.BT.Type(x)
 		if k == 0 {
 			// 2.3: the leaf agent returns to the pool.
 			a := c.pop(x)
 			c.spawnReturner(a, x)
-			continue
+			return true
 		}
 		// Wait for the full complement of k agents (extras may still
 		// be in flight), then escort one down each tree edge.
 		c.waitNode, c.waitK = x, k
-		p.AwaitCond(env.Signal(x), c.nodeReady)
+		env.AwaitNode(p, x, c.nodeReady)
 		if len(c.at[x]) != k {
 			panic(fmt.Sprintf("coordinated: node %d holds %d agents, want %d", x, len(c.at[x]), k))
 		}
-		for _, child := range env.BT.Children(x) {
+		env.BT.VisitChildren(x, func(child int) bool {
 			a := c.pop(x)
 			env.MoveTogether(p, []int{c.sync, a}, child, escortRoles)
 			c.at[child] = append(c.at[child], a)
 			env.Move(p, c.sync, x, strategy.RoleSynchronizer)
-		}
-	}
+			return true
+		})
+		return true
+	})
 }
 
 // spawnCourier sends agent a from the root down the broadcast tree to

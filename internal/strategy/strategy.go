@@ -90,8 +90,21 @@ type Env struct {
 	log          *trace.Log
 	logStash     *trace.Log // trace retired by a Record:false flip, kept for its capacity
 	sigs         []des.Signal
+	// armed mirrors "sigs[v] has waiters" as one bit per node. At big
+	// dimensions the sigs array is tens of megabytes, so fireAround
+	// consults this L2-resident bitset and only touches the Signal
+	// structs that actually have a sleeper. Bits are set by AwaitNode
+	// before blocking and cleared by fireAt before firing; a woken
+	// process that blocks again re-arms its bit, so no wakeup is lost.
+	armed        []uint64
+	armedCount   int // number of set bits in armed; 0 short-circuits fireAround
 	contiguousOK bool
 	completed    bool
+	// Per-role move counters. The two standard roles dominate every
+	// run (one increment per move), so they get dedicated counters;
+	// exotic roles fall back to the map.
+	syncMoves    int64
+	cleanerMoves int64
 	roleMoves    map[string]int64
 	// lists is per-run scratch for strategies that track agents per
 	// node (one []int per node, emptied by NodeLists); reusing it
@@ -100,9 +113,10 @@ type Env struct {
 }
 
 // NewEnv builds an environment for dimension d with all nodes
-// contaminated except the homebase 0.
+// contaminated except the homebase 0, choosing the materialized or
+// implicit topology representation by dimension (hypercube.ForDim).
 func NewEnv(d int, opts Options) *Env {
-	return NewEnvOn(hypercube.New(d), heapqueue.New(d), opts)
+	return NewEnvOn(hypercube.ForDim(d), heapqueue.ForDim(d), opts)
 }
 
 // NewEnvOn builds an environment over an existing hypercube and
@@ -120,6 +134,7 @@ func NewEnvOn(h *hypercube.Hypercube, bt *heapqueue.Tree, opts Options) *Env {
 		Sim:       des.New(),
 		B:         board.New(h, 0),
 		sigs:      make([]des.Signal, h.Order()),
+		armed:     make([]uint64, (h.Order()+63)/64),
 		roleMoves: map[string]int64{},
 		lists:     make([][]int, h.Order()),
 	}
@@ -135,6 +150,7 @@ func (e *Env) applyOptions(opts Options) {
 	e.opts = opts
 	e.contiguousOK = true
 	e.completed = false
+	e.B.RecordClean(opts.Record)
 	if opts.Record {
 		if e.log == nil {
 			// A Record:false -> true flip reuses the trace retired by
@@ -174,6 +190,11 @@ func (e *Env) Reset(opts Options) {
 	for i := range e.sigs {
 		e.sigs[i].Reset()
 	}
+	for i := range e.armed {
+		e.armed[i] = 0
+	}
+	e.armedCount = 0
+	e.syncMoves, e.cleanerMoves = 0, 0
 	for k := range e.roleMoves {
 		delete(e.roleMoves, k)
 	}
@@ -218,13 +239,54 @@ func (e *Env) faultDelay(agent int, role string) int64 {
 func (e *Env) Log() *trace.Log { return e.log }
 
 // Signal returns node v's condition signal; it fires whenever the
-// board changes at v or at a neighbour of v.
+// board changes at v or at a neighbour of v. Waiting on it directly
+// with p.Await/p.AwaitCond bypasses the armed bitset and can miss
+// board-change wakeups — use AwaitNode instead. Firing it directly is
+// always safe.
 func (e *Env) Signal(v int) *des.Signal { return &e.sigs[v] }
 
-func (e *Env) fireAround(v int) {
+// AwaitNode blocks p until cond() holds, re-checking whenever the
+// board changes at node v or one of its neighbours. It is the node
+// analogue of p.AwaitCond(e.Signal(v), cond), but arms v's bit in the
+// armed bitset before each block so fireAround knows a sleeper exists
+// without reading the (large, cold) Signal array.
+func (e *Env) AwaitNode(p *des.Process, v int, cond func() bool) {
+	for !cond() {
+		if w, bit := v>>6, uint64(1)<<(uint(v)&63); e.armed[w]&bit == 0 {
+			e.armed[w] |= bit
+			e.armedCount++
+		}
+		p.Await(&e.sigs[v])
+	}
+}
+
+// fireAt wakes the waiters of node v's signal, if the armed bitset
+// says there are any. The bit is cleared before firing; re-blocking
+// waiters re-arm it through AwaitNode.
+func (e *Env) fireAt(v int) {
+	w, bit := v>>6, uint64(1)<<(uint(v)&63)
+	if e.armed[w]&bit == 0 {
+		return
+	}
+	e.armed[w] &^= bit
+	e.armedCount--
 	e.Sim.Fire(&e.sigs[v])
-	for _, w := range e.H.Neighbours(v) {
-		e.Sim.Fire(&e.sigs[w])
+}
+
+// fireAround signals a board change at v: v's own waiters and those of
+// every neighbour (whose "all my neighbours are clean"-style conditions
+// may have just flipped) get woken. The armed count makes the dominant
+// case — no sleeper anywhere on the board, true for every transit move
+// of a courier convoy — a single comparison; otherwise the neighbour
+// loop is the XOR walk over the armed bitset, with no topology lookup
+// and no allocation.
+func (e *Env) fireAround(v int) {
+	if e.armedCount == 0 {
+		return
+	}
+	e.fireAt(v)
+	for i := 0; i < e.H.Dim(); i++ {
+		e.fireAt(v ^ 1<<i)
 	}
 }
 
@@ -264,7 +326,14 @@ func (e *Env) Terminate(agent int) {
 func (e *Env) apply(agent, to int, role string) {
 	from, _ := e.B.Position(agent)
 	e.B.Move(agent, to, e.Sim.Now())
-	e.roleMoves[role]++
+	switch role {
+	case RoleCleaner:
+		e.cleanerMoves++
+	case RoleSynchronizer:
+		e.syncMoves++
+	default:
+		e.roleMoves[role]++
+	}
 	if e.log != nil {
 		e.log.Append(trace.Event{Time: e.Sim.Now(), Kind: trace.Move, Agent: agent, From: from, To: to, Role: role})
 	}
@@ -334,7 +403,16 @@ func (e *Env) WalkDown(p *des.Process, agent, dst int, role string) {
 }
 
 // RoleMoves returns the number of moves recorded for a role.
-func (e *Env) RoleMoves(role string) int64 { return e.roleMoves[role] }
+func (e *Env) RoleMoves(role string) int64 {
+	switch role {
+	case RoleCleaner:
+		return e.cleanerMoves
+	case RoleSynchronizer:
+		return e.syncMoves
+	default:
+		return e.roleMoves[role]
+	}
+}
 
 // Result assembles the run's cost and correctness summary. Call it
 // after Sim.Run has returned; it also marks the environment's run as
@@ -345,7 +423,7 @@ func (e *Env) Result(name string) metrics.Result {
 	if e.opts.Contiguity != CheckNever {
 		ok = ok && e.B.Contiguous()
 	}
-	var agentMoves, syncMoves int64
+	agentMoves, syncMoves := e.cleanerMoves, e.syncMoves
 	for role, n := range e.roleMoves {
 		if role == RoleSynchronizer {
 			syncMoves += n

@@ -110,7 +110,7 @@ func TestSignalsFireOnNeighbourChange(t *testing.T) {
 	woke := false
 	e.Sim.Spawn("watcher", func(p *des.Process) {
 		// Node 3 is a neighbour of 1; moving the agent to 1 must wake it.
-		p.Await(e.Signal(3))
+		e.AwaitNode(p, 3, func() bool { return e.B.AgentsOn(1) > 0 })
 		woke = true
 	})
 	e.Sim.Spawn("mover", func(p *des.Process) {

@@ -69,7 +69,7 @@ func spawnNode(env *strategy.Env, at [][]int, v int) {
 	k := env.BT.Type(v)
 	required := int(heapqueue.AgentsRequired(k))
 	env.Sim.Spawn("node", func(p *des.Process) {
-		p.AwaitCond(env.Signal(v), func() bool {
+		env.AwaitNode(p, v, func() bool {
 			return len(at[v]) >= required && smallerNeighboursReady(env, v)
 		})
 		if len(at[v]) != required {
@@ -88,12 +88,15 @@ func spawnNode(env *strategy.Env, at [][]int, v int) {
 // smallerNeighboursReady implements the visibility read: every smaller
 // neighbour of v is clean or guarded.
 func smallerNeighboursReady(env *strategy.Env, v int) bool {
-	for _, w := range env.H.SmallerNeighbours(v) {
+	ready := true
+	env.H.VisitSmallerNeighbours(v, func(w int) bool {
 		if env.B.StateOf(w) == board.Contaminated {
+			ready = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return ready
 }
 
 // dispatch sends the gathered complement onward: plan[i] agents to the

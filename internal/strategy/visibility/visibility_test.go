@@ -60,7 +60,7 @@ func TestClassesCleanInTimeOrder(t *testing.T) {
 	// complete, at time i+1. Leaves (all in C_d) terminate once every
 	// neighbour is clean or guarded, no later than time d.
 	const d = 6
-	_, env := Run(d, strategy.Options{})
+	_, env := Run(d, strategy.Options{Record: true})
 	for v := 1; v < env.H.Order(); v++ {
 		i := env.H.Class(v)
 		got := env.B.CleanTime(v)

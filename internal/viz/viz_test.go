@@ -41,7 +41,7 @@ func TestClassesFigure3(t *testing.T) {
 }
 
 func TestCleanOrderFigure2(t *testing.T) {
-	_, env := coordinated.Run(4, strategy.Options{})
+	_, env := coordinated.Run(4, strategy.Options{Record: true})
 	out := CleanOrder(env.H, env.B, false)
 	if !strings.Contains(out, "Cleaning order") {
 		t.Error("header missing")
@@ -58,7 +58,7 @@ func TestCleanOrderFigure2(t *testing.T) {
 }
 
 func TestCleanScheduleFigure4(t *testing.T) {
-	_, env := visibility.Run(4, strategy.Options{})
+	_, env := visibility.Run(4, strategy.Options{Record: true})
 	out := CleanOrder(env.H, env.B, true)
 	if !strings.Contains(out, "Cleaning schedule") {
 		t.Error("header missing")
