@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race ci faults faults-netsim fuzz bench bench-smoke bench-check bench-scale
+.PHONY: all build vet staticcheck test race ci faults faults-netsim fuzz bench bench-smoke bench-check bench-scale bench-scale-smoke
 
 # Committed benchmark baseline the regression gate compares against.
-BENCH_BASELINE ?= BENCH_pr7.json
+BENCH_BASELINE ?= BENCH_pr8.json
 
 all: build
 
@@ -64,9 +64,15 @@ bench-check:
 # this is the cheap way to revalidate a kernel or board change at
 # scale without re-running the whole suite.
 bench-scale:
-	$(GO) run ./cmd/hqbench -out /tmp/BENCH_scale.json -families clean/d=16,clean/d=20 -against $(BENCH_BASELINE)
+	$(GO) run ./cmd/hqbench -out /tmp/BENCH_scale.json -families clean/d=16,clean/d=20,visibility/d=16,visibility/d=20 -against $(BENCH_BASELINE)
 
-ci: build vet staticcheck race faults faults-netsim bench-smoke bench-check
+# Scale smoke for CI: just the d=16 points (clean and visibility), so
+# every pipeline exercises the implicit-topology engines and their
+# closed-form self-checks without paying for the d=20 megannode runs.
+bench-scale-smoke:
+	$(GO) run ./cmd/hqbench -out /tmp/BENCH_scale_smoke.json -families clean/d=16,visibility/d=16 -against $(BENCH_BASELINE)
+
+ci: build vet staticcheck race faults faults-netsim bench-smoke bench-scale-smoke bench-check
 
 # Short real fuzz runs of the fault-plan parser and the engine under
 # fuzzed fault application (regression corpus always runs under `test`).

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"hypersearch/internal/core"
+	"hypersearch/internal/hypercube"
 	"hypersearch/internal/viz"
 )
 
@@ -27,6 +28,13 @@ func main() {
 		dim = flag.Int("d", 6, "hypercube dimension")
 	)
 	flag.Parse()
+
+	if *dim > hypercube.MaterializeLimit {
+		fmt.Fprintf(os.Stderr,
+			"hqfigures: figures render every node and need a materialized board; d=%d exceeds the limit of %d — for big boards use hqsearch -stream-trace or the hqbench scale families instead\n",
+			*dim, hypercube.MaterializeLimit)
+		os.Exit(2)
+	}
 
 	show := func(n int) {
 		switch n {

@@ -1,15 +1,19 @@
 // Command hqreplay verifies a recorded search trace (as written by
-// `hqsearch -trace`) by replaying it against a fresh board, reporting
-// the final invariants, and optionally printing the state evolution.
+// `hqsearch -trace`, or streamed by `hqsearch -stream-trace`) by
+// replaying it against a fresh board, reporting the final invariants,
+// and optionally printing the state evolution. The two formats — a
+// JSON array and a JSONL stream — are told apart by the first byte.
 //
 // Usage:
 //
 //	hqsearch -strategy clean -d 5 -trace run.json
 //	hqreplay -g hypercube:5 run.json
-//	hqreplay -g hypercube:5 -steps run.json
+//	hqsearch -strategy clean -d 5 -stream-trace run.jsonl
+//	hqreplay -g hypercube:5 -steps run.jsonl
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -42,7 +46,7 @@ func main() {
 		os.Exit(2)
 	}
 	defer f.Close()
-	log, err := trace.ReadJSON(f)
+	log, err := readTrace(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hqreplay:", err)
 		os.Exit(2)
@@ -59,6 +63,21 @@ func main() {
 		os.Exit(1)
 	}
 	report(b)
+}
+
+// readTrace decodes either trace format: `-trace` writes one JSON
+// array (first byte '['), `-stream-trace` writes JSONL (one object
+// per line).
+func readTrace(f *os.File) (*trace.Log, error) {
+	r := bufio.NewReader(f)
+	first, err := r.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if first[0] == '[' {
+		return trace.ReadJSON(r)
+	}
+	return trace.ReadJSONL(r)
 }
 
 func replayVerbose(g interface {

@@ -23,6 +23,13 @@ type Result struct {
 	AllocsPerOp int64              `json:"allocs_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+
+	// Reruns and NsSpread are present when hqbench -reruns re-measured
+	// the family: NsPerOp is the minimum over the reruns and NsSpread
+	// their relative spread, (max-min)/min. A wide spread means the
+	// machine was too noisy for the reading to gate anything.
+	Reruns   int     `json:"reruns,omitempty"`
+	NsSpread float64 `json:"ns_spread,omitempty"`
 }
 
 // Provenance records where a report came from, so committed
@@ -85,6 +92,10 @@ func (v Violation) String() string {
 	if v.Field == "missing" {
 		return fmt.Sprintf("%s: family present in baseline but not measured", v.Family)
 	}
+	if v.Field == "ns_spread" {
+		return fmt.Sprintf("%s: ns/op spread %.1f%% across %d reruns exceeds the %.1f%% band — the machine is too noisy for this reading to be a baseline",
+			v.Family, 100*v.GotF, v.Base, 100*v.BaseF)
+	}
 	if strings.HasPrefix(v.Field, "metrics[") {
 		return fmt.Sprintf("%s: %s diverged: baseline %v, measured %v — paper metrics are deterministic, so this is a correctness regression, not noise",
 			v.Family, v.Field, v.BaseF, v.GotF)
@@ -108,6 +119,30 @@ func Subset(base Report, names []string) Report {
 	for _, f := range base.Families {
 		if keep[f.Name] {
 			out.Families = append(out.Families, f)
+		}
+	}
+	return out
+}
+
+// DefaultSpreadBand is the default relative ns/op spread allowed
+// across hqbench reruns of one family before the run is rejected as
+// too noisy to serve as a baseline or to gate one.
+const DefaultSpreadBand = 0.40
+
+// SpreadViolations rejects rerun-measured families whose ns/op spread
+// exceeds the band (band <= 0 selects DefaultSpreadBand). Families
+// measured without reruns carry no spread and are never rejected here.
+func SpreadViolations(rep Report, band float64) []Violation {
+	if band <= 0 {
+		band = DefaultSpreadBand
+	}
+	var out []Violation
+	for _, f := range rep.Families {
+		if f.Reruns > 1 && f.NsSpread > band {
+			out = append(out, Violation{
+				Family: f.Name, Field: "ns_spread",
+				Base: int64(f.Reruns), BaseF: band, GotF: f.NsSpread,
+			})
 		}
 	}
 	return out

@@ -277,6 +277,22 @@ func (b *Board) Home() int { return b.home }
 // including terminated ones.
 func (b *Board) Agents() int { return len(b.pos) }
 
+// Reserve presizes the board for a team of the given size: the agent
+// position table gets capacity for that many agents and the sparse
+// occupancy table gets room for them all standing on distinct nodes.
+// Purely a performance hint — the board grows on demand without it —
+// but the n/2-agent visibility teams would otherwise regrow both
+// tables through a dozen doublings inside the measured region. The
+// reservation survives Reset, so pooled environments pay it once.
+func (b *Board) Reserve(agents int) {
+	if cap(b.pos) < agents {
+		pos := make([]int, len(b.pos), agents)
+		copy(pos, b.pos)
+		b.pos = pos
+	}
+	b.counts.reserve(agents)
+}
+
 // Place creates a new agent on the homebase and returns its id. The
 // contiguous model forbids placing agents anywhere else.
 func (b *Board) Place(at int64) int {

@@ -124,6 +124,36 @@ func (s *sparseCount) grow() {
 	}
 }
 
+// reserve grows the table so it can hold at least k live entries
+// without ever rehashing mid-run. A visibility-style run ends with one
+// guard per leaf — n/2 simultaneously occupied nodes at d=20 — and
+// growing to that size through doubling would rehash megabyte tables a
+// dozen times inside the measured region.
+func (s *sparseCount) reserve(k int) {
+	need := sparseMinCap
+	for need < 2*(k+1) {
+		need <<= 1
+	}
+	if len(s.keys) >= need {
+		return
+	}
+	oldKeys, oldVals := s.keys, s.vals
+	s.keys = make([]int32, need)
+	s.vals = make([]int32, need)
+	mask := uint32(need - 1)
+	for j, key := range oldKeys {
+		if key == 0 {
+			continue
+		}
+		i := s.slot(key)
+		for s.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.keys[i] = key
+		s.vals[i] = oldVals[j]
+	}
+}
+
 // reset drops every entry, keeping the backing arrays.
 func (s *sparseCount) reset() {
 	for i := range s.keys {

@@ -161,6 +161,15 @@ func VisibilityMoves(d int) int64 {
 // WITH VISIBILITY (Theorem 7): d = log n.
 func VisibilityTime(d int) int64 { return int64(d) }
 
+// VisibilityGatherSum returns the total number of gather events in a
+// CLEAN WITH VISIBILITY run — the n/2 homebase placements plus one per
+// move: 2^(d-1) + (d+1)*2^(d-2) for d >= 2. The event-driven engine
+// does constant work per gather, so this is also its exact event
+// budget, the quantity the d=20 scale benchmarks are sized by.
+func VisibilityGatherSum(d int) int64 {
+	return VisibilityAgents(d) + VisibilityMoves(d)
+}
+
 // CloningMoves returns the move count of the cloning variant of the
 // visibility strategy (Section 5): each broadcast-tree edge is traversed
 // exactly once downward, n - 1 moves.

@@ -255,3 +255,19 @@ func TestFitRatioMismatchPanics(t *testing.T) {
 	}()
 	FitRatio([]float64{1}, []float64{1, 2})
 }
+
+// TestVisibilityGatherSum pins the event budget of the event-driven
+// visibility engine: placements plus moves, with the closed form
+// 2^(d-1) + (d+1)*2^(d-2) holding from d = 2 on.
+func TestVisibilityGatherSum(t *testing.T) {
+	if VisibilityGatherSum(0) != 1 || VisibilityGatherSum(1) != 2 {
+		t.Errorf("degenerate gather sums: d=0 -> %d, d=1 -> %d",
+			VisibilityGatherSum(0), VisibilityGatherSum(1))
+	}
+	for d := 2; d <= 30; d++ {
+		want := Pow2(d-1) + int64(d+1)*Pow2(d-2)
+		if got := VisibilityGatherSum(d); got != want {
+			t.Errorf("d=%d: gather sum %d, want %d", d, got, want)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"hypersearch/internal/strategy/naive"
 	"hypersearch/internal/strategy/synchronous"
 	"hypersearch/internal/strategy/visibility"
+	"hypersearch/internal/trace"
 )
 
 // Strategy names accepted by Spec.Strategy.
@@ -58,6 +59,12 @@ type Spec struct {
 	ConvoyTeam     int  // team size for NaiveConvoy (default 1)
 	CheckEveryMove bool // verify contiguity after every move (O(n) each)
 	Record         bool // keep a structured trace (DES engine only)
+
+	// Stream receives every trace event as the run emits it without
+	// retaining anything (DES engine only) — the memory-bounded
+	// alternative to Record for boards whose full logs do not fit in
+	// memory; see trace.NewStream. Record and Stream are independent.
+	Stream trace.Sink
 }
 
 // Strategies lists the registered strategy names.
@@ -115,7 +122,7 @@ func RunWith(spec Spec, src strategy.Source) (metrics.Result, *strategy.Env, err
 }
 
 func runDES(spec Spec, src strategy.Source) (metrics.Result, *strategy.Env, error) {
-	opts := strategy.Options{Record: spec.Record}
+	opts := strategy.Options{Record: spec.Record, Stream: spec.Stream}
 	if spec.CheckEveryMove {
 		opts.Contiguity = strategy.CheckEveryMove
 	}

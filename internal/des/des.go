@@ -2,7 +2,7 @@
 // asynchronous agent systems. Virtual time is an int64; events at equal
 // times fire in scheduling order, so runs are fully reproducible.
 //
-// Two programming styles are supported:
+// Three programming styles are supported:
 //
 //   - Plain events: Schedule/After run a callback at a virtual time.
 //   - Processes: Spawn runs a function on its own goroutine that can
@@ -11,6 +11,18 @@
 //     are as deterministic as callback programs while reading like
 //     straight sequential agent code — the natural style for the
 //     paper's synchronizer.
+//   - Inline processes: SpawnInline (and ScheduleInline/AfterInline)
+//     run an actor's step function inside the event dispatch itself —
+//     no goroutine, no channel hand-off, no per-event closure
+//     allocation. Actors embed an Inline header and point its Step at
+//     themselves once, at construction. An inline
+//     process cannot block; it advances by rescheduling itself (or
+//     other inline processes) for a later step. Its events live in the
+//     same queue with the same (time, sequence) ordering as callbacks
+//     and goroutine-process resumptions, so the three styles compose
+//     deterministically. One-actor-per-node engines use this style:
+//     a million dormant actors cost a slice of state words, not a
+//     million parked goroutines.
 //
 // Dispatch is direct hand-off: there is no central goroutine bouncing
 // control in and out on every event. Whichever goroutine is currently
@@ -60,15 +72,49 @@ type Simulator struct {
 // must eventually stop deferring an event or Run never terminates.
 type Interceptor func(at, seq int64) (delay int64)
 
-// event is one pending dispatch. Exactly one of fn and proc is set:
-// plain events carry a callback, process-step events carry the process
-// to resume directly. Keeping the process pointer in the event (rather
-// than a `func() { p.step() }` closure) removes one heap allocation
-// from every Delay, Spawn and Fire — the kernel's hottest paths.
+// event is one pending dispatch. Exactly one of fn and inl is set:
+// plain events carry a callback; process-step and inline-process
+// events share the inl slot — it points either at an actor's Inline
+// header or at the header embedded in a Process, whose proc mark tells
+// the kernel to resume the worker goroutine instead of calling Step.
+// Keeping a pointer in the event rather than a closure removes one
+// heap allocation from every Delay, Spawn, Fire and inline step — the
+// kernel's hottest paths.
+//
+// The struct must stay at 32 bytes (at, seq, and two payload words):
+// anything wider makes every event copy in the heap a memory
+// operation and was measured as a 3x regression on the des-throughput
+// family. That is why the inl slot is one raw pointer, not an
+// interface value, and why processes and inline actors share it.
 type event struct {
-	at   int64
-	seq  int64
-	fn   func()
+	at  int64
+	seq int64
+	fn  func()
+	inl *Inline
+}
+
+// Inline is the header of an inline process: a simulation actor whose
+// Step runs directly inside the event dispatch, on the baton holder,
+// with no goroutine or channel hand-off. Embed an Inline in the actor
+// struct and set Step once at construction (typically to a method
+// value of the enclosing actor); then schedule &actor.Inline via
+// SpawnInline/ScheduleInline/AfterInline.
+//
+// Step may inspect s.Now, schedule events, fire signals, and
+// reschedule its own or other headers; it must not block (there is no
+// Delay or Await — an inline process that needs to wait reschedules
+// itself, or parks in its own data structures until another event
+// reschedules it). Actors are typically small pooled structs carrying
+// their payload, so the method-value closure is allocated once per
+// actor and a step costs zero allocations.
+type Inline struct {
+	// Step runs one step of the actor. Set once at construction; the
+	// kernel calls it with the header's events' times as s.Now().
+	Step func(s *Simulator)
+
+	// proc marks this header as a goroutine-process resumption: the
+	// kernel hands the baton to the worker directly instead of calling
+	// Step. Only the header embedded in a Process carries the mark.
 	proc *Process
 }
 
@@ -112,7 +158,7 @@ func (h *eventHeap) pop() event {
 	top := h.ev[0]
 	n := len(h.ev) - 1
 	h.ev[0] = h.ev[n]
-	h.ev[n] = event{} // release fn/proc for the GC
+	h.ev[n] = event{} // release fn/inl for the GC
 	h.ev = h.ev[:n]
 	if n > 1 {
 		h.siftDown()
@@ -196,7 +242,7 @@ func (s *Simulator) scheduleProc(at int64, p *Process) {
 	if at < s.now {
 		panic(fmt.Sprintf("des: scheduling into the past (%d < %d)", at, s.now))
 	}
-	s.queue.push(event{at: at, seq: s.seq, proc: p})
+	s.queue.push(event{at: at, seq: s.seq, inl: &p.hdr})
 	s.seq++
 }
 
@@ -206,6 +252,33 @@ func (s *Simulator) After(delay int64, fn func()) {
 		panic(fmt.Sprintf("des: negative delay %d", delay))
 	}
 	s.Schedule(s.now+delay, fn)
+}
+
+// SpawnInline schedules inline process p to step at the current time,
+// the inline analogue of Spawn: the step is appended to the queue with
+// the next sequence number, so it fires after every already-pending
+// same-time event, exactly where a freshly spawned goroutine process
+// would start. It allocates nothing.
+func (s *Simulator) SpawnInline(p *Inline) { s.ScheduleInline(s.now, p) }
+
+// ScheduleInline schedules p.Step to run at virtual time at, which
+// must not be in the past. It allocates nothing: the event carries the
+// header pointer itself, no closure.
+func (s *Simulator) ScheduleInline(at int64, p *Inline) {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling into the past (%d < %d)", at, s.now))
+	}
+	s.queue.push(event{at: at, seq: s.seq, inl: p})
+	s.seq++
+}
+
+// AfterInline schedules p.Step to run delay time units from now; delay
+// must be non-negative.
+func (s *Simulator) AfterInline(delay int64, p *Inline) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %d", delay))
+	}
+	s.ScheduleInline(s.now+delay, p)
 }
 
 // Run processes events until the queue is empty, then returns the final
@@ -242,19 +315,23 @@ func (s *Simulator) advance() {
 			if d := s.icept(e.at, e.seq); d > 0 {
 				// Re-push into the slot pop just freed: deferrals reuse
 				// heap capacity instead of growing the backing array.
-				s.queue.push(event{at: e.at + d, seq: s.seq, fn: e.fn, proc: e.proc})
+				s.queue.push(event{at: e.at + d, seq: s.seq, fn: e.fn, inl: e.inl})
 				s.seq++
 				continue
 			}
 		}
 		s.now = e.at
-		if e.proc != nil {
-			// Hand the baton to the event's process and stop driving.
-			// The buffered send also covers the self-resume case — a
-			// process dispatching its own next event parks and wakes
-			// without any switch at all.
-			e.proc.resume <- struct{}{}
-			return
+		if h := e.inl; h != nil {
+			if p := h.proc; p != nil {
+				// Hand the baton to the event's process and stop driving.
+				// The buffered send also covers the self-resume case — a
+				// process dispatching its own next event parks and wakes
+				// without any switch at all.
+				p.resume <- struct{}{}
+				return
+			}
+			h.Step(s) // inline processes run on the baton holder
+			continue
 		}
 		e.fn() // callbacks run inline on the baton holder
 	}
@@ -277,6 +354,11 @@ type Process struct {
 	sim  *Simulator
 	name string
 	fn   func(*Process) // current program; nil tells the worker loop to exit
+
+	// hdr is the event header resumptions are scheduled through; its
+	// proc mark points back at this Process so the kernel resumes the
+	// worker instead of calling Step. Set once at construction.
+	hdr Inline
 
 	// resume wakes the worker. It is buffered so the baton holder can
 	// deposit a wakeup before the worker has finished parking (the
@@ -304,6 +386,7 @@ func (s *Simulator) Spawn(name string, fn func(p *Process)) {
 		p.name, p.fn = name, fn
 	} else {
 		p = &Process{sim: s, name: name, fn: fn, resume: make(chan struct{}, 1), yield: make(chan struct{})}
+		p.hdr.proc = p
 		go p.loop()
 	}
 	s.scheduleProc(s.now, p)

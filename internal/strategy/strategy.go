@@ -70,6 +70,14 @@ type Options struct {
 	Contiguity ContiguityCheck // default CheckFinal
 	Record     bool            // keep a full trace log
 
+	// Stream, when non-nil, receives every trace event as it happens
+	// without the environment retaining it: the memory-bounded way to
+	// capture megannode runs whose full in-memory log would not fit.
+	// It composes with Record (events go to both) but is typically
+	// used instead of it. The environment never resets or closes the
+	// sink; the caller owns its lifecycle.
+	Stream trace.Sink
+
 	// Faults optionally injects deterministic adversity: stalls,
 	// latency spikes, and lock starvation become extra virtual delay
 	// on the affected moves, and kernel-lag faults are installed as a
@@ -86,10 +94,17 @@ type Env struct {
 	Sim *des.Simulator
 	B   *board.Board
 
-	opts         Options
-	log          *trace.Log
-	logStash     *trace.Log // trace retired by a Record:false flip, kept for its capacity
-	sigs         []des.Signal
+	opts     Options
+	log      *trace.Log
+	logStash *trace.Log // trace retired by a Record:false flip, kept for its capacity
+	sink     trace.Sink // optional streaming sink (Options.Stream)
+	// sigs and armed are allocated lazily, on the first AwaitNode or
+	// Signal call: per-node condition waiting is a goroutine-process
+	// idiom, and the inline-actor strategies never touch it. At big
+	// dimensions that laziness matters — the sigs array alone is tens
+	// of megabytes at d=20, which an event-driven megannode run should
+	// not pay for.
+	sigs []des.Signal
 	// armed mirrors "sigs[v] has waiters" as one bit per node. At big
 	// dimensions the sigs array is tens of megabytes, so fireAround
 	// consults this L2-resident bitset and only touches the Signal
@@ -100,6 +115,12 @@ type Env struct {
 	armedCount   int // number of set bits in armed; 0 short-circuits fireAround
 	contiguousOK bool
 	completed    bool
+	// aux holds per-environment scratch owned by individual strategies
+	// (keyed by strategy name): the event-driven engines park their
+	// counter tables and event pools here so pooled environments reuse
+	// them across runs, keeping allocs/op flat. The environment only
+	// stores the values; resetting them is the owning strategy's job.
+	aux map[string]any
 	// Per-role move counters. The two standard roles dominate every
 	// run (one increment per move), so they get dedicated counters;
 	// exotic roles fall back to the map.
@@ -133,10 +154,7 @@ func NewEnvOn(h *hypercube.Hypercube, bt *heapqueue.Tree, opts Options) *Env {
 		BT:        bt,
 		Sim:       des.New(),
 		B:         board.New(h, 0),
-		sigs:      make([]des.Signal, h.Order()),
-		armed:     make([]uint64, (h.Order()+63)/64),
 		roleMoves: map[string]int64{},
-		lists:     make([][]int, h.Order()),
 	}
 	e.applyOptions(opts)
 	return e
@@ -148,6 +166,7 @@ func (e *Env) applyOptions(opts Options) {
 		opts.Latency = Unit{}
 	}
 	e.opts = opts
+	e.sink = opts.Stream
 	e.contiguousOK = true
 	e.completed = false
 	e.B.RecordClean(opts.Record)
@@ -213,11 +232,31 @@ func (e *Env) Completed() bool { return e.completed }
 // across calls and runs. Strategies use it as per-node agent
 // registries instead of allocating map[int][]int every run. The
 // environment owns the storage; only one caller may use it at a time.
+// The table is allocated on first use — O(n) slice headers that the
+// event-driven strategies, which track agents in packed per-node
+// stacks instead, never pay for.
 func (e *Env) NodeLists() [][]int {
+	if e.lists == nil {
+		e.lists = make([][]int, e.H.Order())
+	}
 	for i := range e.lists {
 		e.lists[i] = e.lists[i][:0]
 	}
 	return e.lists
+}
+
+// Aux returns the per-environment scratch value stored under key, or
+// nil. Strategies key their reusable engine state by their own name;
+// a pooled environment then carries that state across runs, which is
+// what keeps an event-driven strategy's allocs/op flat under reuse.
+func (e *Env) Aux(key string) any { return e.aux[key] }
+
+// SetAux stores a per-environment scratch value under key; see Aux.
+func (e *Env) SetAux(key string, v any) {
+	if e.aux == nil {
+		e.aux = map[string]any{}
+	}
+	e.aux[key] = v
 }
 
 // faultDelay consults the injector for one move of agent in role and
@@ -238,12 +277,38 @@ func (e *Env) faultDelay(agent int, role string) int64 {
 // Log returns the trace log, or nil if recording was off.
 func (e *Env) Log() *trace.Log { return e.log }
 
+// emit delivers one trace event to the in-memory log and/or the
+// streaming sink, whichever are configured. Callers guard with
+// `e.log != nil || e.sink != nil` so unrecorded runs never build the
+// event struct.
+func (e *Env) emit(ev trace.Event) {
+	if e.log != nil {
+		e.log.Append(ev)
+	}
+	if e.sink != nil {
+		e.sink.Append(ev)
+	}
+}
+
+// ensureSigs allocates the per-node signal array and armed bitset on
+// first use; environments running only inline-actor strategies never
+// build them.
+func (e *Env) ensureSigs() {
+	if e.sigs == nil {
+		e.sigs = make([]des.Signal, e.H.Order())
+		e.armed = make([]uint64, (e.H.Order()+63)/64)
+	}
+}
+
 // Signal returns node v's condition signal; it fires whenever the
 // board changes at v or at a neighbour of v. Waiting on it directly
 // with p.Await/p.AwaitCond bypasses the armed bitset and can miss
 // board-change wakeups — use AwaitNode instead. Firing it directly is
 // always safe.
-func (e *Env) Signal(v int) *des.Signal { return &e.sigs[v] }
+func (e *Env) Signal(v int) *des.Signal {
+	e.ensureSigs()
+	return &e.sigs[v]
+}
 
 // AwaitNode blocks p until cond() holds, re-checking whenever the
 // board changes at node v or one of its neighbours. It is the node
@@ -251,6 +316,7 @@ func (e *Env) Signal(v int) *des.Signal { return &e.sigs[v] }
 // armed bitset before each block so fireAround knows a sleeper exists
 // without reading the (large, cold) Signal array.
 func (e *Env) AwaitNode(p *des.Process, v int, cond func() bool) {
+	e.ensureSigs()
 	for !cond() {
 		if w, bit := v>>6, uint64(1)<<(uint(v)&63); e.armed[w]&bit == 0 {
 			e.armed[w] |= bit
@@ -293,8 +359,8 @@ func (e *Env) fireAround(v int) {
 // Place creates an agent on the homebase at the current time.
 func (e *Env) Place(role string) int {
 	id := e.B.Place(e.Sim.Now())
-	if e.log != nil {
-		e.log.Append(trace.Event{Time: e.Sim.Now(), Kind: trace.Place, Agent: id, To: e.B.Home(), Role: role})
+	if e.log != nil || e.sink != nil {
+		e.emit(trace.Event{Time: e.Sim.Now(), Kind: trace.Place, Agent: id, To: e.B.Home(), Role: role})
 	}
 	e.fireAround(e.B.Home())
 	return id
@@ -304,8 +370,8 @@ func (e *Env) Place(role string) int {
 // time; parent records provenance in the trace.
 func (e *Env) Clone(parent, v int, role string) int {
 	id := e.B.Clone(v, e.Sim.Now())
-	if e.log != nil {
-		e.log.Append(trace.Event{Time: e.Sim.Now(), Kind: trace.Clone, Agent: id, From: parent, To: v, Role: role})
+	if e.log != nil || e.sink != nil {
+		e.emit(trace.Event{Time: e.Sim.Now(), Kind: trace.Clone, Agent: id, From: parent, To: v, Role: role})
 	}
 	e.fireAround(v)
 	return id
@@ -315,8 +381,8 @@ func (e *Env) Clone(parent, v int, role string) int {
 func (e *Env) Terminate(agent int) {
 	v, _ := e.B.Position(agent)
 	e.B.Terminate(agent, e.Sim.Now())
-	if e.log != nil {
-		e.log.Append(trace.Event{Time: e.Sim.Now(), Kind: trace.Terminate, Agent: agent, From: v, To: v})
+	if e.log != nil || e.sink != nil {
+		e.emit(trace.Event{Time: e.Sim.Now(), Kind: trace.Terminate, Agent: agent, From: v, To: v})
 	}
 	e.fireAround(v)
 }
@@ -334,8 +400,8 @@ func (e *Env) apply(agent, to int, role string) {
 	default:
 		e.roleMoves[role]++
 	}
-	if e.log != nil {
-		e.log.Append(trace.Event{Time: e.Sim.Now(), Kind: trace.Move, Agent: agent, From: from, To: to, Role: role})
+	if e.log != nil || e.sink != nil {
+		e.emit(trace.Event{Time: e.Sim.Now(), Kind: trace.Move, Agent: agent, From: from, To: to, Role: role})
 	}
 	if e.opts.Contiguity == CheckEveryMove && e.contiguousOK {
 		e.contiguousOK = e.B.Contiguous()
@@ -352,6 +418,22 @@ func (e *Env) Move(p *des.Process, agent, to int, role string) {
 	p.Delay(e.opts.Latency.Draw(from, to) + e.faultDelay(agent, role))
 	e.apply(agent, to, role)
 }
+
+// MoveLatency draws the duration of agent's next move from from to to
+// (latency model plus any injected fault delay), without performing
+// it. Inline-actor strategies call it at dispatch time and schedule
+// the completion themselves; pairing each draw with a later ApplyMove
+// in the same order a goroutine process would have drawn and applied
+// keeps the two styles byte-identical.
+func (e *Env) MoveLatency(agent, from, to int, role string) int64 {
+	return e.opts.Latency.Draw(from, to) + e.faultDelay(agent, role)
+}
+
+// ApplyMove performs the instantaneous part of a move at the current
+// simulation time: board update, per-role accounting, trace, invariant
+// check, signals. It is Move without the latency sleep — the
+// inline-actor half of the split that MoveLatency opens.
+func (e *Env) ApplyMove(agent, to int, role string) { e.apply(agent, to, role) }
 
 // MoveTogether moves a group of agents across the same edge as one
 // action (the synchronizer escorting a cleaner): one latency draw, all

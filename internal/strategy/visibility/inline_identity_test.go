@@ -1,0 +1,183 @@
+package visibility
+
+import (
+	"fmt"
+	"testing"
+
+	"hypersearch/internal/faults"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/strategy"
+	"hypersearch/internal/trace"
+)
+
+// The inline event-driven engine claims byte-identity with the
+// goroutine-per-node reference path: identical traces (every event,
+// in order, with times), identical metrics, identical clean orders
+// and clean times — under unit latency, adversarial latency, and
+// seeded fault plans alike. These tests state that claim as a
+// property over dimensions and seeds; `-race` covers the goroutine
+// side of the comparison.
+
+// capture is everything observable about one run.
+type capture struct {
+	res        metrics.Result
+	events     []trace.Event
+	cleanOrder []int
+	cleanTime  []int64
+}
+
+// runPath executes one visibility run on a fresh environment through
+// the selected engine and captures its observables.
+func runPath(d int, opts strategy.Options, legacy bool) capture {
+	opts.Record = true
+	opts.Contiguity = strategy.CheckEveryMove
+	env := strategy.NewEnv(d, opts)
+	var c capture
+	if legacy {
+		c.res = RunEnvLegacy(env)
+	} else {
+		c.res = RunEnvInline(env)
+	}
+	c.events = append(c.events, env.Log().Events()...)
+	n := env.H.Order()
+	c.cleanOrder = make([]int, n)
+	c.cleanTime = make([]int64, n)
+	for v := 0; v < n; v++ {
+		c.cleanOrder[v] = env.B.CleanOrder(v)
+		c.cleanTime[v] = env.B.CleanTime(v)
+	}
+	return c
+}
+
+// assertIdentical compares two captures field by field with a usable
+// first-divergence report.
+func assertIdentical(t *testing.T, legacy, inline capture) {
+	t.Helper()
+	if legacy.res != inline.res {
+		t.Fatalf("metrics diverge:\nlegacy: %+v\ninline: %+v", legacy.res, inline.res)
+	}
+	if len(legacy.events) != len(inline.events) {
+		t.Fatalf("trace lengths diverge: legacy %d events, inline %d", len(legacy.events), len(inline.events))
+	}
+	for i := range legacy.events {
+		if legacy.events[i] != inline.events[i] {
+			t.Fatalf("trace diverges at event %d:\nlegacy: %+v\ninline: %+v", i, legacy.events[i], inline.events[i])
+		}
+	}
+	for v := range legacy.cleanOrder {
+		if legacy.cleanOrder[v] != inline.cleanOrder[v] || legacy.cleanTime[v] != inline.cleanTime[v] {
+			t.Fatalf("clean record diverges at node %d: legacy (order %d, time %d), inline (order %d, time %d)",
+				v, legacy.cleanOrder[v], legacy.cleanTime[v], inline.cleanOrder[v], inline.cleanTime[v])
+		}
+	}
+}
+
+// TestInlineMatchesLegacyUnit: identity under the ideal-time model,
+// every dimension the reference path can reasonably run.
+func TestInlineMatchesLegacyUnit(t *testing.T) {
+	for d := 0; d <= 8; d++ {
+		t.Run(fmt.Sprintf("d=%d", d), func(t *testing.T) {
+			assertIdentical(t,
+				runPath(d, strategy.Options{}, true),
+				runPath(d, strategy.Options{}, false))
+		})
+	}
+}
+
+// TestInlineMatchesLegacyAdversarial: identity under seeded random
+// latencies — the asynchronous adversary exercises every interleaving
+// the counter engine must reproduce, and the latency draw sequence
+// itself is part of the identity (a reordered draw would desync the
+// shared RNG stream immediately).
+func TestInlineMatchesLegacyAdversarial(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		for _, seed := range []int64{1, 2, 7, 40, 1337} {
+			for _, max := range []int64{1, 3, 16} {
+				t.Run(fmt.Sprintf("d=%d/seed=%d/max=%d", d, seed, max), func(t *testing.T) {
+					mk := func() strategy.Options {
+						return strategy.Options{Latency: strategy.NewAdversarial(seed, max)}
+					}
+					assertIdentical(t, runPath(d, mk(), true), runPath(d, mk(), false))
+				})
+			}
+		}
+	}
+}
+
+// TestInlineMatchesLegacyFaults: identity under seeded fault plans —
+// stalls and latency spikes consult the injector's move counters in
+// move order, and kernel lag defers DES events as a pure function of
+// virtual time, so both paths must produce the same deferred schedule.
+func TestInlineMatchesLegacyFaults(t *testing.T) {
+	plans := []*faults.Plan{
+		{Name: "stall-any", Seed: 3, Faults: []faults.Fault{
+			{Kind: faults.Stall, Target: faults.TargetAny, At: 3, Delay: 5},
+			{Kind: faults.Stall, Target: faults.TargetAny, At: 11, Delay: 2},
+		}},
+		{Name: "spike-agent", Seed: 5, Faults: []faults.Fault{
+			{Kind: faults.LatencySpike, Target: "agent:1", At: 1, Until: 4, Delay: 2},
+			{Kind: faults.LatencySpike, Target: "agent:0", At: 2, Until: 3, Delay: 7},
+		}},
+		{Name: "kernel-lag", Seed: 9, Faults: []faults.Fault{
+			{Kind: faults.KernelLag, From: 1, To: 4},
+		}},
+		{Name: "combined", Seed: 11, Faults: []faults.Fault{
+			{Kind: faults.Stall, Target: faults.TargetAny, At: 5, Delay: 3},
+			{Kind: faults.KernelLag, From: 2, To: 6},
+		}},
+	}
+	for _, plan := range plans {
+		for d := 1; d <= 6; d++ {
+			t.Run(fmt.Sprintf("%s/d=%d", plan.Name, d), func(t *testing.T) {
+				mk := func() strategy.Options {
+					return strategy.Options{
+						Latency: strategy.NewAdversarial(plan.Seed, 4),
+						Faults:  faults.NewInjector(plan),
+					}
+				}
+				assertIdentical(t, runPath(d, mk(), true), runPath(d, mk(), false))
+			})
+		}
+	}
+}
+
+// TestInlinePooledResetIdentity: a pooled environment re-running the
+// inline engine after Reset reproduces the fresh-environment run
+// exactly — the engine's parked counter tables and event pools reset
+// cleanly.
+func TestInlinePooledResetIdentity(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		fresh := runPath(d, strategy.Options{}, false)
+		env := strategy.NewEnv(d, strategy.Options{Record: true, Contiguity: strategy.CheckEveryMove})
+		RunEnvInline(env)
+		env.Reset(strategy.Options{Record: true, Contiguity: strategy.CheckEveryMove})
+		res := RunEnvInline(env)
+		if res != fresh.res {
+			t.Fatalf("d=%d: pooled re-run diverges:\nfresh:  %+v\nre-run: %+v", d, fresh.res, res)
+		}
+		events := env.Log().Events()
+		if len(events) != len(fresh.events) {
+			t.Fatalf("d=%d: pooled re-run trace has %d events, fresh %d", d, len(events), len(fresh.events))
+		}
+		for i := range events {
+			if events[i] != fresh.events[i] {
+				t.Fatalf("d=%d: pooled re-run trace diverges at event %d: %+v vs %+v", d, i, events[i], fresh.events[i])
+			}
+		}
+	}
+}
+
+// TestRunEnvLegacyKnob: the environment knob routes RunEnv to the
+// reference path, and both routes agree.
+func TestRunEnvLegacyKnob(t *testing.T) {
+	viaInline := runPath(5, strategy.Options{}, false)
+	t.Setenv(LegacyEnvVar, "1")
+	env := strategy.NewEnv(5, strategy.Options{Record: true, Contiguity: strategy.CheckEveryMove})
+	res := RunEnv(env)
+	if res != viaInline.res {
+		t.Fatalf("legacy knob run diverges:\nknob:   %+v\ninline: %+v", res, viaInline.res)
+	}
+	if got, want := env.Log().Len(), len(viaInline.events); got != want {
+		t.Fatalf("legacy knob trace has %d events, inline %d", got, want)
+	}
+}

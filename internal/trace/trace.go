@@ -35,6 +35,15 @@ type Event struct {
 	Role  string `json:"role,omitempty"`
 }
 
+// Sink receives trace events as a run emits them. Log is the
+// in-memory Sink; Stream writes events through without retaining
+// them, which is what megannode runs use — their full logs would not
+// fit in memory. Sinks are called from the single-threaded DES
+// kernel, so implementations need no locking.
+type Sink interface {
+	Append(Event)
+}
+
 // Log is an append-only event log. The zero value is ready to use.
 type Log struct {
 	events []Event
@@ -96,6 +105,57 @@ func ReadJSON(r io.Reader) (*Log, error) {
 	var events []Event
 	if err := json.NewDecoder(r).Decode(&events); err != nil {
 		return nil, fmt.Errorf("trace: decoding log: %w", err)
+	}
+	return &Log{events: events}, nil
+}
+
+// Stream is the memory-bounded Sink: each event is encoded as one
+// JSON line (JSONL) and written through immediately, so a megannode
+// run's trace costs O(1) memory no matter how many moves it makes.
+// Sequence numbers are assigned in arrival order, exactly as Log
+// would. The first write error is latched and reported by Err;
+// subsequent events are dropped rather than panicking mid-simulation.
+type Stream struct {
+	enc *json.Encoder
+	seq int
+	err error
+}
+
+// NewStream returns a Stream writing JSONL events to w. The caller
+// owns w's lifecycle (buffering, flushing, closing).
+func NewStream(w io.Writer) *Stream { return &Stream{enc: json.NewEncoder(w)} }
+
+// Append implements Sink.
+func (s *Stream) Append(e Event) {
+	if s.err != nil {
+		return
+	}
+	e.Seq = s.seq
+	s.seq++
+	s.err = s.enc.Encode(e)
+}
+
+// Len returns the number of events streamed so far.
+func (s *Stream) Len() int { return s.seq }
+
+// Err returns the first write error, or nil. Check it after the run;
+// events following the error were dropped.
+func (s *Stream) Err() error { return s.err }
+
+// ReadJSONL parses a stream previously written by Stream back into an
+// in-memory Log (for replay or figure rendering of runs small enough
+// to load).
+func ReadJSONL(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(r)
+	var events []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decoding JSONL stream: %w", err)
+		}
+		events = append(events, e)
 	}
 	return &Log{events: events}, nil
 }

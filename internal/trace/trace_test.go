@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -144,3 +145,71 @@ func TestReplayDetectsIllegalMove(t *testing.T) {
 }
 
 var _ = board.Clean // keep the board import tied to replay semantics
+
+// errWriter fails after n successful writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n == 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStream(&buf)
+	for _, e := range sweepLog().Events() {
+		e.Seq = 99 // the stream must assign its own sequence numbers
+		s.Append(e)
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if s.Len() != 5 {
+		t.Fatalf("streamed %d events, want 5", s.Len())
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sweepLog()
+	if got.Len() != want.Len() {
+		t.Fatalf("round trip has %d events, want %d", got.Len(), want.Len())
+	}
+	for i, e := range got.Events() {
+		if e != want.Events()[i] {
+			t.Fatalf("event %d: %+v, want %+v", i, e, want.Events()[i])
+		}
+	}
+	// A streamed log replays like an in-memory one.
+	b, err := got.Replay(pathGraph(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.AllClean() {
+		t.Error("replayed streamed log did not clean the path")
+	}
+}
+
+func TestStreamLatchesFirstError(t *testing.T) {
+	s := NewStream(&errWriter{n: 2})
+	for _, e := range sweepLog().Events() {
+		s.Append(e)
+	}
+	if s.Err() == nil {
+		t.Fatal("stream swallowed the write error")
+	}
+	// Events after the error are dropped, not re-attempted: Len counts
+	// only events the stream accepted.
+	if s.Len() > 3 {
+		t.Errorf("stream kept counting after the error: len=%d", s.Len())
+	}
+}
+
+func TestReadJSONLError(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"seq\":0}\nnot json\n")); err == nil {
+		t.Error("malformed JSONL line did not error")
+	}
+}
