@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race ci faults faults-netsim fuzz bench bench-smoke bench-check bench-scale bench-scale-smoke
+.PHONY: all build vet staticcheck test race ci faults faults-netsim fuzz bench bench-smoke bench-check bench-scale bench-scale-smoke serve-smoke serve-loadtest
 
 # Committed benchmark baseline the regression gate compares against.
 BENCH_BASELINE ?= BENCH_pr8.json
@@ -72,10 +72,25 @@ bench-scale:
 bench-scale-smoke:
 	$(GO) run ./cmd/hqbench -out /tmp/BENCH_scale_smoke.json -families clean/d=16,visibility/d=16 -against $(BENCH_BASELINE)
 
-ci: build vet staticcheck race faults faults-netsim bench-smoke bench-scale-smoke bench-check
+# End-to-end smoke of the campaign service: start an hqserved daemon,
+# submit a d<=8 campaign over HTTP, require streamed per-run progress,
+# then resubmit it verbatim and require a byte-identical cache hit.
+serve-smoke:
+	$(GO) run ./cmd/hqserved -smoke
+
+# The full robustness load test (concurrent mixed campaigns, mid-flight
+# cancellation, panic isolation, 429/503 shedding, drain + restart
+# resume) with reportable numbers; the -race variant runs under `race`
+# via TestLoadHarness.
+serve-loadtest:
+	$(GO) run ./cmd/hqserved -loadtest
+
+ci: build vet staticcheck race faults faults-netsim serve-smoke bench-smoke bench-scale-smoke bench-check
 
 # Short real fuzz runs of the fault-plan parser and the engine under
 # fuzzed fault application (regression corpus always runs under `test`).
 fuzz:
 	$(GO) test ./internal/faults -fuzz FuzzParse -fuzztime 15s
 	$(GO) test ./internal/runtime -fuzz FuzzFaultApplication -fuzztime 20s
+	$(GO) test ./internal/serve -fuzz FuzzParseRequest -fuzztime 10s
+	$(GO) test ./internal/serve -fuzz FuzzReadEntries -fuzztime 10s

@@ -51,6 +51,7 @@ import (
 	"hypersearch/internal/metrics"
 	"hypersearch/internal/netarena"
 	"hypersearch/internal/netsim"
+	"hypersearch/internal/suggest"
 	"hypersearch/internal/whiteboard"
 )
 
@@ -380,37 +381,14 @@ func measureReruns(f family, quick bool, reruns int) benchgate.Result {
 	return r
 }
 
-// editDistance is the Levenshtein distance, for suggesting the family
-// the user probably meant on an unknown -families entry.
-func editDistance(a, b string) int {
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
-	for j := range prev {
-		prev[j] = j
+// familyNames lists the known family names for the unknown-entry
+// suggestion.
+func familyNames(fams []family) []string {
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.name
 	}
-	for i := 1; i <= len(a); i++ {
-		cur[0] = i
-		for j := 1; j <= len(b); j++ {
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(b)]
-}
-
-// nearestFamily returns the known family name closest to name.
-func nearestFamily(name string, fams []family) string {
-	best, bestDist := "", -1
-	for _, f := range fams {
-		if d := editDistance(name, f.name); bestDist < 0 || d < bestDist {
-			best, bestDist = f.name, d
-		}
-	}
-	return best
+	return names
 }
 
 func main() {
@@ -457,7 +435,7 @@ func main() {
 		}
 		if len(want) > 0 {
 			for n := range want {
-				if close := nearestFamily(n, families()); close != "" {
+				if close := suggest.Nearest(n, familyNames(families())); close != "" {
 					fmt.Fprintf(os.Stderr, "hqbench: unknown family %q — did you mean %q? (see -list)\n", n, close)
 				} else {
 					fmt.Fprintf(os.Stderr, "hqbench: unknown family %q (see -list)\n", n)

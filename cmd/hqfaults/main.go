@@ -41,6 +41,7 @@ import (
 	"hypersearch/internal/sched"
 	"hypersearch/internal/strategy"
 	"hypersearch/internal/strategy/coordinated"
+	"hypersearch/internal/suggest"
 	"hypersearch/internal/trace"
 )
 
@@ -652,6 +653,9 @@ func parseScenarios(sel string) (map[string]bool, error) {
 			continue
 		}
 		if !known[n] {
+			if close := suggest.Nearest(n, append(rt, ns...)); close != "" {
+				return nil, fmt.Errorf("unknown scenario %q — did you mean %q? (use -scenarios list)", n, close)
+			}
 			return nil, fmt.Errorf("unknown scenario %q (use -scenarios list)", n)
 		}
 		keep[n] = true

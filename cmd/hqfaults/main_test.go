@@ -79,6 +79,11 @@ func TestScenarioSubsetSelection(t *testing.T) {
 	if _, err := parseScenarios("no-such-scenario"); err == nil {
 		t.Error("unknown scenario name accepted")
 	}
+	// A typo must come back with the nearest real scenario, the same
+	// hint hqbench gives on unknown families.
+	if _, err := parseScenarios("lossy-link"); err == nil || indexOf(err.Error(), `did you mean "lossy-links"`) < 0 {
+		t.Errorf("typo suggestion missing or wrong: %v", err)
+	}
 	if sel, err := parseScenarios(""); err != nil || sel != nil {
 		t.Errorf("empty selection should mean all (nil), got %v, %v", sel, err)
 	}

@@ -1,0 +1,267 @@
+// Command hqserved is the sweep service: a long-lived HTTP daemon that
+// accepts concurrent campaign requests (a dimension range, a protocol
+// set, seeds, and an optional fault plan), executes them on the
+// pooled simulation fleet, and streams per-run progress as chunked
+// JSONL. Admission is bounded (429 past the queue), campaigns carry
+// deadlines and cooperative cancellation, a panicking run fails only
+// its own campaign, results are cached by their deterministic key, and
+// every accepted/completed campaign is journaled fsync-durably so a
+// restarted daemon resumes interrupted work.
+//
+// Usage:
+//
+//	hqserved                         # serve on :8080, journal hqserved.jsonl
+//	hqserved -addr :9000 -journal /var/lib/hq/journal.jsonl
+//	hqserved -smoke                  # self-contained end-to-end smoke (CI)
+//	hqserved -loadtest               # the robustness load-test, with numbers
+//
+// Submit with curl:
+//
+//	curl -s localhost:8080/campaigns -d '{"name":"sweep","dim_min":2,"dim_max":8,"protocols":["visibility","clean"],"seeds":[1,2]}'
+//	curl -sN localhost:8080/campaigns/c0/stream     # live JSONL progress
+//	curl -s  localhost:8080/campaigns/c0            # snapshot + records
+//	curl -sX POST localhost:8080/campaigns/c0/cancel
+//
+// SIGTERM/SIGINT drains gracefully: in-flight campaigns finish, queued
+// ones stay journaled for the next start, then the daemon exits 0.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"hypersearch/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		journal  = flag.String("journal", "hqserved.jsonl", "crash-safe campaign journal path")
+		active   = flag.Int("max-active", 0, "max concurrently executing campaigns (0 = NumCPU)")
+		depth    = flag.Int("queue-depth", 0, "campaign queue depth (0 = 2x max-active)")
+		workers  = flag.Int("workers", 0, "sched workers per campaign (0 = auto)")
+		maxDim   = flag.Int("max-dim", 12, "largest admissible dimension")
+		maxRuns  = flag.Int("max-runs", 4096, "largest admissible campaign expansion")
+		deadline = flag.Duration("default-deadline", 0, "deadline for campaigns that set none (0 = unlimited)")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+		smoke    = flag.Bool("smoke", false, "run the self-contained smoke check and exit")
+		loadtest = flag.Bool("loadtest", false, "run the robustness load-test and exit")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		JournalPath:     *journal,
+		MaxActive:       *active,
+		QueueDepth:      *depth,
+		Workers:         *workers,
+		MaxDim:          *maxDim,
+		MaxRuns:         *maxRuns,
+		DefaultDeadline: *deadline,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hqserved: "+format+"\n", args...)
+		},
+	}
+
+	var err error
+	switch {
+	case *smoke:
+		err = runSmoke(cfg)
+	case *loadtest:
+		err = runLoadTest()
+	default:
+		err = runServe(cfg, *addr, *drainFor)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqserved:", err)
+		os.Exit(1)
+	}
+}
+
+// runServe is daemon mode: serve until SIGTERM/SIGINT, then drain and
+// exit cleanly.
+func runServe(cfg serve.Config, addr string, drainFor time.Duration) error {
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "hqserved: serving on %s (journal %s)\n", ln.Addr(), cfg.JournalPath)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "hqserved: %v: draining (budget %s)\n", s, drainFor)
+	case err := <-httpErr:
+		return fmt.Errorf("http server: %w", err)
+	}
+
+	// Stop accepting connections first, then drain campaigns: in-flight
+	// work finishes, queued campaigns stay journaled for the next start.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainFor)
+	defer cancel()
+	hs.Shutdown(shutdownCtx)
+	if err := srv.Drain(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "hqserved: drain budget exhausted, campaigns cancelled: %v\n", err)
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "hqserved: drained, bye")
+	return nil
+}
+
+// runSmoke is `make serve-smoke`: start a daemon on an ephemeral port
+// with a scratch journal, submit a small campaign, require streamed
+// per-run progress, then resubmit it verbatim and require the rerun to
+// be served from the result cache with byte-identical records.
+func runSmoke(cfg serve.Config) error {
+	dir, err := os.MkdirTemp("", "hqserved-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg.JournalPath = filepath.Join(dir, "journal.jsonl")
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	body := `{"name":"smoke","dim_min":2,"dim_max":6,"protocols":["visibility","clean"],"seeds":[1]}`
+
+	first, nruns, err := smokeCampaign(base, body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke: first submission simulated %d runs, streamed live\n", nruns)
+	hits0, _ := srv.Cache().Stats()
+	second, nruns2, err := smokeCampaign(base, body)
+	if err != nil {
+		return err
+	}
+	hits1, _ := srv.Cache().Stats()
+	if got := hits1 - hits0; got < int64(nruns2) {
+		return fmt.Errorf("smoke: rerun should be cache-served, got %d hits for %d runs", got, nruns2)
+	}
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("smoke: cache-served records differ from simulated ones:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	fmt.Printf("smoke: identical resubmission was a cache hit, records byte-identical\n")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	hs.Shutdown(ctx)
+	if err := srv.Drain(ctx); err != nil {
+		return err
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Println("smoke: ok")
+	return nil
+}
+
+// smokeCampaign submits one campaign, follows its stream to the done
+// event, and returns the canonical JSON of its run records plus the
+// streamed run count.
+func smokeCampaign(base, body string) ([]byte, int, error) {
+	resp, err := http.Post(base+"/campaigns", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, 0, fmt.Errorf("smoke: submit got HTTP %d", resp.StatusCode)
+	}
+	var sn serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&sn); err != nil {
+		return nil, 0, err
+	}
+
+	stream, err := http.Get(base + "/campaigns/" + sn.ID + "/stream")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer stream.Body.Close()
+	runs, done := 0, false
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e serve.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, 0, fmt.Errorf("smoke: bad stream line: %w", err)
+		}
+		switch e.Type {
+		case "run":
+			runs++
+		case "done":
+			if e.Status != serve.StatusCompleted {
+				return nil, 0, fmt.Errorf("smoke: campaign %s ended %s (%s)", sn.ID, e.Status, e.Error)
+			}
+			done = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if !done {
+		return nil, 0, errors.New("smoke: stream ended without a done event")
+	}
+	if runs == 0 {
+		return nil, 0, errors.New("smoke: no per-run progress was streamed")
+	}
+
+	final, err := http.Get(base + "/campaigns/" + sn.ID)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer final.Body.Close()
+	var fin serve.Snapshot
+	if err := json.NewDecoder(final.Body).Decode(&fin); err != nil {
+		return nil, 0, err
+	}
+	if fin.Done != runs || len(fin.Runs) != runs {
+		return nil, 0, fmt.Errorf("smoke: streamed %d runs but snapshot has done=%d records=%d", runs, fin.Done, len(fin.Runs))
+	}
+	recs, err := json.Marshal(fin.Runs)
+	return recs, runs, err
+}
+
+// runLoadTest runs the robustness harness and prints its report — the
+// source of the EXPERIMENTS.md S1 numbers.
+func runLoadTest() error {
+	dir, err := os.MkdirTemp("", "hqserved-loadtest-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rep, err := serve.RunLoadTest(serve.LoadConfig{Dir: dir, MaxDim: 8})
+	if rep != nil {
+		fmt.Println("loadtest:", rep)
+	}
+	return err
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// buildDaemon compiles hqserved once per test binary.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hqserved")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSIGTERMDrainExitsZero starts the real daemon process, completes
+// a campaign against it, sends SIGTERM, and requires a graceful exit
+// with status 0.
+func TestSIGTERMDrainExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon exec test skipped in -short")
+	}
+	bin := buildDaemon(t)
+	journal := filepath.Join(t.TempDir(), "journal.jsonl")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-journal", journal)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints its bound address; everything after feeds a
+	// background drainer so the pipe never blocks the process.
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "serving on "); i >= 0 {
+			addr = strings.Fields(line[i+len("serving on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never reported its address (scan err %v)", sc.Err())
+	}
+	tail := make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteString("\n")
+		}
+		tail <- rest.String()
+	}()
+
+	base := "http://" + addr
+	body := `{"name":"sigterm","dim_min":2,"dim_max":4,"protocols":["visibility"]}`
+	resp, err := http.Post(base+"/campaigns", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Follow the stream to completion so the SIGTERM lands on an idle
+	// daemon with a journaled, completed campaign.
+	resp, err = http.Get(base + "/campaigns/c0/stream")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	stream := bufio.NewScanner(resp.Body)
+	sawDone := false
+	for stream.Scan() {
+		if strings.Contains(stream.Text(), `"done"`) {
+			sawDone = true
+		}
+	}
+	resp.Body.Close()
+	if !sawDone {
+		t.Fatal("stream ended without a done event")
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Drain stderr to EOF (the process exiting closes the pipe) before
+	// Wait, which would otherwise close the pipe under the reader and
+	// drop the final drain lines.
+	logs := <-tail
+	err = cmd.Wait()
+	if err != nil {
+		t.Fatalf("daemon exited non-zero after SIGTERM: %v\n%s", err, logs)
+	}
+	if !strings.Contains(logs, "drained") {
+		t.Fatalf("daemon exited without draining:\n%s", logs)
+	}
+	if fi, err := os.Stat(journal); err != nil || fi.Size() == 0 {
+		t.Fatalf("journal missing or empty after drain: %v", err)
+	}
+}
+
+// TestSmokeMode runs `hqserved -smoke` — the same entry point `make
+// serve-smoke` uses — and requires the cache-hit proof in its output.
+func TestSmokeMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon exec test skipped in -short")
+	}
+	bin := buildDaemon(t)
+	cmd := exec.Command(bin, "-smoke")
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("hqserved -smoke: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"streamed live", "cache hit", "smoke: ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("smoke output missing %q:\n%s", want, out.String())
+		}
+	}
+}

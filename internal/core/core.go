@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"hypersearch/internal/faults"
 	"hypersearch/internal/metrics"
 	"hypersearch/internal/netsim"
 	"hypersearch/internal/runtime"
@@ -65,6 +66,19 @@ type Spec struct {
 	// alternative to Record for boards whose full logs do not fit in
 	// memory; see trace.NewStream. Record and Stream are independent.
 	Stream trace.Sink
+
+	// Faults optionally injects a deterministic fault plan. On the DES
+	// engine the plan's delay faults (stall, latency-spike,
+	// lock-starve, lost-wakeup, kernel-lag) compile to an injector;
+	// crash faults need the crash-tolerant goroutine runtime and link
+	// faults need the network engine, so plans carrying either are
+	// rejected rather than silently not firing. On the network engine
+	// the plan's link faults drive the wire layer (netsim validates
+	// them against the topology at config time). Determinism is
+	// preserved: the same (Spec, Faults) pair always produces the same
+	// Result, which is what lets the campaign service cache runs by
+	// (d, protocol, seed, Faults.CanonicalHash()).
+	Faults *faults.Plan
 }
 
 // Strategies lists the registered strategy names.
@@ -86,9 +100,18 @@ func Run(spec Spec) (metrics.Result, *strategy.Env, error) {
 	case EngineGoroutines:
 		return runGoroutines(spec)
 	case EngineNetwork:
+		if spec.Faults != nil {
+			if err := spec.Faults.ValidateForHosts(1 << spec.Dim); err != nil {
+				return metrics.Result{}, nil, err
+			}
+			if spec.Strategy == Clean && spec.Faults.HasHostCrashFaults() {
+				return metrics.Result{}, nil, fmt.Errorf("core: plan %q carries host-crash/cascade faults, which the clean network engine rejects", spec.Faults.Name)
+			}
+		}
 		cfg := netsim.Config{
 			Seed:       spec.Seed,
 			MaxLatency: time.Duration(spec.AdversarialLatency) * time.Microsecond,
+			Faults:     spec.Faults,
 		}
 		switch spec.Strategy {
 		case Visibility:
@@ -126,6 +149,18 @@ func runDES(spec Spec, src strategy.Source) (metrics.Result, *strategy.Env, erro
 	if spec.CheckEveryMove {
 		opts.Contiguity = strategy.CheckEveryMove
 	}
+	if spec.Faults != nil {
+		if err := spec.Faults.Validate(); err != nil {
+			return metrics.Result{}, nil, err
+		}
+		if spec.Faults.RequiresRecovery() {
+			return metrics.Result{}, nil, fmt.Errorf("core: plan %q carries crash faults, which need the crash-tolerant goroutine runtime (runtime.RunCleanFT/RunVisibilityFT)", spec.Faults.Name)
+		}
+		if spec.Faults.HasLinkFaults() {
+			return metrics.Result{}, nil, fmt.Errorf("core: plan %q carries link faults, which need the network engine", spec.Faults.Name)
+		}
+		opts.Faults = faults.NewInjector(spec.Faults)
+	}
 	if spec.AdversarialLatency > 0 {
 		opts.Latency = strategy.NewAdversarial(spec.Seed, spec.AdversarialLatency)
 	}
@@ -160,6 +195,9 @@ func runDES(spec Spec, src strategy.Source) (metrics.Result, *strategy.Env, erro
 }
 
 func runGoroutines(spec Spec) (metrics.Result, *strategy.Env, error) {
+	if spec.Faults != nil {
+		return metrics.Result{}, nil, fmt.Errorf("core: fault plans on the goroutine engine go through runtime.RunCleanFT/RunVisibilityFT, not Spec.Faults")
+	}
 	cfg := runtime.Config{
 		Seed:       spec.Seed,
 		MaxLatency: time.Duration(spec.AdversarialLatency) * time.Microsecond,

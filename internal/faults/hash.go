@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// NoPlanHash is the canonical hash of a nil (fault-free) plan, so
+// cache keys built over optional plans never collide with a real one.
+const NoPlanHash = "fault-free"
+
+// CanonicalHash returns a stable content hash of the plan's semantic
+// payload: the seed and the fault list, every field in a fixed order.
+// Two plans that decode to the same campaign hash equal no matter how
+// their JSON source was formatted (key order, whitespace, omitted
+// zero-value fields), and any semantic difference — one fault field,
+// one victim, the order of faults — changes the hash. The cosmetic
+// Name is deliberately excluded: renaming a plan must still hit the
+// result cache, because the simulation it produces is identical.
+//
+// Determinism makes a run a pure function of (d, protocol, seed,
+// plan), so this hash is the plan's component of a result-cache key; a
+// hit is byte-identical to a re-simulation. Safe on a nil plan.
+func (p *Plan) CanonicalHash() string {
+	if p == nil {
+		return NoPlanHash
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=%d;", p.Seed)
+	for _, f := range p.Faults {
+		fmt.Fprintf(&sb, "kind=%s|target=%q|at=%d|until=%d|delay=%d|times=%d|from=%d|to=%d|threshold=%d|victims=",
+			f.Kind, f.Target, f.At, f.Until, f.Delay, f.Times, f.From, f.To, f.Threshold)
+		for i, v := range f.Victims {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", v)
+		}
+		sb.WriteByte(';')
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two JSON documents that differ only in key order, whitespace and
+// explicitly-spelled zero values must decode to plans with equal
+// canonical hashes: the result cache keys on content, not formatting.
+func TestCanonicalHashStableAcrossJSONFormatting(t *testing.T) {
+	a := `{"seed":7,"faults":[
+		{"kind":"latency-spike","target":"any","at":10,"until":40,"delay":25},
+		{"kind":"link-drop","target":"link:0-1","at":1,"until":8,"times":2}]}`
+	b := `{
+		"faults": [
+			{"delay": 25, "until": 40, "at": 10, "target": "any", "kind": "latency-spike"},
+			{"times": 2, "kind": "link-drop", "until": 8, "at": 1, "target": "link:0-1"}
+		],
+		"seed": 7
+	}`
+	pa, err := Parse(strings.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Parse(strings.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.CanonicalHash() != pb.CanonicalHash() {
+		t.Errorf("reordered/reformatted JSON changed the hash: %s vs %s",
+			pa.CanonicalHash(), pb.CanonicalHash())
+	}
+}
+
+// The cosmetic name is excluded: renaming a plan must still hit the
+// cache, because the simulation it drives is identical.
+func TestCanonicalHashIgnoresName(t *testing.T) {
+	p := &Plan{Name: "alpha", Seed: 3, Faults: []Fault{{Kind: Stall, Target: TargetAny, At: 2, Delay: 10}}}
+	q := &Plan{Name: "beta", Seed: 3, Faults: []Fault{{Kind: Stall, Target: TargetAny, At: 2, Delay: 10}}}
+	if p.CanonicalHash() != q.CanonicalHash() {
+		t.Error("name changed the canonical hash")
+	}
+}
+
+// Every semantic field must move the hash: a cache collision between
+// distinct plans would serve wrong results as if re-simulated.
+func TestCanonicalHashDistinguishesPlans(t *testing.T) {
+	base := func() *Plan {
+		return &Plan{Seed: 5, Faults: []Fault{
+			{Kind: LatencySpike, Target: TargetAny, At: 4, Until: 9, Delay: 7},
+			{Kind: Cascade, Target: "link:0-1", At: 2, Threshold: 2, Victims: []int{3, 5}},
+		}}
+	}
+	ref := base().CanonicalHash()
+	seen := map[string]string{ref: "base"}
+	mutate := []struct {
+		name string
+		mod  func(p *Plan)
+	}{
+		{"seed", func(p *Plan) { p.Seed = 6 }},
+		{"kind", func(p *Plan) { p.Faults[0].Kind = Stall }},
+		{"target", func(p *Plan) { p.Faults[0].Target = TargetSync }},
+		{"at", func(p *Plan) { p.Faults[0].At = 5 }},
+		{"until", func(p *Plan) { p.Faults[0].Until = 10 }},
+		{"delay", func(p *Plan) { p.Faults[0].Delay = 8 }},
+		{"times", func(p *Plan) { p.Faults[0].Times = 1 }},
+		{"from", func(p *Plan) { p.Faults[0].From = 1 }},
+		{"to", func(p *Plan) { p.Faults[0].To = 2 }},
+		{"threshold", func(p *Plan) { p.Faults[1].Threshold = 3 }},
+		{"victims", func(p *Plan) { p.Faults[1].Victims = []int{3} }},
+		{"victim order", func(p *Plan) { p.Faults[1].Victims = []int{5, 3} }},
+		{"fault order", func(p *Plan) { p.Faults[0], p.Faults[1] = p.Faults[1], p.Faults[0] }},
+		{"dropped fault", func(p *Plan) { p.Faults = p.Faults[:1] }},
+	}
+	for _, m := range mutate {
+		p := base()
+		m.mod(p)
+		h := p.CanonicalHash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutation %q collides with %q (hash %s)", m.name, prev, h)
+		}
+		seen[h] = m.name
+	}
+}
+
+// A nil plan — the fault-free default of every engine — has a fixed
+// sentinel hash that no real plan can produce.
+func TestCanonicalHashNilPlan(t *testing.T) {
+	var p *Plan
+	if p.CanonicalHash() != NoPlanHash {
+		t.Errorf("nil plan hash = %q, want %q", p.CanonicalHash(), NoPlanHash)
+	}
+	if (&Plan{}).CanonicalHash() == NoPlanHash {
+		t.Error("empty non-nil plan collides with the nil sentinel")
+	}
+}

@@ -26,6 +26,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -190,6 +191,29 @@ func MapW[T any](workers, n int, fn func(w, i int) (T, error)) ([]T, error) {
 	}
 	wg.Wait()
 	return out, errors.Join(errs...)
+}
+
+// MapWCtx is MapW with cooperative cancellation: once ctx is done, a
+// task that has not yet started is skipped — its result slot stays
+// zero and ctx.Err() is recorded for it — while tasks already running
+// run to completion. That granularity is deliberate: a simulation
+// aborted mid-run would leave blocked processes holding references
+// into its pooled environment (poisoning it, see envpool), whereas a
+// run that finishes cleanly hands its environment back for reuse. The
+// campaign service uses this for deadlines and client cancellations;
+// errors.Is(err, ctx.Err()) distinguishes skipped work from failures.
+// A nil ctx means no cancellation (plain MapW).
+func MapWCtx[T any](ctx context.Context, workers, n int, fn func(w, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		return MapW(workers, n, fn)
+	}
+	return MapW(workers, n, func(w, i int) (T, error) {
+		if err := ctx.Err(); err != nil {
+			var zero T
+			return zero, err
+		}
+		return fn(w, i)
+	})
 }
 
 // runTask executes one task, converting a panic into a *PanicError so

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -201,5 +202,86 @@ func TestCollectWMatchesCollect(t *testing.T) {
 	}
 	if _, err := CollectW(3, 5, func(_, i int) int { panic("x") }); err == nil {
 		t.Error("CollectW lost a panic")
+	}
+}
+
+// MapWCtx with a live context behaves exactly like MapW.
+func TestMapWCtxNoCancellation(t *testing.T) {
+	out, err := MapWCtx(context.Background(), 4, 50, func(_, i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	out, err = MapWCtx(nil, 1, 3, func(_, i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 3 {
+		t.Fatalf("nil ctx: %v %v", out, err)
+	}
+}
+
+// Once the context is cancelled, tasks that have not started are
+// skipped with ctx.Err() recorded, while already-running tasks finish
+// normally — the no-poisoning contract pooled environments rely on.
+func TestMapWCtxCancelSkipsRemaining(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 64
+	var started atomic.Int32
+	out, err := MapWCtx(ctx, 1, n, func(_, i int) (int, error) {
+		started.Add(1)
+		if i == 9 {
+			cancel() // in-flight: must still complete and keep its result
+		}
+		return i * 2, nil
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in joined error, got %v", err)
+	}
+	if got := started.Load(); got != 10 {
+		t.Fatalf("started %d tasks after cancel at task 9 (serial), want 10", got)
+	}
+	if out[9] != 18 {
+		t.Fatalf("in-flight task's result dropped: out[9] = %d", out[9])
+	}
+	for i := 10; i < n; i++ {
+		if out[i] != 0 {
+			t.Fatalf("skipped task %d has result %d", i, out[i])
+		}
+	}
+}
+
+// A deadline already expired skips every task; nothing runs.
+func TestMapWCtxExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := MapWCtx(ctx, 4, 10, func(_, _ int) (int, error) { ran = true; return 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran {
+		t.Fatal("task ran under an already-cancelled context")
+	}
+}
+
+// Panics still surface as *PanicError through the ctx wrapper, and a
+// cancelled batch joins both panic and cancellation errors.
+func TestMapWCtxPanicAndCancelJoin(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := MapWCtx(ctx, 1, 5, func(_, i int) (int, error) {
+		if i == 1 {
+			cancel()
+			panic("boom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 1 {
+		t.Fatalf("want *PanicError for task 1, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled joined, got %v", err)
 	}
 }

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes completed runs by their deterministic Key. Because a
+// run is a pure function of its key, a hit is byte-identical to a
+// re-simulation — the cache is a correctness-preserving shortcut, and
+// the service proves it in its tests by comparing cached and serially
+// re-simulated records.
+//
+// The cache is safe for concurrent use: campaign executors read and
+// write it in parallel, and the journal-recovery path warms it before
+// the executors start.
+type Cache struct {
+	mu     sync.RWMutex
+	m      map[Key]RunRecord
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: map[Key]RunRecord{}} }
+
+// Get returns the memoized record for k. The returned record always
+// has Cached=false (the stored ground truth); callers mark their copy.
+func (c *Cache) Get(k Key) (RunRecord, bool) {
+	c.mu.RLock()
+	rec, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return rec, ok
+}
+
+// Put memoizes a freshly simulated record under k. The Cached flag is
+// stripped so recovery-warmed and live-simulated entries are
+// indistinguishable.
+func (c *Cache) Put(k Key, rec RunRecord) {
+	rec.Cached = false
+	c.mu.Lock()
+	c.m[k] = rec
+	c.mu.Unlock()
+}
+
+// Len reports the number of memoized runs.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Stats reports the lookup counters.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits.Load(), c.misses.Load() }

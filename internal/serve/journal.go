@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal entry types.
+const (
+	EntryAccepted  = "accepted"  // a campaign was admitted; carries the request
+	EntryCompleted = "completed" // a campaign finished; carries status and results
+)
+
+// Entry is one record of the crash-safe campaign journal: an
+// append-only JSONL file, one JSON object per line, fsync'd per
+// append. An accepted entry without a matching completed entry is an
+// interrupted campaign — a restarted daemon re-runs it (determinism
+// makes the re-run identical to what the lost run would have
+// produced); a completed entry's results warm the result cache, so
+// finished work survives restarts without re-simulation.
+type Entry struct {
+	Type   string      `json:"type"`
+	ID     string      `json:"id"`
+	Req    *Request    `json:"req,omitempty"`    // accepted only
+	Status string      `json:"status,omitempty"` // completed only
+	Error  string      `json:"error,omitempty"`  // completed only (failed/deadline)
+	Runs   []RunRecord `json:"runs,omitempty"`   // completed-successfully only
+}
+
+// Journal is the append side. Safe for concurrent use.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replays
+// its entries, and positions for appending. A torn final record — the
+// signature of a crash mid-append — is detected and skipped, and the
+// next append first terminates the torn line so the journal stays one
+// valid JSON object per line. The skipped count reports how many
+// trailing records were unreadable (0 or 1 for a crash; more only for
+// external corruption).
+func OpenJournal(path string) (*Journal, []Entry, int, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	entries, skipped, tail, err := readEntries(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("serve: reading journal: %w", err)
+	}
+	// Truncate the torn tail (if any) so the next append starts at a
+	// record boundary instead of gluing onto half a line.
+	if err := f.Truncate(tail); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("serve: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(tail, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("serve: seeking journal tail: %w", err)
+	}
+	return &Journal{f: f}, entries, skipped, nil
+}
+
+// Append writes one entry and fsyncs before returning: once Append
+// returns, the entry survives a crash.
+func (j *Journal) Append(e Entry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("serve: encoding journal entry: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("serve: appending journal entry: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: fsyncing journal: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// ReadEntries decodes a journal stream. Malformed trailing data — a
+// final line without its newline, or one that does not decode — is
+// where a crash mid-append leaves the file, so it is skipped, not an
+// error: resume must never be wedged by the very crash it exists to
+// recover from. Decoding stops at the first bad record (everything
+// after it is unreachable garbage by the append-only contract) and
+// reports how many non-empty trailing lines were skipped. The only
+// errors are I/O errors from r.
+func ReadEntries(r io.Reader) ([]Entry, int, error) {
+	entries, skipped, _, err := readEntries(r)
+	return entries, skipped, err
+}
+
+// readEntries additionally returns the byte offset just past the last
+// valid record — the truncation point for crash recovery.
+func readEntries(r io.Reader) (entries []Entry, skipped int, tail int64, err error) {
+	br := bufio.NewReader(r)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, 0, 0, rerr
+		}
+		complete := rerr == nil // saw the terminating newline
+		rec := bytes.TrimSpace(line)
+		if len(rec) > 0 {
+			var e Entry
+			if !complete || json.Unmarshal(rec, &e) != nil || !validEntry(e) {
+				// Torn or corrupt: count this and every further
+				// non-empty line, then stop replaying.
+				skipped++
+				for {
+					more, merr := br.ReadBytes('\n')
+					if len(bytes.TrimSpace(more)) > 0 {
+						skipped++
+					}
+					if merr != nil {
+						return entries, skipped, tail, nil
+					}
+				}
+			}
+			entries = append(entries, e)
+		}
+		if complete {
+			tail += int64(len(line))
+		}
+		if rerr == io.EOF {
+			return entries, skipped, tail, nil
+		}
+	}
+}
+
+// validEntry keeps replay honest: a decodable line that is not a
+// journal record (wrong type, no id) is corruption, not history.
+func validEntry(e Entry) bool {
+	if e.ID == "" {
+		return false
+	}
+	switch e.Type {
+	case EntryAccepted:
+		return e.Req != nil
+	case EntryCompleted:
+		return e.Status != ""
+	}
+	return false
+}

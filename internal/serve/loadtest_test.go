@@ -1,0 +1,40 @@
+package serve
+
+import "testing"
+
+// TestLoadHarness is the tentpole acceptance run: the full three-phase
+// load test — >=9 concurrent mixed campaigns over live HTTP streams,
+// mid-flight cancellations, an injected panic, queue-overflow shedding,
+// a graceful drain with queued work, and a restart that resumes it —
+// under the race detector at d <= 8.
+func TestLoadHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness skipped in -short")
+	}
+	rep, err := RunLoadTest(LoadConfig{Dir: t.TempDir(), MaxDim: 8, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("load test: %v\nreport so far: %v", err, rep)
+	}
+	t.Logf("load test report: %v", rep)
+	for name, got := range map[string]int{
+		"submitted":  rep.Submitted,
+		"shed":       rep.Shed,
+		"drain503":   rep.DrainReject,
+		"completed":  rep.Completed,
+		"canceled":   rep.Canceled,
+		"failed":     rep.Failed,
+		"recovered":  rep.Recovered,
+		"identity":   rep.Identity,
+		"streamRuns": rep.StreamRuns,
+	} {
+		if got <= 0 {
+			t.Errorf("report.%s = %d, want > 0", name, got)
+		}
+	}
+	if rep.Submitted < 8 {
+		t.Errorf("want >= 8 concurrent campaigns submitted, got %d", rep.Submitted)
+	}
+	if rep.CacheHits <= 0 {
+		t.Errorf("want cache hits under mixed load, got %d", rep.CacheHits)
+	}
+}

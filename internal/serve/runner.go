@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"hypersearch/internal/core"
+	"hypersearch/internal/envpool"
+	"hypersearch/internal/metrics"
+	"hypersearch/internal/netarena"
+	"hypersearch/internal/netsim"
+	"hypersearch/internal/netsim/faultlink"
+)
+
+// RunRecord is the service's per-run result: the paper's cost summary
+// plus, for network runs, the wire accounting. Records are what the
+// journal persists, the cache memoizes, and the stream carries — and
+// because runs are deterministic, a record is byte-identical whether
+// it came from a fresh simulation, the cache, or a journal replay.
+type RunRecord struct {
+	Dim      int    `json:"d"`
+	Protocol string `json:"protocol"`
+	Engine   string `json:"engine"`
+	Seed     int64  `json:"seed"`
+
+	// Cached marks a record served from the result cache instead of a
+	// fresh simulation. It is presentation metadata: it is stripped
+	// before caching, journaling, and serial-equivalence comparison.
+	Cached bool `json:"cached,omitempty"`
+
+	Result metrics.Result `json:"result"`
+	Net    *NetStats      `json:"net,omitempty"` // network engine only
+}
+
+// NetStats is the wire-level accounting of a network-engine run.
+type NetStats struct {
+	AgentMessages  int64             `json:"agent_messages"`
+	BeaconMessages int64             `json:"beacon_messages"`
+	BeaconBits     int64             `json:"beacon_bits"`
+	Link           faultlink.Summary `json:"link"`
+}
+
+// fleet is one campaign executor's per-worker simulation state: a DES
+// environment pool and a netsim arena per sched worker. An executor
+// runs one campaign at a time and sched.MapW runs one task at a time
+// per worker, so fleet state needs no locking — the same contract
+// experiments.sourcePools relies on.
+type fleet struct {
+	pools  []*envpool.Pool
+	arenas []*netarena.Arena
+}
+
+func newFleet(workers int) *fleet {
+	f := &fleet{
+		pools:  make([]*envpool.Pool, workers),
+		arenas: make([]*netarena.Arena, workers),
+	}
+	for i := 0; i < workers; i++ {
+		f.pools[i] = envpool.New()
+		f.arenas[i] = netarena.New()
+	}
+	return f
+}
+
+// run executes one spec on worker w's pooled state. A panic inside the
+// simulation propagates (sched converts it to a *PanicError and fails
+// the campaign); the Release is then skipped, so the poisoned
+// environment or fabric is dropped from the pool — never reused — and
+// the next Acquire builds a fresh replacement.
+func (f *fleet) run(w int, spec RunSpec) (RunRecord, error) {
+	return executeSpec(f.pools[w], f.arenas[w], spec)
+}
+
+// executeSpec is the single simulation entry point shared by the
+// service path and the serial reference path, so "byte-identical to
+// the batch path" is a property of scheduling and caching, not of two
+// divergent run implementations.
+func executeSpec(pool *envpool.Pool, arena *netarena.Arena, spec RunSpec) (RunRecord, error) {
+	rec := RunRecord{Dim: spec.Dim, Protocol: spec.Protocol, Engine: spec.Engine, Seed: spec.Seed}
+	switch spec.Engine {
+	case EngineDES, "":
+		res, env, err := core.RunWith(core.Spec{
+			Strategy:           spec.Protocol,
+			Dim:                spec.Dim,
+			Seed:               spec.Seed,
+			AdversarialLatency: spec.AdversarialLatency,
+			Faults:             spec.Plan,
+		}, pool)
+		if err != nil {
+			return rec, err
+		}
+		pool.Release(env)
+		rec.Engine = EngineDES
+		rec.Result = res
+	case EngineNetwork:
+		cfg := netsim.Config{
+			Seed:       spec.Seed,
+			MaxLatency: time.Duration(spec.AdversarialLatency) * time.Microsecond,
+			Faults:     spec.Plan,
+		}
+		var st netsim.Stats
+		switch spec.Protocol {
+		case core.Visibility:
+			st = arena.Run(spec.Dim, cfg)
+		case core.Clean:
+			st = arena.RunClean(spec.Dim, cfg)
+		case core.Cloning:
+			st = arena.RunCloning(spec.Dim, cfg)
+		default:
+			return rec, fmt.Errorf("serve: protocol %q has no network engine", spec.Protocol)
+		}
+		rec.Result = st.Result
+		rec.Net = &NetStats{
+			AgentMessages:  st.AgentMessages,
+			BeaconMessages: st.BeaconMessages,
+			BeaconBits:     st.BeaconBits,
+			Link:           st.Link,
+		}
+	default:
+		return rec, fmt.Errorf("serve: unknown engine %q", spec.Engine)
+	}
+	return rec, nil
+}
+
+// SerialRecords executes the request's expansion one run at a time on
+// fresh pools — the repo's classic batch path, no scheduler, no cache,
+// no service. The load-test harness compares every campaign the
+// service completes against this reference byte-for-byte; determinism
+// demands equality.
+func SerialRecords(req *Request) ([]RunRecord, error) {
+	q := *req // normalize a copy; the caller's request stays as submitted
+	q.Normalize()
+	pool, arena := envpool.New(), netarena.New()
+	specs := q.Expand()
+	out := make([]RunRecord, 0, len(specs))
+	for _, spec := range specs {
+		rec, err := executeSpec(pool, arena, spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,40 @@
+// Package suggest turns an unknown-name error into a usable hint: the
+// CLIs and the campaign service all accept exact names (bench
+// families, fault scenarios, protocols), and a typo should answer with
+// the name the user probably meant instead of a bare "unknown".
+package suggest
+
+// Distance is the Levenshtein edit distance between a and b, computed
+// byte-wise (every accepted name in this repo is ASCII).
+func Distance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// Nearest returns the candidate closest to name by edit distance, or
+// "" when there are no candidates. Ties keep the earliest candidate,
+// so a fixed candidate order makes the suggestion deterministic.
+func Nearest(name string, candidates []string) string {
+	best, bestDist := "", -1
+	for _, c := range candidates {
+		if d := Distance(name, c); bestDist < 0 || d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}

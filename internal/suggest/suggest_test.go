@@ -1,0 +1,43 @@
+package suggest
+
+import "testing"
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"clean/d=12", "clean/d=16", 1},
+		{"visibilty", "visibility", 1},
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Distance(c.b, c.a); got != c.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestNearest(t *testing.T) {
+	cands := []string{"cleaner-crash", "synchronizer-crash", "lossy-links", "dup-storm"}
+	if got := Nearest("lossy-link", cands); got != "lossy-links" {
+		t.Errorf("Nearest(lossy-link) = %q, want lossy-links", got)
+	}
+	if got := Nearest("cleaner-cras", cands); got != "cleaner-crash" {
+		t.Errorf("Nearest(cleaner-cras) = %q, want cleaner-crash", got)
+	}
+	if got := Nearest("anything", nil); got != "" {
+		t.Errorf("Nearest with no candidates = %q, want empty", got)
+	}
+	// Ties keep the earliest candidate: deterministic suggestions.
+	if got := Nearest("x", []string{"ab", "cd"}); got != "ab" {
+		t.Errorf("Nearest tie = %q, want ab", got)
+	}
+}
