@@ -74,14 +74,18 @@ bench-scale-smoke:
 
 # End-to-end smoke of the campaign service: start an hqserved daemon,
 # submit a d<=8 campaign over HTTP, require streamed per-run progress,
-# then resubmit it verbatim and require a byte-identical cache hit.
+# resubmit it verbatim and require a byte-identical cache hit, then
+# POST /compact, restart the daemon on the compacted journal, and
+# require the same campaign served byte-identically from the warmed
+# cache (the compaction round-trip).
 serve-smoke:
 	$(GO) run ./cmd/hqserved -smoke
 
 # The full robustness load test (concurrent mixed campaigns, mid-flight
 # cancellation, panic isolation, 429/503 shedding, drain + restart
-# resume) with reportable numbers; the -race variant runs under `race`
-# via TestLoadHarness.
+# resume, compaction under load vs an uncompacted twin, bounded-cache
+# eviction) with reportable numbers; the -race variant runs under
+# `race` via TestLoadHarness.
 serve-loadtest:
 	$(GO) run ./cmd/hqserved -loadtest
 

@@ -8,10 +8,19 @@
 // every accepted/completed campaign is journaled fsync-durably so a
 // restarted daemon resumes interrupted work.
 //
+// Persistence is bounded: the journal auto-compacts (rewritten as its
+// snapshot, atomically) once its live fraction drops under
+// -compact-threshold, POST /compact forces a rewrite, and the result
+// cache is an LRU under -cache-max-entries / -cache-max-bytes —
+// eviction only re-simulates, never changes results. The journal is
+// flock-guarded: a second daemon on the same -journal path fails at
+// startup naming the holder.
+//
 // Usage:
 //
 //	hqserved                         # serve on :8080, journal hqserved.jsonl
 //	hqserved -addr :9000 -journal /var/lib/hq/journal.jsonl
+//	hqserved -compact-threshold 0.5 -cache-max-entries 65536 -cache-max-bytes 268435456
 //	hqserved -smoke                  # self-contained end-to-end smoke (CI)
 //	hqserved -loadtest               # the robustness load-test, with numbers
 //
@@ -55,6 +64,9 @@ func main() {
 		maxDim   = flag.Int("max-dim", 12, "largest admissible dimension")
 		maxRuns  = flag.Int("max-runs", 4096, "largest admissible campaign expansion")
 		deadline = flag.Duration("default-deadline", 0, "deadline for campaigns that set none (0 = unlimited)")
+		compact  = flag.Float64("compact-threshold", 0, "auto-compact the journal when its live-record fraction drops to this (0 = default 2/3, negative = manual only)")
+		cacheN   = flag.Int("cache-max-entries", 0, "result-cache entry budget, LRU-evicted (0 = unbounded)")
+		cacheB   = flag.Int64("cache-max-bytes", 0, "approximate result-cache byte budget, LRU-evicted (0 = unbounded)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 		smoke    = flag.Bool("smoke", false, "run the self-contained smoke check and exit")
 		loadtest = flag.Bool("loadtest", false, "run the robustness load-test and exit")
@@ -68,7 +80,10 @@ func main() {
 		Workers:         *workers,
 		MaxDim:          *maxDim,
 		MaxRuns:         *maxRuns,
-		DefaultDeadline: *deadline,
+		DefaultDeadline:  *deadline,
+		CompactThreshold: *compact,
+		CacheMaxEntries:  *cacheN,
+		CacheMaxBytes:    *cacheB,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "hqserved: "+format+"\n", args...)
 		},
@@ -133,6 +148,9 @@ func runServe(cfg serve.Config, addr string, drainFor time.Duration) error {
 // with a scratch journal, submit a small campaign, require streamed
 // per-run progress, then resubmit it verbatim and require the rerun to
 // be served from the result cache with byte-identical records.
+// Finally the compaction round-trip: POST /compact must shrink the
+// journal, and a restarted daemon on the compacted journal must serve
+// the same campaign from its warmed cache, byte-identical again.
 func runSmoke(cfg serve.Config) error {
 	dir, err := os.MkdirTemp("", "hqserved-smoke-*")
 	if err != nil {
@@ -172,6 +190,23 @@ func runSmoke(cfg serve.Config) error {
 	}
 	fmt.Printf("smoke: identical resubmission was a cache hit, records byte-identical\n")
 
+	// Compaction round-trip: the two campaigns wrote 4 journal records
+	// (2 accepted + 2 completed); the snapshot collapses them to 2.
+	resp, err := http.Post(base+"/compact", "", nil)
+	if err != nil {
+		return err
+	}
+	var cr serve.CompactResult
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if cr.RecordsAfter >= cr.RecordsBefore {
+		return fmt.Errorf("smoke: compaction did not shrink the journal: %d -> %d records", cr.RecordsBefore, cr.RecordsAfter)
+	}
+	fmt.Printf("smoke: compacted journal %d -> %d records\n", cr.RecordsBefore, cr.RecordsAfter)
+
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	hs.Shutdown(ctx)
@@ -179,6 +214,40 @@ func runSmoke(cfg serve.Config) error {
 		return err
 	}
 	if err := srv.Close(); err != nil {
+		return err
+	}
+
+	// Restart on the compacted journal: replay must warm the cache so
+	// the resubmission is pure hits, byte-identical to the original.
+	srv2, err := serve.NewServer(cfg)
+	if err != nil {
+		return fmt.Errorf("smoke: restart on compacted journal: %w", err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs2 := &http.Server{Handler: srv2.Handler()}
+	go hs2.Serve(ln2)
+	base2 := "http://" + ln2.Addr().String()
+	hits2, _ := srv2.Cache().Stats()
+	third, nruns3, err := smokeCampaign(base2, body)
+	if err != nil {
+		return fmt.Errorf("smoke: post-restart submission: %w", err)
+	}
+	hits3, _ := srv2.Cache().Stats()
+	if got := hits3 - hits2; got < int64(nruns3) {
+		return fmt.Errorf("smoke: post-restart rerun should hit the compaction-warmed cache, got %d hits for %d runs", got, nruns3)
+	}
+	if !bytes.Equal(first, third) {
+		return fmt.Errorf("smoke: compaction round-trip records differ:\nfirst: %s\nthird: %s", first, third)
+	}
+	fmt.Printf("smoke: compaction round-trip served %d runs from the restarted journal, byte-identical\n", nruns3)
+	hs2.Shutdown(ctx)
+	if err := srv2.Drain(ctx); err != nil {
+		return err
+	}
+	if err := srv2.Close(); err != nil {
 		return err
 	}
 	fmt.Println("smoke: ok")

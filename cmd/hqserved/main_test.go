@@ -115,7 +115,8 @@ func TestSIGTERMDrainExitsZero(t *testing.T) {
 }
 
 // TestSmokeMode runs `hqserved -smoke` — the same entry point `make
-// serve-smoke` uses — and requires the cache-hit proof in its output.
+// serve-smoke` uses — and requires the cache-hit proof and the journal
+// compaction round-trip in its output.
 func TestSmokeMode(t *testing.T) {
 	if testing.Short() {
 		t.Skip("daemon exec test skipped in -short")
@@ -127,7 +128,7 @@ func TestSmokeMode(t *testing.T) {
 	if err := cmd.Run(); err != nil {
 		t.Fatalf("hqserved -smoke: %v\n%s", err, out.String())
 	}
-	for _, want := range []string{"streamed live", "cache hit", "smoke: ok"} {
+	for _, want := range []string{"streamed live", "cache hit", "compacted journal", "compaction round-trip", "smoke: ok"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("smoke output missing %q:\n%s", want, out.String())
 		}

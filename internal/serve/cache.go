@@ -1,9 +1,15 @@
 package serve
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 )
+
+// cacheEntryOverhead approximates the per-entry bookkeeping cost (key,
+// map slot, list element) added to each record's JSON length for the
+// byte budget.
+const cacheEntryOverhead = 128
 
 // Cache memoizes completed runs by their deterministic Key. Because a
 // run is a pure function of its key, a hit is byte-identical to a
@@ -11,25 +17,60 @@ import (
 // the service proves it in its tests by comparing cached and serially
 // re-simulated records.
 //
-// The cache is safe for concurrent use: campaign executors read and
-// write it in parallel, and the journal-recovery path warms it before
-// the executors start.
+// The cache is bounded: an LRU with an entry-count budget and an
+// approximate byte budget (either 0 = unlimited). Eviction is also
+// correctness-preserving — an evicted key is a future cache miss that
+// re-simulates to the identical record — so budgets trade CPU for
+// memory, never correctness. The most recently inserted entry is
+// never evicted, so a single record above the byte budget still
+// caches (the budget is approximate, not a hard ceiling).
+//
+// Safe for concurrent use: campaign executors read and write it in
+// parallel, and the journal-recovery path warms it before the
+// executors start.
 type Cache struct {
-	mu     sync.RWMutex
-	m      map[Key]RunRecord
-	hits   atomic.Int64
-	misses atomic.Int64
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used
+	m          map[Key]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache { return &Cache{m: map[Key]RunRecord{}} }
+type cacheEntry struct {
+	key  Key
+	rec  RunRecord
+	size int64
+}
 
-// Get returns the memoized record for k. The returned record always
-// has Cached=false (the stored ground truth); callers mark their copy.
+// NewCache returns an empty cache bounded to maxEntries records and
+// approximately maxBytes of record payload; 0 for either means
+// unlimited on that axis.
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		m:          map[Key]*list.Element{},
+	}
+}
+
+// Get returns the memoized record for k, promoting it to most
+// recently used. The returned record always has Cached=false (the
+// stored ground truth); callers mark their copy.
 func (c *Cache) Get(k Key) (RunRecord, bool) {
-	c.mu.RLock()
-	rec, ok := c.m[k]
-	c.mu.RUnlock()
+	c.mu.Lock()
+	el, ok := c.m[k]
+	var rec RunRecord
+	if ok {
+		c.ll.MoveToFront(el)
+		rec = el.Value.(*cacheEntry).rec
+	}
+	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
@@ -38,22 +79,59 @@ func (c *Cache) Get(k Key) (RunRecord, bool) {
 	return rec, ok
 }
 
-// Put memoizes a freshly simulated record under k. The Cached flag is
-// stripped so recovery-warmed and live-simulated entries are
-// indistinguishable.
+// Put memoizes a freshly simulated record under k, evicting from the
+// LRU tail until the budgets hold. The Cached flag is stripped so
+// recovery-warmed and live-simulated entries are indistinguishable.
 func (c *Cache) Put(k Key, rec RunRecord) {
 	rec.Cached = false
+	size := rec.approxBytes() + cacheEntryOverhead
 	c.mu.Lock()
-	c.m[k] = rec
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		// Determinism: an existing entry under the same key already
+		// holds the byte-identical record; just refresh its recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, rec: rec, size: size})
+	c.bytes += size
+	for c.ll.Len() > 1 && c.overBudget() {
+		back := c.ll.Back()
+		ce := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.m, ce.key)
+		c.bytes -= ce.size
+		c.evictions.Add(1)
+	}
+}
+
+// overBudget reports whether either budget is exceeded; callers hold mu.
+func (c *Cache) overBudget() bool {
+	if c.maxEntries > 0 && c.ll.Len() > c.maxEntries {
+		return true
+	}
+	if c.maxBytes > 0 && c.bytes > c.maxBytes {
+		return true
+	}
+	return false
 }
 
 // Len reports the number of memoized runs.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes reports the approximate resident payload.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Stats reports the lookup counters.
 func (c *Cache) Stats() (hits, misses int64) { return c.hits.Load(), c.misses.Load() }
+
+// Evictions reports how many records the budgets have pushed out.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }

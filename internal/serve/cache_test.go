@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"hypersearch/internal/core"
+)
+
+func cacheKey(i int) Key {
+	return Key{Engine: EngineDES, Protocol: core.Visibility, Dim: 2, Seed: int64(i)}
+}
+
+func TestCacheEntryBudgetLRU(t *testing.T) {
+	c := NewCache(3, 0)
+	for i := 0; i < 10; i++ {
+		c.Put(cacheKey(i), RunRecord{Dim: 2, Seed: int64(i)})
+	}
+	if got := c.Len(); got != 3 {
+		t.Fatalf("Len after 10 puts at budget 3: %d", got)
+	}
+	if got := c.Evictions(); got != 7 {
+		t.Fatalf("want 7 evictions, got %d", got)
+	}
+	// Newest three survive; the rest re-simulate (miss).
+	for i := 7; i < 10; i++ {
+		if _, ok := c.Get(cacheKey(i)); !ok {
+			t.Fatalf("recently inserted key %d evicted", i)
+		}
+	}
+	if _, ok := c.Get(cacheKey(0)); ok {
+		t.Fatal("LRU key 0 should have been evicted")
+	}
+
+	// Get promotes: touch 7, insert one more, and 8 (now LRU) goes.
+	c.Get(cacheKey(7))
+	c.Put(cacheKey(10), RunRecord{Dim: 2, Seed: 10})
+	if _, ok := c.Get(cacheKey(7)); !ok {
+		t.Fatal("promoted key 7 was evicted")
+	}
+	if _, ok := c.Get(cacheKey(8)); ok {
+		t.Fatal("unpromoted LRU key 8 survived")
+	}
+}
+
+func TestCacheByteBudget(t *testing.T) {
+	one := RunRecord{Dim: 2, Protocol: core.Visibility, Engine: EngineDES}
+	size := one.approxBytes() + cacheEntryOverhead
+	c := NewCache(0, 3*size)
+	for i := 0; i < 8; i++ {
+		rec := one
+		rec.Seed = int64(i)
+		c.Put(cacheKey(i), rec)
+	}
+	if got := c.Bytes(); got > 3*size+size { // sizes vary a little with the seed digits
+		t.Fatalf("resident bytes %d way past budget %d", got, 3*size)
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("byte budget never evicted")
+	}
+	// A single record above the whole budget still caches: the newest
+	// entry is never evicted.
+	big := NewCache(0, 1)
+	big.Put(cacheKey(0), one)
+	if big.Len() != 1 {
+		t.Fatal("oversized record was not retained as the sole entry")
+	}
+}
+
+// TestBoundedCacheStillCorrect is the eviction acceptance test: a
+// server whose cache budget is far below the campaign size still
+// answers every request correctly — evicted keys just re-simulate —
+// with nonzero eviction counters and the budget held.
+func TestBoundedCacheStillCorrect(t *testing.T) {
+	const budget = 3
+	s := newTestServer(t, Config{MaxActive: 1, Workers: 1, QueueDepth: 8, CacheMaxEntries: budget})
+	ctx := testCtx(t)
+	req := &Request{Name: "big", DimMin: 2, DimMax: 5,
+		Protocols: []string{core.Visibility, core.Cloning}, Seeds: []int64{1, 2}}
+	first, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := first.Wait(ctx); st != StatusCompleted {
+		t.Fatalf("first: %s", st)
+	}
+	dup := *req
+	dup.Name = "big-again"
+	second, err := s.Submit(&dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := second.Wait(ctx); st != StatusCompleted {
+		t.Fatalf("second: %s", st)
+	}
+	if got := s.Cache().Len(); got > budget {
+		t.Fatalf("cache size %d exceeds budget %d", got, budget)
+	}
+	if s.Cache().Evictions() == 0 {
+		t.Fatalf("16-run campaigns against a %d-entry cache never evicted", budget)
+	}
+	want, err := SerialRecords(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, _ := json.Marshal(want)
+	for _, c := range []*Campaign{first, second} {
+		gj, _ := json.Marshal(c.Records())
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("%s records diverge from serial under eviction:\nservice: %s\nserial:  %s", c.ID(), gj, wj)
+		}
+	}
+	st := s.Stats()
+	if st.CacheEvictions == 0 || st.CacheSize > budget || st.CacheMaxEntries != budget {
+		t.Fatalf("stats don't reflect the bounded cache: %+v", st)
+	}
+}
+
+// TestCacheConcurrentBounded hammers a tiny cache from parallel
+// campaigns under the race detector's eye: correctness must not
+// depend on eviction timing.
+func TestCacheConcurrentBounded(t *testing.T) {
+	s := newTestServer(t, Config{MaxActive: 4, Workers: 1, QueueDepth: 16, CacheMaxEntries: 2, CacheMaxBytes: 8 << 10})
+	ctx := testCtx(t)
+	var campaigns []*Campaign
+	var reqs []*Request
+	for i := 0; i < 4; i++ {
+		req := &Request{Name: fmt.Sprintf("par-%d", i), DimMin: 2, DimMax: 4,
+			Protocols: []string{core.Visibility}, Seeds: []int64{int64(i % 2)}}
+		c, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		campaigns = append(campaigns, c)
+		reqs = append(reqs, req)
+	}
+	for i, c := range campaigns {
+		if st, _ := c.Wait(ctx); st != StatusCompleted {
+			t.Fatalf("%s: %s", reqs[i].Name, st)
+		}
+		want, _ := SerialRecords(reqs[i])
+		gj, _ := json.Marshal(c.Records())
+		wj, _ := json.Marshal(want)
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("%s diverges from serial", reqs[i].Name)
+		}
+	}
+	if got := s.Cache().Len(); got > 2 {
+		t.Fatalf("cache size %d exceeds entry budget 2", got)
+	}
+}

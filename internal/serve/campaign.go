@@ -24,11 +24,18 @@
 //   - Crash safety: accepted requests and completion records append to
 //     an fsync'd JSONL journal; a restarted daemon re-runs interrupted
 //     campaigns (determinism makes the re-run identical) and serves
-//     completed ones from the journal without re-simulation.
+//     completed ones from the journal without re-simulation. The
+//     journal is bounded: compaction rewrites it as its snapshot
+//     (completed campaigns collapsed to one record, interrupted ones
+//     kept as accepted entries) via temp file + fsync + atomic rename,
+//     automatically past a live-fraction threshold or on POST /compact,
+//     and replay-after-compaction is equivalent by construction.
 //   - Result cache: runs are memoized by (d, protocol, engine, seed,
 //     latency, plan.CanonicalHash()); a hit is byte-identical to a
 //     re-simulation, so repeated queries under multi-user traffic cost
-//     one map lookup.
+//     one map lookup. The cache is a bounded LRU (entry-count and
+//     approximate-byte budgets); an evicted key just re-simulates, so
+//     eviction never changes what a request returns.
 package serve
 
 import (
@@ -208,6 +215,16 @@ func (q *Request) Validate(lim Limits) error {
 		if p == core.Clean && q.DimMin < 2 {
 			return fmt.Errorf("protocol %q needs dim_min >= 2 (the coordinated schedule's orders exist from d=2)", p)
 		}
+	}
+	seenSeed := map[int64]bool{}
+	for _, sd := range q.Seeds {
+		if seenSeed[sd] {
+			// Same error shape as duplicate protocols: a duplicate seed
+			// would inflate the run count against MaxRuns and emit
+			// duplicate records.
+			return fmt.Errorf("seed %d requested twice", sd)
+		}
+		seenSeed[sd] = true
 	}
 	if q.AdversarialLatency < 0 {
 		return fmt.Errorf("adversarial_latency %d is negative", q.AdversarialLatency)

@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hypersearch/internal/core"
+	"hypersearch/internal/metrics"
+)
+
+// journalFixture appends a mixed history to a fresh journal at path:
+// nDone completed campaigns (each accepted + completed = 2 records),
+// one interrupted campaign (accepted only), and one canceled-before-
+// start campaign (accepted + completed-with-error). Returns the
+// entries in append order.
+func journalFixture(t *testing.T, path string, nDone int) []Entry {
+	t.Helper()
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	var entries []Entry
+	add := func(e Entry) {
+		t.Helper()
+		if err := j.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	req := func(seed int64) *Request {
+		return &Request{DimMin: 2, DimMax: 3, Protocols: []string{core.Visibility}, Seeds: []int64{seed}}
+	}
+	for i := 0; i < nDone; i++ {
+		id := fmt.Sprintf("c%d", i)
+		add(Entry{Type: EntryAccepted, ID: id, Req: req(int64(i))})
+		add(Entry{Type: EntryCompleted, ID: id, Status: StatusCompleted, Runs: []RunRecord{
+			{Dim: 2, Protocol: core.Visibility, Engine: EngineDES, Seed: int64(i), Result: metrics.Result{Dim: 2}},
+			{Dim: 3, Protocol: core.Visibility, Engine: EngineDES, Seed: int64(i), Result: metrics.Result{Dim: 3}},
+		}})
+	}
+	add(Entry{Type: EntryAccepted, ID: fmt.Sprintf("c%d", nDone), Req: req(99)})
+	add(Entry{Type: EntryAccepted, ID: fmt.Sprintf("c%d", nDone+1), Req: req(100)})
+	add(Entry{Type: EntryCompleted, ID: fmt.Sprintf("c%d", nDone+1), Status: StatusCanceled, Error: "canceled before start"})
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return entries
+}
+
+// canonicalState reduces a journal file to its replay semantics: the
+// snapshot of whatever ReadEntries recovers, as canonical JSON. Two
+// journals with equal canonical states recover identical servers.
+func canonicalState(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	entries, skipped, err := ReadEntries(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("ReadEntries: %v", err)
+	}
+	if skipped != 0 {
+		t.Fatalf("journal %s has %d torn/corrupt records after compaction machinery ran", path, skipped)
+	}
+	js, err := json.Marshal(snapshotEntries(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return js
+}
+
+// TestJournalCompactionEquivalence is the compaction contract:
+// replaying a compacted journal reaches exactly the state replaying
+// its uncompacted twin does — same campaigns, same completions, same
+// records — while the file shrinks to one record per campaign.
+func TestJournalCompactionEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.jsonl"), filepath.Join(dir, "b.jsonl")
+	journalFixture(t, a, 4)
+	raw, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, _, _, err := OpenJournal(a)
+	if err != nil {
+		t.Fatalf("reopen a: %v", err)
+	}
+	before, after, err := j.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 done (2 records each) + 1 interrupted + 1 canceled (2 records)
+	// = 11 records; the snapshot holds one per campaign = 6.
+	if before != 11 || after != 6 {
+		t.Fatalf("Compact: want 11 -> 6 records, got %d -> %d", before, after)
+	}
+	if got, want := canonicalState(t, a), canonicalState(t, b); !bytes.Equal(got, want) {
+		t.Fatalf("compacted journal replays differently:\ncompacted:   %s\nuncompacted: %s", got, want)
+	}
+
+	// The recovered servers agree too: same campaigns, same statuses,
+	// same records, same interrupted set.
+	sa := newTestServer(t, Config{JournalPath: a, MaxActive: 1, Workers: 1, QueueDepth: 8})
+	sb := newTestServer(t, Config{JournalPath: b, MaxActive: 1, Workers: 1, QueueDepth: 8})
+	if ra, rb := sa.Stats().Recovered, sb.Stats().Recovered; ra != 1 || rb != 1 {
+		t.Fatalf("recovered campaigns: compacted %d, uncompacted %d, want 1 and 1", ra, rb)
+	}
+	ctx := testCtx(t)
+	ca, cb := sa.Campaigns(), sb.Campaigns()
+	if len(ca) != len(cb) {
+		t.Fatalf("campaign counts diverge: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if _, err := ca[i].Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cb[i].Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		ja, _ := json.Marshal(ca[i].Snapshot())
+		jb, _ := json.Marshal(cb[i].Snapshot())
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("campaign %s diverges after compaction:\ncompacted:   %s\nuncompacted: %s", ca[i].ID(), ja, jb)
+		}
+	}
+}
+
+// TestJournalAutoCompaction drives the threshold trigger: appending
+// completions until the live fraction drops must compact in place,
+// leaving a file of exactly the live records, and the compacted
+// journal must still replay into a serving server.
+func TestJournalAutoCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "auto.jsonl")
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.threshold = 0.9
+	j.logf = t.Logf
+	req := &Request{DimMin: 2, Protocols: []string{core.Visibility}}
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("c%d", i)
+		if err := j.Append(Entry{Type: EntryAccepted, ID: id, Req: req}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Entry{Type: EntryCompleted, ID: id, Status: StatusCompleted,
+			Runs: []RunRecord{{Dim: 2, Protocol: core.Visibility, Engine: EngineDES}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no auto-compaction after 12 appends at threshold 0.9: %+v", st)
+	}
+	if st.Records != st.Live {
+		t.Fatalf("auto-compacted journal still carries dead records: %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{JournalPath: path, MaxActive: 1, Workers: 1, QueueDepth: 8})
+	if got := len(s.Campaigns()); got != 6 {
+		t.Fatalf("compacted journal recovered %d campaigns, want 6", got)
+	}
+	for _, c := range s.Campaigns() {
+		if st := c.status(); st != StatusCompleted {
+			t.Fatalf("campaign %s recovered as %s, want completed", c.ID(), st)
+		}
+	}
+}
+
+// TestJournalCrashDuringCompaction kills compaction in both crash
+// windows — after the snapshot is written but before the rename, and
+// after the rename but before the directory sync — and requires the
+// reopened journal to replay to the one canonical state (old and new
+// are equivalent by the compaction contract), never a torn hybrid.
+func TestJournalCrashDuringCompaction(t *testing.T) {
+	for _, stage := range []string{"snapshot", "rename"} {
+		t.Run(stage, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "crash.jsonl")
+			journalFixture(t, path, 3)
+			want := canonicalState(t, path)
+
+			j, _, _, err := OpenJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			boom := errors.New("injected crash: " + stage)
+			j.crashAt = func(s string) error {
+				if s == stage {
+					return boom
+				}
+				return nil
+			}
+			if _, _, err := j.Compact(); !errors.Is(err, boom) {
+				t.Fatalf("Compact should die at the injected %s crash, got %v", stage, err)
+			}
+			// The dead process's lock would be released by the kernel;
+			// here Close releases it (the file writes already happened).
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			got := canonicalState(t, path)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("journal after %s crash replays a different state:\ngot:  %s\nwant: %s", stage, got, want)
+			}
+			// And a full reopen (which also clears any stray snapshot
+			// temp file) still appends cleanly.
+			j2, entries, skipped, err := OpenJournal(path)
+			if err != nil {
+				t.Fatalf("reopen after %s crash: %v", stage, err)
+			}
+			if skipped != 0 {
+				t.Fatalf("reopen after %s crash skipped %d records", stage, skipped)
+			}
+			if len(entries) == 0 {
+				t.Fatalf("reopen after %s crash lost the journal", stage)
+			}
+			if _, err := os.Stat(path + compactSuffix); !os.IsNotExist(err) {
+				t.Fatalf("stray compaction snapshot survived reopen (stat err %v)", err)
+			}
+			if err := j2.Append(Entry{Type: EntryAccepted, ID: "c-after",
+				Req: &Request{DimMin: 2, Protocols: []string{core.Visibility}}}); err != nil {
+				t.Fatalf("append after crash recovery: %v", err)
+			}
+			if err := j2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestJournalExclusiveLock is the two-daemons bugfix: a second open of
+// the same journal path must fail fast with an error naming the
+// holder, and the path must become reusable once the holder closes.
+func TestJournalExclusiveLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "locked.jsonl")
+	j1, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = OpenJournal(path)
+	if err == nil {
+		j1.Close()
+		t.Fatal("second OpenJournal on a locked path succeeded")
+	}
+	if !strings.Contains(err.Error(), "in use") || !strings.Contains(err.Error(), fmt.Sprintf("pid %d", os.Getpid())) {
+		t.Fatalf("lock error should name the holder, got: %v", err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after holder closed: %v", err)
+	}
+	j2.Close()
+}
+
+// TestServerCompactAndRestartUnderActivity compacts through the
+// Server API with completed and in-flight work present, then restarts
+// on the compacted journal and requires the completed history to be
+// served without re-simulation.
+func TestServerCompactAndRestartUnderActivity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "srv.jsonl")
+	s, err := NewServer(Config{JournalPath: path, MaxActive: 1, Workers: 1, QueueDepth: 8, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	req := &Request{Name: "done", DimMin: 2, DimMax: 4, Protocols: []string{core.Visibility}}
+	c, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c.Wait(ctx); st != StatusCompleted {
+		t.Fatalf("done: %s", st)
+	}
+	before, after, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if before != 2 || after != 1 {
+		t.Fatalf("Compact: want 2 -> 1, got %d -> %d", before, after)
+	}
+	// A post-compaction submission appends to the new file.
+	c2, err := s.Submit(&Request{Name: "later", DimMin: 2, DimMax: 3, Protocols: []string{core.Cloning}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c2.Wait(ctx); st != StatusCompleted {
+		t.Fatalf("later: %s", st)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Minute)
+	defer dcancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestServer(t, Config{JournalPath: path, MaxActive: 1, Workers: 1, QueueDepth: 8})
+	if got := s2.Stats().Recovered; got != 0 {
+		t.Fatalf("restart: want 0 recovered (all completed), got %d", got)
+	}
+	r, ok := s2.Get(c.ID())
+	if !ok || r.status() != StatusCompleted || len(r.Records()) != c.Runs() {
+		t.Fatalf("compacted completed campaign not served after restart")
+	}
+	want, _ := SerialRecords(req)
+	gj, _ := json.Marshal(r.Records())
+	wj, _ := json.Marshal(want)
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("compaction-replayed records diverge from serial:\nservice: %s\nserial:  %s", gj, wj)
+	}
+}

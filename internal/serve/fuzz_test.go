@@ -56,8 +56,16 @@ func FuzzReadEntries(f *testing.F) {
 	fin, _ := json.Marshal(Entry{Type: EntryCompleted, ID: "c0", Status: StatusCompleted,
 		Runs: []RunRecord{{Dim: 2, Protocol: core.Visibility, Engine: EngineDES}}})
 	full := append(append(append([]byte{}, acc...), '\n'), append(fin, '\n')...)
+	// The compacted form: a completion carrying its request inline, as
+	// journal compaction writes it.
+	compacted, _ := json.Marshal(Entry{Type: EntryCompleted, ID: "c1", Status: StatusCompleted,
+		Req:  &Request{DimMin: 2, Protocols: []string{core.Visibility}},
+		Runs: []RunRecord{{Dim: 2, Protocol: core.Visibility, Engine: EngineDES}}})
+	orphan, _ := json.Marshal(Entry{Type: EntryCompleted, ID: "c9", Status: StatusFailed, Error: "no request anywhere"})
 	f.Add(full)
 	f.Add(full[:len(full)-7]) // torn final record
+	f.Add(append(compacted, '\n'))
+	f.Add(append(append(append([]byte{}, compacted...), '\n'), append(orphan, '\n')...))
 	f.Add([]byte("\n\n\n"))
 	f.Add([]byte(`{"type":"accepted","id":""}` + "\n"))
 	f.Add([]byte{0xff, 0xfe, 0x00})
@@ -88,6 +96,33 @@ func FuzzReadEntries(f *testing.F) {
 		if err != nil || skipped2 != 0 || len(again) != len(entries) {
 			t.Fatalf("round trip: %d entries, %d skipped, %v (want %d, 0, nil)",
 				len(again), skipped2, err, len(entries))
+		}
+
+		// Compaction equivalence on arbitrary histories: the snapshot
+		// is never larger than the history, replays with nothing torn,
+		// and is a fixed point — snapshotting the replayed snapshot
+		// reproduces it byte-for-byte. That is the "replay after
+		// compaction == replay before" contract, fuzzed.
+		snap := snapshotEntries(entries)
+		if len(snap) > len(entries) {
+			t.Fatalf("snapshot grew: %d entries from a %d-entry history", len(snap), len(entries))
+		}
+		var sbuf bytes.Buffer
+		for _, e := range snap {
+			b, merr := json.Marshal(e)
+			if merr != nil {
+				t.Fatalf("snapshot marshal: %v", merr)
+			}
+			sbuf.Write(append(b, '\n'))
+		}
+		replayed, sk, err := ReadEntries(&sbuf)
+		if err != nil || sk != 0 {
+			t.Fatalf("snapshot replay: skipped %d, %v", sk, err)
+		}
+		sj, _ := json.Marshal(snap)
+		rj, _ := json.Marshal(snapshotEntries(replayed))
+		if !bytes.Equal(sj, rj) {
+			t.Fatalf("snapshot is not a replay fixed point:\nsnapshot:  %s\nresnapshot: %s", sj, rj)
 		}
 	})
 }

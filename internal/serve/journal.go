@@ -4,10 +4,14 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
+	"syscall"
 )
 
 // Journal entry types.
@@ -23,53 +27,245 @@ const (
 // makes the re-run identical to what the lost run would have
 // produced); a completed entry's results warm the result cache, so
 // finished work survives restarts without re-simulation.
+//
+// A compacted journal collapses each completed campaign's two records
+// into one: a completed entry that also carries the request. Replay
+// treats such an entry as acceptance and completion in one step, so
+// replaying a compacted journal reaches exactly the state replaying
+// the uncompacted one would.
 type Entry struct {
 	Type   string      `json:"type"`
 	ID     string      `json:"id"`
-	Req    *Request    `json:"req,omitempty"`    // accepted only
+	Req    *Request    `json:"req,omitempty"`    // accepted, or compacted completed
 	Status string      `json:"status,omitempty"` // completed only
 	Error  string      `json:"error,omitempty"`  // completed only (failed/deadline)
 	Runs   []RunRecord `json:"runs,omitempty"`   // completed-successfully only
 }
 
+// compactSuffix names the temp file a compaction snapshot is written
+// to before the atomic rename; a crash can strand one, so open
+// removes any stray.
+const compactSuffix = ".compact"
+
+// minCompactRecords keeps auto-compaction from churning on journals
+// too small for the rewrite to matter.
+const minCompactRecords = 8
+
 // Journal is the append side. Safe for concurrent use.
+//
+// Beyond the file, the journal maintains the live replay state — per
+// campaign, its acceptance and (if any) latest completion — which is a
+// pure function of the append sequence. Compaction rewrites the file
+// as exactly that state (the snapshot), so replay-after-compaction is
+// equivalent to replay of the uncompacted journal by construction.
 type Journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu   sync.Mutex
+	f    *os.File
+	lock *os.File // flocked <path>.lock, held for the journal's lifetime
+	path string
+
+	// threshold enables auto-compaction: after an append, if the live
+	// fraction of records drops to or below it (and the file holds at
+	// least minCompactRecords), the journal compacts in place. <= 0
+	// disables; the server defaults it.
+	threshold float64
+	logf      func(format string, args ...any) // never nil after open
+
+	total       int // records physically in the file
+	ids         []string
+	live        map[string]*campaignEntries
+	compactions int64
+
+	// crashAt simulates a crash at a named compaction stage (tests
+	// only): its error aborts Compact exactly where a kill would,
+	// leaving the on-disk state for recovery to prove out.
+	crashAt func(stage string) error
+}
+
+// campaignEntries is one campaign's live journal state.
+type campaignEntries struct {
+	acc Entry  // acceptance; Req == nil only for orphan completions
+	fin *Entry // latest completion, nil while in flight
 }
 
 // OpenJournal opens (creating if absent) the journal at path, replays
-// its entries, and positions for appending. A torn final record — the
-// signature of a crash mid-append — is detected and skipped, and the
-// next append first terminates the torn line so the journal stays one
-// valid JSON object per line. The skipped count reports how many
-// trailing records were unreadable (0 or 1 for a crash; more only for
-// external corruption).
+// its entries, and positions for appending. The parent directory is
+// fsync'd so a crash cannot lose a freshly created journal's name
+// even though every append fsyncs the file itself. An exclusive
+// advisory lock on <path>.lock guards against two daemons interleaving
+// appends into the same journal; the loser's error names the holder.
+// A torn final record — the signature of a crash mid-append — is
+// detected and skipped, and the next append first terminates the torn
+// line so the journal stays one valid JSON object per line. The
+// skipped count reports how many trailing records were unreadable (0
+// or 1 for a crash; more only for external corruption).
 func OpenJournal(path string) (*Journal, []Entry, int, error) {
+	lock, err := lockJournal(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	fail := func(err error) (*Journal, []Entry, int, error) {
+		lock.Close()
+		return nil, nil, 0, err
+	}
+	// A compaction crash can strand a snapshot temp file; it is
+	// garbage (the rename never happened), never replay state.
+	os.Remove(path + compactSuffix)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("serve: opening journal: %w", err)
+		return fail(fmt.Errorf("serve: opening journal: %w", err))
+	}
+	if err := syncDir(path); err != nil {
+		f.Close()
+		return fail(err)
 	}
 	entries, skipped, tail, err := readEntries(f)
 	if err != nil {
 		f.Close()
-		return nil, nil, 0, fmt.Errorf("serve: reading journal: %w", err)
+		return fail(fmt.Errorf("serve: reading journal: %w", err))
 	}
 	// Truncate the torn tail (if any) so the next append starts at a
 	// record boundary instead of gluing onto half a line.
 	if err := f.Truncate(tail); err != nil {
 		f.Close()
-		return nil, nil, 0, fmt.Errorf("serve: truncating torn journal tail: %w", err)
+		return fail(fmt.Errorf("serve: truncating torn journal tail: %w", err))
 	}
 	if _, err := f.Seek(tail, io.SeekStart); err != nil {
 		f.Close()
-		return nil, nil, 0, fmt.Errorf("serve: seeking journal tail: %w", err)
+		return fail(fmt.Errorf("serve: seeking journal tail: %w", err))
 	}
-	return &Journal{f: f}, entries, skipped, nil
+	j := &Journal{
+		f:    f,
+		lock: lock,
+		path: path,
+		logf: func(string, ...any) {},
+		live: map[string]*campaignEntries{},
+	}
+	for _, e := range entries {
+		j.absorb(e)
+	}
+	return j, entries, skipped, nil
+}
+
+// lockJournal takes the exclusive advisory lock guarding path. The
+// lock file records the holder's pid so the losing process's startup
+// error can name it.
+func lockJournal(path string) (*os.File, error) {
+	lf, err := os.OpenFile(path+".lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening journal lock: %w", err)
+	}
+	if err := syscall.Flock(int(lf.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		holder, _ := io.ReadAll(io.LimitReader(lf, 256))
+		lf.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			h := strings.TrimSpace(string(holder))
+			if h == "" {
+				h = "unknown holder"
+			}
+			return nil, fmt.Errorf("serve: journal %s is already in use by another hqserved (%s)", path, h)
+		}
+		return nil, fmt.Errorf("serve: locking journal %s: %w", path, err)
+	}
+	lf.Truncate(0)
+	lf.Seek(0, io.SeekStart)
+	fmt.Fprintf(lf, "pid %d", os.Getpid())
+	return lf, nil
+}
+
+// syncDir fsyncs the directory holding path, making a just-created or
+// just-renamed name durable.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("serve: opening journal directory: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("serve: fsyncing journal directory: %w", err)
+	}
+	return nil
+}
+
+// absorb folds one appended (or replayed) entry into the live state.
+func (j *Journal) absorb(e Entry) {
+	j.total++
+	st := j.live[e.ID]
+	if st == nil {
+		st = &campaignEntries{}
+		j.live[e.ID] = st
+		j.ids = append(j.ids, e.ID)
+	}
+	switch e.Type {
+	case EntryAccepted:
+		if st.acc.Req == nil {
+			st.acc = e
+		}
+	case EntryCompleted:
+		if st.acc.Req == nil && e.Req != nil {
+			// Compacted form: the completion carries the request.
+			st.acc = Entry{Type: EntryAccepted, ID: e.ID, Req: e.Req}
+		}
+		fin := e
+		fin.Req = nil // canonical: the request lives on the accepted side
+		st.fin = &fin
+	}
+}
+
+// liveCount is the number of records a snapshot would hold: one per
+// campaign whose acceptance is known. Orphan completions (no request
+// anywhere) replay to nothing and count for nothing.
+func (j *Journal) liveCount() int {
+	n := 0
+	for _, st := range j.live {
+		if st.acc.Req != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshotLocked lists the journal's live state in first-mention
+// (acceptance) order: completed campaigns as one merged completion
+// record carrying the request, in-flight ones as their accepted entry.
+func (j *Journal) snapshotLocked() []Entry {
+	out := make([]Entry, 0, len(j.ids))
+	for _, id := range j.ids {
+		st := j.live[id]
+		if st.acc.Req == nil {
+			continue // orphan completion: replay ignores it, so the snapshot drops it
+		}
+		if st.fin != nil {
+			e := *st.fin
+			e.Req = st.acc.Req
+			out = append(out, e)
+		} else {
+			out = append(out, st.acc)
+		}
+	}
+	return out
+}
+
+// snapshotEntries computes the compacted form of a replayed history —
+// package-visible so tests and the fuzzer can prove
+// replay(snapshot(h)) == replay(h) without touching a file.
+func snapshotEntries(entries []Entry) []Entry {
+	j := &Journal{live: map[string]*campaignEntries{}}
+	for _, e := range entries {
+		j.absorb(e)
+	}
+	return j.snapshotLocked()
 }
 
 // Append writes one entry and fsyncs before returning: once Append
-// returns, the entry survives a crash.
+// returns, the entry survives a crash. When auto-compaction is
+// enabled and the append tips the live fraction under the threshold,
+// the journal compacts before returning; a compaction failure only
+// degrades the file's size, never the append's durability, so it is
+// logged rather than returned.
 func (j *Journal) Append(e Entry) error {
 	b, err := json.Marshal(e)
 	if err != nil {
@@ -84,10 +280,104 @@ func (j *Journal) Append(e Entry) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("serve: fsyncing journal: %w", err)
 	}
+	j.absorb(e)
+	if j.threshold > 0 && j.total >= minCompactRecords {
+		if live := j.liveCount(); live < j.total && float64(live) <= j.threshold*float64(j.total) {
+			if _, _, err := j.compactLocked(); err != nil {
+				j.logf("serve: journal auto-compaction failed (append is durable): %v", err)
+			}
+		}
+	}
 	return nil
 }
 
-// Close syncs and closes the journal file.
+// Compact rewrites the journal as its snapshot: written to a temp
+// file, fsync'd, atomically renamed over the old journal, with the
+// parent directory fsync'd after the rename. A crash at any point
+// leaves a journal that replays to either the old or the new state —
+// never a torn hybrid — because the old file is untouched until the
+// rename, and the rename is atomic. Returns the record counts before
+// and after.
+func (j *Journal) Compact() (before, after int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactLocked()
+}
+
+func (j *Journal) compactLocked() (before, after int, err error) {
+	before = j.total
+	snap := j.snapshotLocked()
+	tmp := j.path + compactSuffix
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return before, before, fmt.Errorf("serve: creating compaction snapshot: %w", err)
+	}
+	w := bufio.NewWriter(tf)
+	for _, e := range snap {
+		b, merr := json.Marshal(e)
+		if merr != nil {
+			tf.Close()
+			return before, before, fmt.Errorf("serve: encoding compaction snapshot: %w", merr)
+		}
+		w.Write(b)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tf.Close()
+		return before, before, fmt.Errorf("serve: writing compaction snapshot: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return before, before, fmt.Errorf("serve: fsyncing compaction snapshot: %w", err)
+	}
+	if err := j.crash("snapshot"); err != nil { // crash window 1: snapshot written, not yet renamed
+		tf.Close()
+		return before, before, err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		tf.Close()
+		return before, before, fmt.Errorf("serve: renaming compaction snapshot: %w", err)
+	}
+	// Point of no return: the path now names the snapshot. Future
+	// appends go to the new file; the old fd is dropped.
+	old := j.f
+	j.f = tf
+	j.total = len(snap)
+	j.compactions++
+	old.Close()
+	after = len(snap)
+	if err := j.crash("rename"); err != nil { // crash window 2: renamed, directory not yet synced
+		return before, after, err
+	}
+	if err := syncDir(j.path); err != nil {
+		return before, after, err
+	}
+	return before, after, nil
+}
+
+func (j *Journal) crash(stage string) error {
+	if j.crashAt == nil {
+		return nil
+	}
+	return j.crashAt(stage)
+}
+
+// JournalStats reports the journal's size and compaction counters.
+type JournalStats struct {
+	Records     int   `json:"records"`     // records physically in the file
+	Live        int   `json:"live"`        // records a compaction would keep
+	Compactions int64 `json:"compactions"` // rewrites since open (manual + automatic)
+}
+
+// Stats reports the journal's current counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{Records: j.total, Live: j.liveCount(), Compactions: j.compactions}
+}
+
+// Close syncs and closes the journal file and releases the advisory
+// lock.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -99,6 +389,10 @@ func (j *Journal) Close() error {
 		err = cerr
 	}
 	j.f = nil
+	if j.lock != nil {
+		j.lock.Close() // closing the fd releases the flock
+		j.lock = nil
+	}
 	return err
 }
 

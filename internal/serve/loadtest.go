@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -40,15 +41,19 @@ type LoadReport struct {
 	Interrupted int           `json:"interrupted"`  // campaigns left queued by the drain
 	Recovered   int           `json:"recovered"`    // campaigns re-run after restart
 	Identity    int           `json:"identity_checked"` // campaigns compared byte-for-byte to the serial batch path
+	Compactions int64         `json:"compactions"`    // journal compactions observed under load
+	CompactSaved int          `json:"compact_saved"`  // journal records the compacted twin avoided vs the uncompacted one
+	Evicted     int64         `json:"evicted"`        // cache evictions forced by the bounded-cache phase
 	Elapsed     time.Duration `json:"elapsed_ns"`
 }
 
 func (r LoadReport) String() string {
 	return fmt.Sprintf(
-		"submitted=%d shed429=%d drain503=%d completed=%d canceled=%d failed=%d runs=%d stream_runs=%d cache=%d/%d interrupted=%d recovered=%d identity=%d elapsed=%s",
+		"submitted=%d shed429=%d drain503=%d completed=%d canceled=%d failed=%d runs=%d stream_runs=%d cache=%d/%d interrupted=%d recovered=%d identity=%d compactions=%d compact_saved=%d evicted=%d elapsed=%s",
 		r.Submitted, r.Shed, r.DrainReject, r.Completed, r.Canceled, r.Failed,
 		r.Runs, r.StreamRuns, r.CacheHits, r.CacheMisses,
-		r.Interrupted, r.Recovered, r.Identity, r.Elapsed.Round(time.Millisecond))
+		r.Interrupted, r.Recovered, r.Identity,
+		r.Compactions, r.CompactSaved, r.Evicted, r.Elapsed.Round(time.Millisecond))
 }
 
 // gate lets the harness hold a named campaign's runs at a known point:
@@ -87,6 +92,14 @@ func (g *gate) hook() func() {
 //     still queued; a second server on the same journal re-runs them
 //     to completion and serves the pre-drain results from the warmed
 //     cache, again byte-identical to serial.
+//  4. Compaction: twin journalled servers run the same campaign mix —
+//     one auto-compacting aggressively and hit with concurrent
+//     POST /compact, the other never compacting — and after a restart
+//     of both, every campaign served from the compacted journal is
+//     byte-identical to its uncompacted twin and to serial.
+//  5. Eviction: a server whose cache budget is far below the campaign
+//     size re-runs a verbatim duplicate; results stay byte-identical
+//     to serial while the eviction counters climb.
 //
 // The harness runs under -race in the test suite (d <= 8) and behind
 // `hqserved -loadtest` for reportable numbers.
@@ -113,6 +126,12 @@ func RunLoadTest(cfg LoadConfig) (*LoadReport, error) {
 	}
 	if err := loadPhaseRestart(cfg, rep); err != nil {
 		return rep, fmt.Errorf("loadtest phase 3 (drain/restart): %w", err)
+	}
+	if err := loadPhaseCompaction(cfg, rep); err != nil {
+		return rep, fmt.Errorf("loadtest phase 4 (compaction): %w", err)
+	}
+	if err := loadPhaseEviction(cfg, rep); err != nil {
+		return rep, fmt.Errorf("loadtest phase 5 (eviction): %w", err)
 	}
 	rep.Elapsed = time.Since(start)
 	return rep, nil
@@ -543,6 +562,316 @@ func loadPhaseRestart(cfg LoadConfig, rep *LoadReport) error {
 		return fmt.Errorf("drain 2: %w", err)
 	}
 	return srv2.Close()
+}
+
+// loadPhaseCompaction runs the same campaign mix through two
+// journalled servers — one compacting aggressively (auto-threshold
+// 0.9 plus concurrent POST /compact over HTTP), one never compacting —
+// then restarts both and proves the compacted journal replays to the
+// same campaigns, byte-identical to the uncompacted twin and to the
+// serial batch path, while keeping strictly fewer records on disk.
+func loadPhaseCompaction(cfg LoadConfig, rep *LoadReport) error {
+	jA := filepath.Join(cfg.Dir, "load-compact-a.jsonl")
+	jB := filepath.Join(cfg.Dir, "load-compact-b.jsonl")
+	mk := func(path string, threshold float64) (*Server, error) {
+		return NewServer(Config{
+			JournalPath:      path,
+			CompactThreshold: threshold,
+			MaxActive:        2,
+			QueueDepth:       16,
+			Workers:          1,
+			MaxDim:           cfg.MaxDim,
+			Logf:             cfg.Logf,
+		})
+	}
+	srvA, err := mk(jA, 0.9) // compacts almost every time a completion lands
+	if err != nil {
+		return err
+	}
+	srvB, err := mk(jB, -1) // the uncompacted twin
+	if err != nil {
+		return err
+	}
+	base, shutdown, err := serveHTTP(srvA)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	client := &http.Client{}
+
+	const n = 8
+	reqs := make([]*Request, n)
+	for i := range reqs {
+		reqs[i] = &Request{Name: fmt.Sprintf("cmp-%d", i), DimMin: 2, DimMax: 4,
+			Protocols: []string{core.Visibility}, Seeds: []int64{int64(i + 1)}}
+	}
+
+	// The compacting twin takes the whole mix at once over HTTP, with
+	// explicit compactions racing the submissions.
+	idsA := make([]string, n)
+	var wg sync.WaitGroup
+	errc := make(chan error, n+3)
+	for i, q := range reqs {
+		wg.Add(1)
+		go func(i int, q *Request) {
+			defer wg.Done()
+			id, code, err := postCampaign(client, base, q)
+			if err != nil || code != http.StatusAccepted {
+				errc <- fmt.Errorf("submitting %s: HTTP %d, %v", q.Name, code, err)
+				return
+			}
+			idsA[i] = id
+			status, runs, err := streamCampaign(client, base, id)
+			if err != nil || status != StatusCompleted {
+				errc <- fmt.Errorf("%s: status %s, %v", q.Name, status, err)
+				return
+			}
+			rep.addStreamRuns(runs)
+		}(i, q)
+	}
+	for k := 0; k < 3; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			resp, err := client.Post(base+"/compact", "", nil)
+			if err != nil {
+				errc <- fmt.Errorf("POST /compact #%d: %w", k, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("POST /compact #%d: HTTP %d", k, resp.StatusCode)
+				return
+			}
+			var cr CompactResult
+			if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+				errc <- fmt.Errorf("POST /compact #%d: decoding result: %w", k, err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	rep.Submitted += n
+	rep.Completed += n
+
+	// The uncompacted twin takes the identical mix.
+	campB := make([]*Campaign, n)
+	for i, q := range reqs {
+		c, err := srvB.Submit(q)
+		if err != nil {
+			return fmt.Errorf("twin submitting %s: %w", q.Name, err)
+		}
+		campB[i] = c
+	}
+	for i, c := range campB {
+		if st, err := c.Wait(ctx); err != nil || st != StatusCompleted {
+			return fmt.Errorf("twin %s: status %s, %v", reqs[i].Name, st, err)
+		}
+	}
+	rep.Submitted += n
+	rep.Completed += n
+
+	stA := srvA.Stats()
+	if stA.Journal == nil || stA.Journal.Compactions == 0 {
+		return fmt.Errorf("compacting twin never compacted: %+v", stA.Journal)
+	}
+	rep.Compactions += stA.Journal.Compactions
+
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Minute)
+	defer dcancel()
+	for name, s := range map[string]*Server{"A": srvA, "B": srvB} {
+		if err := s.Drain(dctx); err != nil {
+			return fmt.Errorf("drain %s: %w", name, err)
+		}
+		if err := s.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", name, err)
+		}
+	}
+
+	// On disk, compaction must have actually saved records.
+	recA, err := countJournalRecords(jA)
+	if err != nil {
+		return err
+	}
+	recB, err := countJournalRecords(jB)
+	if err != nil {
+		return err
+	}
+	if recA >= recB {
+		return fmt.Errorf("compacted journal holds %d records, uncompacted twin %d", recA, recB)
+	}
+	rep.CompactSaved += recB - recA
+
+	// Restart both and compare what they serve, campaign by campaign.
+	srvA2, err := mk(jA, -1)
+	if err != nil {
+		return fmt.Errorf("reopening compacted journal: %w", err)
+	}
+	srvB2, err := mk(jB, -1)
+	if err != nil {
+		return fmt.Errorf("reopening uncompacted journal: %w", err)
+	}
+	if got := srvA2.Stats().Recovered; got != 0 {
+		return fmt.Errorf("compacted journal resurrected %d campaigns as unfinished", got)
+	}
+	for i := range reqs {
+		a2, ok := srvA2.Get(idsA[i])
+		if !ok || a2.status() != StatusCompleted {
+			return fmt.Errorf("%s not served completed from the compacted journal", reqs[i].Name)
+		}
+		b2, ok := srvB2.Get(campB[i].ID())
+		if !ok || b2.status() != StatusCompleted {
+			return fmt.Errorf("%s not served completed from the uncompacted journal", reqs[i].Name)
+		}
+		aj, _ := json.Marshal(a2.Records())
+		bj, _ := json.Marshal(b2.Records())
+		if !bytes.Equal(aj, bj) {
+			return fmt.Errorf("%s diverges across the twins:\ncompacted:   %s\nuncompacted: %s", reqs[i].Name, aj, bj)
+		}
+		if err := checkIdentity(reqs[i], a2.Records()); err != nil {
+			return fmt.Errorf("%s from compacted journal: %w", reqs[i].Name, err)
+		}
+		rep.Identity++
+		rep.Runs += len(a2.Records())
+	}
+	for name, s := range map[string]*Server{"A2": srvA2, "B2": srvB2} {
+		if err := s.Drain(dctx); err != nil {
+			return fmt.Errorf("drain %s: %w", name, err)
+		}
+		if err := s.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func countJournalRecords(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	entries, skipped, err := ReadEntries(f)
+	if err != nil {
+		return 0, err
+	}
+	if skipped != 0 {
+		return 0, fmt.Errorf("journal %s: %d torn records after clean shutdown", path, skipped)
+	}
+	return len(entries), nil
+}
+
+// loadPhaseEviction drives campaigns much larger than the cache budget
+// through bounded caches — entry-bounded first, then byte-bounded —
+// and checks that eviction never bends correctness: a verbatim
+// duplicate campaign re-simulates whatever was evicted and still lands
+// byte-identical to the serial batch path.
+func loadPhaseEviction(cfg LoadConfig, rep *LoadReport) error {
+	const budget = 6
+	srv, err := NewServer(Config{
+		MaxActive:       2,
+		QueueDepth:      8,
+		Workers:         1,
+		MaxDim:          cfg.MaxDim,
+		CacheMaxEntries: budget,
+		Logf:            cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	big := &Request{Name: "evict", DimMin: 2, DimMax: cfg.MaxDim,
+		Protocols: []string{core.Visibility, core.Cloning}, Seeds: []int64{11, 12}}
+	first, err := srv.Submit(big)
+	if err != nil {
+		return err
+	}
+	if st, err := first.Wait(ctx); err != nil || st != StatusCompleted {
+		return fmt.Errorf("evict: status %s, %v", st, err)
+	}
+	dup := *big
+	dup.Name = "evict-again"
+	second, err := srv.Submit(&dup)
+	if err != nil {
+		return err
+	}
+	if st, err := second.Wait(ctx); err != nil || st != StatusCompleted {
+		return fmt.Errorf("evict-again: status %s, %v", st, err)
+	}
+	rep.Submitted += 2
+	rep.Completed += 2
+	for _, c := range []*Campaign{first, second} {
+		if err := checkIdentity(big, c.Records()); err != nil {
+			return fmt.Errorf("%s under eviction: %w", c.req.Name, err)
+		}
+		rep.Identity++
+		rep.Runs += len(c.Records())
+	}
+	if got := srv.Cache().Len(); got > budget {
+		return fmt.Errorf("cache holds %d entries past its budget of %d", got, budget)
+	}
+	ev := srv.Cache().Evictions()
+	if ev == 0 {
+		return fmt.Errorf("%d-run campaigns against a %d-entry cache never evicted", first.Runs(), budget)
+	}
+	rep.Evicted += ev
+	hits, misses := srv.Cache().Stats()
+	rep.CacheHits += hits
+	rep.CacheMisses += misses
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Minute)
+	defer dcancel()
+	if err := srv.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+
+	// Byte-budget variant: a 1 KiB cache against a multi-run sweep.
+	srvB, err := NewServer(Config{
+		MaxActive:     1,
+		QueueDepth:    8,
+		Workers:       1,
+		MaxDim:        cfg.MaxDim,
+		CacheMaxBytes: 1 << 10,
+		Logf:          cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	small := &Request{Name: "evict-bytes", DimMin: 2, DimMax: cfg.MaxDim,
+		Protocols: []string{core.Visibility}, Seeds: []int64{13}}
+	c, err := srvB.Submit(small)
+	if err != nil {
+		return err
+	}
+	if st, err := c.Wait(ctx); err != nil || st != StatusCompleted {
+		return fmt.Errorf("evict-bytes: status %s, %v", st, err)
+	}
+	if err := checkIdentity(small, c.Records()); err != nil {
+		return fmt.Errorf("evict-bytes: %w", err)
+	}
+	rep.Submitted++
+	rep.Completed++
+	rep.Identity++
+	rep.Runs += len(c.Records())
+	if ev := srvB.Cache().Evictions(); ev == 0 {
+		return fmt.Errorf("byte-bounded cache never evicted at %d resident bytes", srvB.Cache().Bytes())
+	} else {
+		rep.Evicted += ev
+	}
+	if err := srvB.Drain(dctx); err != nil {
+		return fmt.Errorf("drain bytes: %w", err)
+	}
+	return srvB.Close()
 }
 
 // --- harness plumbing ---

@@ -2,11 +2,12 @@ package serve
 
 import "testing"
 
-// TestLoadHarness is the tentpole acceptance run: the full three-phase
+// TestLoadHarness is the tentpole acceptance run: the full five-phase
 // load test — >=9 concurrent mixed campaigns over live HTTP streams,
 // mid-flight cancellations, an injected panic, queue-overflow shedding,
-// a graceful drain with queued work, and a restart that resumes it —
-// under the race detector at d <= 8.
+// a graceful drain with queued work, a restart that resumes it,
+// compaction under load against an uncompacted twin, and bounded-cache
+// eviction — under the race detector at d <= 8.
 func TestLoadHarness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load harness skipped in -short")
@@ -36,5 +37,14 @@ func TestLoadHarness(t *testing.T) {
 	}
 	if rep.CacheHits <= 0 {
 		t.Errorf("want cache hits under mixed load, got %d", rep.CacheHits)
+	}
+	if rep.Compactions <= 0 {
+		t.Errorf("want journal compactions under load, got %d", rep.Compactions)
+	}
+	if rep.CompactSaved <= 0 {
+		t.Errorf("want the compacted journal to hold fewer records than its twin, saved %d", rep.CompactSaved)
+	}
+	if rep.Evicted <= 0 {
+		t.Errorf("want cache evictions under load, got %d", rep.Evicted)
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -30,6 +31,17 @@ type RunRecord struct {
 
 	Result metrics.Result `json:"result"`
 	Net    *NetStats      `json:"net,omitempty"` // network engine only
+}
+
+// approxBytes estimates the record's resident size for the cache's
+// byte budget as its canonical JSON length — the same bytes the
+// journal and the stream pay for it.
+func (r RunRecord) approxBytes() int64 {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return cacheEntryOverhead // unreachable: records marshal by construction
+	}
+	return int64(len(b))
 }
 
 // NetStats is the wire-level accounting of a network-engine run.

@@ -67,6 +67,10 @@ func TestValidateRejections(t *testing.T) {
 	link := &faults.Plan{Seed: 1, Faults: []faults.Fault{{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, 1), At: 1}}}
 	bigLink := &faults.Plan{Seed: 1, Faults: []faults.Fault{{Kind: faults.LinkDrop, Target: faults.LinkTarget(0, 128), At: 1}}}
 	hostCrash := &faults.Plan{Seed: 1, Faults: []faults.Fault{{Kind: faults.HostCrash, Target: faults.LinkTarget(0, 1), At: 1}}}
+	manySeeds := make([]int64, 20)
+	for i := range manySeeds {
+		manySeeds[i] = int64(i)
+	}
 	cases := []struct {
 		name string
 		req  Request
@@ -79,10 +83,11 @@ func TestValidateRejections(t *testing.T) {
 		{"no protocols", Request{DimMin: 2}, "no protocols"},
 		{"unknown protocol", Request{DimMin: 2, Protocols: []string{"visibilty"}}, `did you mean "visibility"`},
 		{"dup protocol", Request{DimMin: 2, Protocols: []string{core.Visibility, core.Visibility}}, "twice"},
+		{"dup seed", Request{DimMin: 2, Protocols: []string{core.Visibility}, Seeds: []int64{3, 1, 3}}, "seed 3 requested twice"},
 		{"clean from d=1", Request{DimMin: 1, Protocols: []string{core.Clean}}, "dim_min >= 2"},
 		{"negative latency", Request{DimMin: 2, Protocols: []string{core.Visibility}, AdversarialLatency: -1}, "negative"},
 		{"negative deadline", Request{DimMin: 2, Protocols: []string{core.Visibility}, DeadlineMS: -5}, "negative"},
-		{"too many runs", Request{DimMin: 2, DimMax: 8, Protocols: []string{core.Visibility}, Seeds: make([]int64, 20)}, "runs"},
+		{"too many runs", Request{DimMin: 2, DimMax: 8, Protocols: []string{core.Visibility}, Seeds: manySeeds}, "runs"},
 		{"crash plan", Request{DimMin: 2, Protocols: []string{core.Visibility}, Faults: crash}, "crash"},
 		{"link plan on des", Request{DimMin: 2, Protocols: []string{core.Visibility}, Faults: link}, "network engine"},
 		{"link target outside small cube", Request{DimMin: 2, DimMax: 3, Engine: EngineNetwork, Protocols: []string{core.Visibility}, Faults: bigLink}, "at d=2"},

@@ -25,6 +25,13 @@ const (
 	StatusDeadline  = "deadline-exceeded"
 )
 
+// defaultCompactThreshold is the live fraction below which the
+// journal auto-compacts. 2/3 means the file is rewritten roughly every
+// time it doubles past its live state (each completed campaign leaves
+// one dead record behind), so compaction work is amortized O(1) per
+// append and replay cost stays proportional to live campaigns.
+const defaultCompactThreshold = 2.0 / 3.0
+
 // Submission rejections the HTTP layer maps to status codes.
 var (
 	ErrOverloaded = errors.New("serve: campaign queue is full") // 429
@@ -59,6 +66,21 @@ type Config struct {
 	// 0 means no default deadline.
 	DefaultDeadline time.Duration
 
+	// CompactThreshold auto-compacts the journal when the live
+	// fraction of its records drops to or below this value (once the
+	// file holds at least a handful of records). 0 defaults to 2/3 —
+	// the journal is rewritten roughly every time it doubles, so
+	// replay cost stays proportional to live state, amortized O(1)
+	// per append. Negative disables auto-compaction (POST /compact
+	// still works).
+	CompactThreshold float64
+
+	// CacheMaxEntries and CacheMaxBytes bound the result cache (LRU);
+	// 0 means unlimited on that axis. Eviction never changes what a
+	// request returns — an evicted key re-simulates identically.
+	CacheMaxEntries int
+	CacheMaxBytes   int64
+
 	// BeforeRun, if set, is called before every simulated run with the
 	// campaign name and the spec. It exists for tests: gating it makes
 	// admission and cancellation deterministic, and panicking from it
@@ -87,6 +109,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxRuns <= 0 {
 		c.MaxRuns = 4096
+	}
+	if c.CompactThreshold == 0 {
+		c.CompactThreshold = defaultCompactThreshold
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -121,7 +146,7 @@ func NewServer(cfg Config) (*Server, error) {
 	cfg.fill()
 	s := &Server{
 		cfg:   cfg,
-		cache: NewCache(),
+		cache: NewCache(cfg.CacheMaxEntries, cfg.CacheMaxBytes),
 		byID:  map[string]*Campaign{},
 		stop:  make(chan struct{}),
 	}
@@ -132,6 +157,8 @@ func NewServer(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		j.threshold = cfg.CompactThreshold
+		j.logf = cfg.Logf
 		s.journal = j
 		if torn > 0 {
 			cfg.Logf("serve: journal: skipped %d torn/corrupt trailing record(s)", torn)
@@ -158,26 +185,42 @@ func NewServer(cfg Config) (*Server, error) {
 // recover rebuilds in-memory state from replayed journal entries:
 // completed campaigns become servable history (their runs warm the
 // cache), accepted-but-not-completed ones are interrupted work to
-// re-run. Returns the interrupted campaigns in acceptance order.
+// re-run. A compacted journal carries a completed campaign as a
+// single completion record with the request inline; replay treats it
+// as acceptance and completion in one step, so compacted and
+// uncompacted journals recover to the same state. Returns the
+// interrupted campaigns in acceptance order.
 func (s *Server) recover(entries []Entry) []*Campaign {
+	var ids []string
+	acc := map[string]*Request{}
 	done := map[string]Entry{}
 	for _, e := range entries {
-		if e.Type == EntryCompleted {
+		switch e.Type {
+		case EntryAccepted:
+			if e.Req == nil {
+				continue
+			}
+			if _, ok := acc[e.ID]; !ok {
+				acc[e.ID] = e.Req
+				ids = append(ids, e.ID)
+			}
+		case EntryCompleted:
+			if _, ok := acc[e.ID]; !ok && e.Req != nil {
+				acc[e.ID] = e.Req
+				ids = append(ids, e.ID)
+			}
 			done[e.ID] = e
 		}
 	}
 	var pending []*Campaign
-	for _, e := range entries {
-		if e.Type != EntryAccepted || e.Req == nil {
-			continue
-		}
-		if n := idNumber(e.ID); n >= s.nextID {
+	for _, id := range ids {
+		if n := idNumber(id); n >= s.nextID {
 			s.nextID = n + 1
 		}
-		c := newCampaign(e.ID, e.Req)
-		s.byID[e.ID] = c
+		c := newCampaign(id, acc[id])
+		s.byID[id] = c
 		s.order = append(s.order, c)
-		if fin, ok := done[e.ID]; ok {
+		if fin, ok := done[id]; ok {
 			// Replay per-run events so a recovered campaign's stream and
 			// snapshot (done count) match what the original process served.
 			for i := range fin.Runs {
@@ -193,7 +236,7 @@ func (s *Server) recover(entries []Entry) []*Campaign {
 		// and any of its runs that made it into other completed
 		// campaigns' records come from the warmed cache for free.
 		pending = append(pending, c)
-		s.cfg.Logf("serve: journal: re-running interrupted campaign %s", e.ID)
+		s.cfg.Logf("serve: journal: re-running interrupted campaign %s", id)
 	}
 	return pending
 }
@@ -223,6 +266,15 @@ func (s *Server) Limits() Limits {
 
 // Cache exposes the result cache (read-mostly: stats and tests).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// Compact rewrites the journal as its snapshot, returning record
+// counts before and after. Errors when the server runs journal-less.
+func (s *Server) Compact() (before, after int, err error) {
+	if s.journal == nil {
+		return 0, 0, errors.New("serve: no journal configured")
+	}
+	return s.journal.Compact()
+}
 
 // Submit admits one campaign: validate, journal the acceptance, then
 // enqueue. The journal write happens before the enqueue so no executor
@@ -611,8 +663,9 @@ func (c *Campaign) Records() []RunRecord {
 //	GET  /campaigns/{id}          one snapshot (runs included when done)
 //	GET  /campaigns/{id}/stream   progress as chunked JSONL (x-ndjson)
 //	POST /campaigns/{id}/cancel   cooperative cancel (202)
+//	POST /compact                 compact the journal now (200, counts)
 //	GET  /healthz                 liveness
-//	GET  /statsz                  cache + admission counters
+//	GET  /statsz                  cache + journal + admission counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
@@ -620,6 +673,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}", s.handleGet)
 	mux.HandleFunc("GET /campaigns/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /compact", s.handleCompact)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -718,31 +772,59 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, c.Snapshot())
 }
 
+// CompactResult is the POST /compact body: journal record counts
+// around the rewrite.
+type CompactResult struct {
+	RecordsBefore int `json:"records_before"`
+	RecordsAfter  int `json:"records_after"`
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	before, after, err := s.Compact()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if s.journal == nil {
+			code = http.StatusConflict // journal-less daemon: nothing to compact
+		}
+		writeJSON(w, code, errorBody{err.Error()})
+		return
+	}
+	s.cfg.Logf("serve: journal compacted: %d -> %d records", before, after)
+	writeJSON(w, http.StatusOK, CompactResult{RecordsBefore: before, RecordsAfter: after})
+}
+
 // ServiceStats is the /statsz body.
 type ServiceStats struct {
-	Campaigns   map[string]int `json:"campaigns"` // status -> count
-	Queued      int            `json:"queue_len"`
-	QueueDepth  int            `json:"queue_depth"`
-	MaxActive   int            `json:"max_active"`
-	Workers     int            `json:"workers_per_campaign"`
-	CacheSize   int            `json:"cache_size"`
-	CacheHits   int64          `json:"cache_hits"`
-	CacheMisses int64          `json:"cache_misses"`
-	Recovered   int            `json:"recovered_campaigns"`
-	Draining    bool           `json:"draining"`
+	Campaigns       map[string]int `json:"campaigns"` // status -> count
+	Queued          int            `json:"queue_len"`
+	QueueDepth      int            `json:"queue_depth"`
+	MaxActive       int            `json:"max_active"`
+	Workers         int            `json:"workers_per_campaign"`
+	CacheSize       int            `json:"cache_size"`
+	CacheBytes      int64          `json:"cache_bytes"`
+	CacheHits       int64          `json:"cache_hits"`
+	CacheMisses     int64          `json:"cache_misses"`
+	CacheEvictions  int64          `json:"cache_evictions"`
+	CacheMaxEntries int            `json:"cache_max_entries,omitempty"`
+	CacheMaxBytes   int64          `json:"cache_max_bytes,omitempty"`
+	Journal         *JournalStats  `json:"journal,omitempty"` // nil when journal-less
+	Recovered       int            `json:"recovered_campaigns"`
+	Draining        bool           `json:"draining"`
 }
 
 // Stats reports service counters.
 func (s *Server) Stats() ServiceStats {
 	s.mu.Lock()
 	st := ServiceStats{
-		Campaigns:  map[string]int{},
-		Queued:     len(s.queue),
-		QueueDepth: s.cfg.QueueDepth,
-		MaxActive:  s.cfg.MaxActive,
-		Workers:    s.cfg.Workers,
-		Recovered:  s.recovered,
-		Draining:   s.draining,
+		Campaigns:       map[string]int{},
+		Queued:          len(s.queue),
+		QueueDepth:      s.cfg.QueueDepth,
+		MaxActive:       s.cfg.MaxActive,
+		Workers:         s.cfg.Workers,
+		CacheMaxEntries: s.cfg.CacheMaxEntries,
+		CacheMaxBytes:   s.cfg.CacheMaxBytes,
+		Recovered:       s.recovered,
+		Draining:        s.draining,
 	}
 	order := append([]*Campaign(nil), s.order...)
 	s.mu.Unlock()
@@ -751,6 +833,11 @@ func (s *Server) Stats() ServiceStats {
 	}
 	hits, misses := s.cache.Stats()
 	st.CacheSize, st.CacheHits, st.CacheMisses = s.cache.Len(), hits, misses
+	st.CacheBytes, st.CacheEvictions = s.cache.Bytes(), s.cache.Evictions()
+	if s.journal != nil {
+		js := s.journal.Stats()
+		st.Journal = &js
+	}
 	return st
 }
 
